@@ -1,0 +1,51 @@
+//! Full-detection benchmark: one entry per column of the paper's Table 5,
+//! on a reduced glove-like workload. Index construction happens outside
+//! the timed region, matching the paper's offline/online split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod_bench::{build_all_graphs, Config, Workload};
+use dod_core::{dolphin, nested_loop, snif, DodParams, GraphDod, VpTreeDod};
+use dod_datasets::Family;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.25, // 3000 glove-like objects
+        ..Config::default()
+    };
+    let w = Workload::prepare(Family::Glove, &cfg);
+    let params = DodParams::new(w.r, w.k).with_threads(2);
+    let built = build_all_graphs(&w.data, &w, 2, 0);
+    let vp = VpTreeDod::build(&w.data, 0);
+
+    let mut g = c.benchmark_group("detection_glove3k");
+    g.sample_size(10);
+    g.bench_function("nested_loop", |b| {
+        b.iter(|| black_box(nested_loop::detect(&w.data, &params, 0)))
+    });
+    g.bench_function("snif", |b| {
+        b.iter(|| black_box(snif::detect(&w.data, &params, 0)))
+    });
+    g.bench_function("dolphin", |b| {
+        b.iter(|| black_box(dolphin::detect(&w.data, &params, 0)))
+    });
+    g.bench_function("vptree", |b| {
+        b.iter(|| black_box(vp.detect(&w.data, &params)))
+    });
+    for built_graph in &built.graphs {
+        let name = match built_graph.graph.kind {
+            dod_graph::GraphKind::Nsw => "graph_nsw",
+            dod_graph::GraphKind::KGraph => "graph_kgraph",
+            dod_graph::GraphKind::MrpgBasic => "graph_mrpg_basic",
+            dod_graph::GraphKind::Mrpg => "graph_mrpg",
+        };
+        g.bench_function(name, |b| {
+            let dod = GraphDod::new(&built_graph.graph).with_verify(w.verify_strategy());
+            b.iter(|| black_box(dod.detect(&w.data, &params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Graph-construction benchmark: one entry per column of the paper's
+//! Table 3, on a reduced glove-like workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod_datasets::Family;
+use dod_graph::mrpg;
+use dod_graph::MrpgParams;
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let n = 2000;
+    let gen = Family::Glove.generate(n, 3);
+    let data = &gen.data;
+    let k = 16; // reduced degree to keep criterion iterations snappy
+
+    let mut g = c.benchmark_group("graph_build_glove2k");
+    g.sample_size(10);
+    g.bench_function("nsw", |b| {
+        b.iter(|| black_box(mrpg::build_nsw(data, k, 0)))
+    });
+    g.bench_function("kgraph_nndescent", |b| {
+        b.iter(|| black_box(mrpg::build_kgraph(data, k, 2, 0)))
+    });
+    g.bench_function("mrpg_basic", |b| {
+        let mut p = MrpgParams::basic(k);
+        p.threads = 2;
+        b.iter(|| black_box(mrpg::build(data, &p)))
+    });
+    g.bench_function("mrpg_full", |b| {
+        let mut p = MrpgParams::new(k);
+        p.threads = 2;
+        b.iter(|| black_box(mrpg::build(data, &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

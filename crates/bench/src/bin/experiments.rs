@@ -1,0 +1,49 @@
+//! CLI driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <subcommand> [flags]
+//!
+//! subcommands:
+//!   tables | table3..table8 | fig6_7 | fig8_9 | fig10 | ablation | all
+//! flags:
+//!   --scale <f64>       dataset size multiplier (default 1.0)
+//!   --seed <u64>        master seed (default 42)
+//!   --threads <usize>   detection threads (default: hardware)
+//!   --build-threads <usize>
+//!   --families <list>   comma-separated subset of
+//!                       deep,glove,hepmass,mnist,pamap2,sift,words
+//! ```
+
+use dod_bench::experiments::{self, Which};
+use dod_bench::Config;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <tables|table3|table4|table5|table6|table7|table8|\
+         fig6_7|fig8_9|fig10|ablation|all> [--scale F] [--seed N] [--threads N] \
+         [--build-threads N] [--families a,b,c]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = args.first() else { usage() };
+    let Some(which) = Which::parse(sub) else {
+        eprintln!("unknown subcommand {sub:?}");
+        usage()
+    };
+    let cfg = match Config::from_args(&args[1..]) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    if let Err(e) = experiments::run(&cfg, which, &mut out) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Builds the four compared proximity graphs for a workload, with timing.
+
+use crate::workload::Workload;
+use dod_graph::mrpg::{self, BuildBreakdown};
+use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
+use dod_metrics::Dataset;
+use std::time::Instant;
+
+/// One built graph plus its construction time.
+pub struct BuiltGraph {
+    /// The graph.
+    pub graph: ProximityGraph,
+    /// Construction wall-clock seconds.
+    pub build_secs: f64,
+    /// Phase decomposition (MRPG kinds only).
+    pub breakdown: Option<BuildBreakdown>,
+}
+
+/// All four graphs of the paper's comparison.
+pub struct BuiltGraphs {
+    /// NSW, KGraph, MRPG-basic, MRPG — in the paper's table order.
+    pub graphs: Vec<BuiltGraph>,
+}
+
+impl BuiltGraphs {
+    /// Iterator over `(kind, built)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&GraphKind, &BuiltGraph)> {
+        self.graphs.iter().map(|b| (&b.graph.kind, b))
+    }
+
+    /// The full MRPG (for experiments that only need the best graph).
+    pub fn mrpg(&self) -> &BuiltGraph {
+        self.graphs
+            .iter()
+            .find(|b| b.graph.kind == GraphKind::Mrpg)
+            .expect("MRPG is always built")
+    }
+}
+
+/// MRPG parameters the harness uses for a workload (paper §6 defaults:
+/// `K` per family, `K' = 4K`, `m` sized to the outlier budget at the
+/// actual cardinality `n` (subsets of a workload pass their own `n`).
+pub fn mrpg_params(w: &Workload, n: usize, threads: usize, seed: u64, full: bool) -> MrpgParams {
+    let mut p = if full {
+        MrpgParams::new(w.degree)
+    } else {
+        MrpgParams::basic(w.degree)
+    };
+    p.exact_m = Some(crate::workload::exact_m(w.family, n));
+    p.threads = threads;
+    p.seed = seed;
+    p
+}
+
+/// Builds NSW, KGraph, MRPG-basic and MRPG over a dataset.
+pub fn build_all_graphs<D: Dataset + ?Sized>(
+    data: &D,
+    w: &Workload,
+    threads: usize,
+    seed: u64,
+) -> BuiltGraphs {
+    let mut graphs = Vec::with_capacity(4);
+
+    let t = Instant::now();
+    let nsw = mrpg::build_nsw(data, w.degree, seed);
+    graphs.push(BuiltGraph {
+        graph: nsw,
+        build_secs: t.elapsed().as_secs_f64(),
+        breakdown: None,
+    });
+
+    let t = Instant::now();
+    let kgraph = mrpg::build_kgraph(data, w.degree, threads, seed);
+    graphs.push(BuiltGraph {
+        graph: kgraph,
+        build_secs: t.elapsed().as_secs_f64(),
+        breakdown: None,
+    });
+
+    let n = data.len();
+    let (basic, basic_breakdown) = mrpg::build(data, &mrpg_params(w, n, threads, seed, false));
+    graphs.push(BuiltGraph {
+        graph: basic,
+        build_secs: basic_breakdown.total_secs(),
+        breakdown: Some(basic_breakdown),
+    });
+
+    let (full, full_breakdown) = mrpg::build(data, &mrpg_params(w, n, threads, seed, true));
+    graphs.push(BuiltGraph {
+        graph: full,
+        build_secs: full_breakdown.total_secs(),
+        breakdown: Some(full_breakdown),
+    });
+
+    BuiltGraphs { graphs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Config;
+    use dod_datasets::Family;
+
+    #[test]
+    fn builds_all_four_kinds_in_order() {
+        let cfg = Config {
+            scale: 0.04,
+            ..Config::default()
+        };
+        let w = Workload::prepare(Family::Glove, &cfg);
+        let built = build_all_graphs(&w.data, &w, 2, 0);
+        let kinds: Vec<GraphKind> = built.graphs.iter().map(|b| b.graph.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                GraphKind::Nsw,
+                GraphKind::KGraph,
+                GraphKind::MrpgBasic,
+                GraphKind::Mrpg
+            ]
+        );
+        assert_eq!(built.mrpg().graph.kind, GraphKind::Mrpg);
+        for b in &built.graphs {
+            assert!(b.build_secs > 0.0);
+            b.graph.assert_invariants();
+        }
+        // Breakdown present exactly for the MRPG kinds.
+        assert!(built.graphs[0].breakdown.is_none());
+        assert!(built.graphs[3].breakdown.is_some());
+    }
+}

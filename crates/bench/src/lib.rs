@@ -1,0 +1,31 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! The `experiments` binary drives the [`experiments`] module:
+//!
+//! ```text
+//! experiments tables            # Tables 3, 4, 5, 6, 7, 8 in one pass
+//! experiments table5            # any single table
+//! experiments fig6_7            # build-time and run-time vs n
+//! experiments fig8_9            # run time vs k and vs r
+//! experiments fig10             # run time vs thread count
+//! experiments ablation          # §6.2 Connect/Detour ablation
+//! experiments all               # everything
+//! ```
+//!
+//! Common flags: `--scale <f64>` (dataset size multiplier), `--seed`,
+//! `--threads`, `--families deep,glove,...`.
+//!
+//! Cardinalities default to [`dod_datasets::Family::default_n`] — scaled
+//! down from the paper's millions to laptop scale; EXPERIMENTS.md records
+//! the shape comparisons against the paper's numbers.
+
+pub mod experiments;
+pub mod graphs;
+pub mod paper;
+pub mod report;
+pub mod workload;
+
+pub use graphs::{build_all_graphs, BuiltGraphs};
+pub use report::Table;
+pub use workload::{Config, Workload};

@@ -1,0 +1,252 @@
+//! Reference numbers from the paper (SIGMOD'21 / arXiv:2110.08959v2),
+//! printed next to our measurements so shape comparisons are one glance.
+//!
+//! `None` encodes the paper's "NA" — the configuration exceeded its 12 h
+//! pre-processing / 8 h detection limit on the authors' 48-thread testbed.
+
+use dod_datasets::Family;
+
+/// Row order of every per-dataset table, matching [`Family::ALL`].
+pub fn family_index(f: Family) -> usize {
+    Family::ALL.iter().position(|&x| x == f).expect("known family")
+}
+
+/// Paper Table 3 — pre-processing time in seconds:
+/// `[NSW, KGraph, MRPG-basic, MRPG]` per dataset.
+pub const TABLE3_PREPROCESS_SECS: [[Option<f64>; 4]; 7] = [
+    [None, Some(20079.80), Some(13417.40), Some(17230.30)], // deep
+    [Some(2333.47), Some(923.83), Some(755.54), Some(791.53)], // glove
+    [None, Some(7935.25), Some(4345.63), Some(5221.86)],    // hepmass
+    [Some(33368.0), Some(2972.96), Some(1566.05), Some(2281.55)], // mnist
+    [Some(4522.14), Some(1325.40), Some(729.54), Some(888.61)], // pamap2
+    [Some(4910.94), Some(929.48), Some(723.75), Some(817.33)], // sift
+    [Some(871.27), Some(455.15), Some(707.08), Some(868.62)], // words
+];
+
+/// Paper Table 4 — decomposed MRPG build time on Glove in seconds:
+/// `(phase, KGraph, MRPG-basic, MRPG)`.
+pub const TABLE4_GLOVE_DECOMPOSED: [(&str, Option<f64>, f64, f64); 4] = [
+    ("NNDescent(+)", Some(923.83), 464.34, 474.20),
+    ("Connect-SubGraphs", None, 20.36, 24.28),
+    ("Remove-Detours", None, 278.21, 271.41),
+    ("Remove-Links", None, 19.44, 19.61),
+];
+
+/// Paper Table 5 — detection running time in seconds:
+/// `[Nested-loop, SNIF, DOLPHIN, VP-tree, NSW, KGraph, MRPG-basic, MRPG]`.
+pub const TABLE5_RUNNING_SECS: [[Option<f64>; 8]; 7] = [
+    [None, None, None, None, None, Some(8616.10), Some(5474.10), Some(1966.17)], // deep
+    [
+        Some(1045.47),
+        Some(1222.43),
+        Some(9277.89),
+        Some(1398.92),
+        Some(147.00),
+        Some(83.82),
+        Some(56.80),
+        Some(2.63),
+    ], // glove
+    [
+        Some(17295.40),
+        Some(20360.80),
+        None,
+        Some(8597.23),
+        None,
+        Some(780.19),
+        Some(638.83),
+        Some(38.40),
+    ], // hepmass
+    [
+        Some(15494.00),
+        Some(22579.80),
+        None,
+        Some(13836.60),
+        Some(1630.25),
+        Some(1702.57),
+        Some(1264.26),
+        Some(918.91),
+    ], // mnist
+    [
+        Some(422.40),
+        Some(1213.56),
+        Some(1819.90),
+        Some(208.55),
+        Some(22.16),
+        Some(23.77),
+        Some(18.16),
+        Some(10.55),
+    ], // pamap2
+    [
+        Some(1427.74),
+        Some(1507.58),
+        Some(8684.08),
+        Some(2005.27),
+        Some(200.89),
+        Some(175.88),
+        Some(144.11),
+        Some(11.32),
+    ], // sift
+    [
+        Some(1844.65),
+        Some(2086.50),
+        Some(7061.50),
+        Some(1021.39),
+        Some(498.34),
+        Some(393.95),
+        Some(374.08),
+        Some(2.67),
+    ], // words
+];
+
+/// Paper Table 6 — index size in MB:
+/// `[SNIF, DOLPHIN, VP-tree, NSW, KGraph, MRPG-basic, MRPG]`
+/// (Nested-loop has no index).
+pub const TABLE6_INDEX_MB: [[Option<f64>; 7]; 7] = [
+    [None, None, Some(324.35), None, Some(1405.94), Some(5516.58), Some(7350.83)],
+    [
+        Some(13.26),
+        Some(69.14),
+        Some(54.86),
+        Some(188.62),
+        Some(167.91),
+        Some(460.48),
+        Some(438.76),
+    ],
+    [Some(61.04), None, Some(265.39), None, Some(1195.35), Some(2188.65), Some(2450.84)],
+    [
+        Some(27.75),
+        None,
+        Some(117.80),
+        Some(417.95),
+        Some(404.29),
+        Some(589.08),
+        Some(591.27),
+    ],
+    [
+        Some(18.36),
+        Some(65.12),
+        Some(128.00),
+        Some(819.17),
+        Some(528.26),
+        Some(553.87),
+        Some(760.69),
+    ],
+    [
+        Some(8.10),
+        Some(47.00),
+        Some(39.99),
+        Some(157.58),
+        Some(140.54),
+        Some(433.48),
+        Some(489.14),
+    ],
+    [
+        Some(4.41),
+        Some(26.86),
+        Some(27.79),
+        Some(102.20),
+        Some(93.92),
+        Some(191.73),
+        Some(178.74),
+    ],
+];
+
+/// Paper Table 7 — false positives after filtering:
+/// `[NSW, KGraph, MRPG-basic, MRPG]`.
+pub const TABLE7_FALSE_POSITIVES: [[Option<u64>; 4]; 7] = [
+    [None, Some(81_140), Some(33_180), Some(20_616)],
+    [Some(19_970), Some(3_356), Some(40), Some(24)],
+    [None, Some(11_133), Some(2_363), Some(438)],
+    [Some(7_079), Some(4_698), Some(2_509), Some(2_061)],
+    [Some(18_346), Some(22_543), Some(4_290), Some(3_986)],
+    [Some(4_899), Some(2_513), Some(585), Some(51)],
+    [Some(9_569), Some(989), Some(120), Some(4)],
+];
+
+/// Paper Table 8 — decomposed detection time on Glove in seconds:
+/// `(phase, NSW, KGraph, MRPG-basic, MRPG)`.
+pub const TABLE8_GLOVE_DECOMPOSED: [(&str, f64, f64, f64, f64); 2] = [
+    ("Filtering", 1.28, 0.86, 2.43, 1.98),
+    ("Verification", 147.00, 82.96, 57.03, 0.65),
+];
+
+/// Paper §6.2 — false positives of MRPG ablation variants on PAMAP2:
+/// `(variant, paper value)`.
+pub const ABLATION_PAMAP2_FALSE_POSITIVES: [(&str, u64); 4] = [
+    ("MRPG (full)", 3_986),
+    ("without Connect-SubGraphs", 4_712),
+    ("without Remove-Detours", 9_720),
+    ("without both", 11_937),
+];
+
+/// Paper Figure 8 `k` grids per dataset (defaults bolded in the paper).
+pub fn k_grid(f: Family) -> [usize; 5] {
+    match f {
+        Family::Deep | Family::Hepmass | Family::Mnist => [40, 45, 50, 55, 60],
+        Family::Glove => [10, 15, 20, 25, 30],
+        Family::Pamap2 => [50, 75, 100, 125, 150],
+        Family::Sift => [30, 35, 40, 45, 50],
+        Family::Words => [5, 10, 15, 20, 25],
+    }
+}
+
+/// Paper Figure 9 varies `r` around the default; the paper's grids span
+/// roughly ±4–20% per dataset, which these multipliers reproduce.
+pub const R_GRID_MULTIPLIERS: [f64; 5] = [0.90, 0.95, 1.0, 1.05, 1.10];
+
+/// Paper Figure 10 thread grid (the paper sweeps 1..48; a laptop saturates
+/// earlier, the shape up to the core count is what transfers).
+pub const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// The five datasets of the paper's Figure 10.
+pub const FIG10_FAMILIES: [Family; 5] = [
+    Family::Glove,
+    Family::Hepmass,
+    Family::Pamap2,
+    Family::Sift,
+    Family::Words,
+];
+
+/// Sampling-rate grid of Figures 6 and 7.
+pub const SAMPLING_RATES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_index_follows_all_order() {
+        assert_eq!(family_index(Family::Deep), 0);
+        assert_eq!(family_index(Family::Words), 6);
+    }
+
+    #[test]
+    fn table5_mrpg_always_wins_in_the_paper() {
+        for row in TABLE5_RUNNING_SECS {
+            let mrpg = row[7].expect("MRPG never NA");
+            for cell in row.iter().take(7).flatten() {
+                assert!(mrpg <= *cell, "paper data transcription error");
+            }
+        }
+    }
+
+    #[test]
+    fn table7_mrpg_minimizes_false_positives() {
+        for row in TABLE7_FALSE_POSITIVES {
+            let mrpg = row[3].expect("MRPG never NA");
+            for cell in row.iter().take(3).flatten() {
+                assert!(mrpg <= *cell);
+            }
+        }
+    }
+
+    #[test]
+    fn k_grids_contain_the_defaults() {
+        for f in Family::ALL {
+            assert!(
+                k_grid(f).contains(&f.default_k()),
+                "{f}: default k missing from grid"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Markdown table rendering for experiment reports.
+
+/// A simple right-aligned Markdown table builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders GitHub-flavored Markdown with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}:|", "-".repeat(w + 1)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats seconds with adaptive precision (experiments span µs to hours).
+pub fn secs(v: f64) -> String {
+    if v < 0.000_5 {
+        format!("{:.1}us", v * 1e6)
+    } else if v < 0.5 {
+        format!("{:.1}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+/// Formats an optional paper reference value ("NA" for the paper's
+/// timeouts).
+pub fn paper_secs(v: Option<f64>) -> String {
+    v.map_or("NA".to_string(), |s| format!("{s:.0}s"))
+}
+
+/// Formats megabytes.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("|   a | bbbb |"), "{s}");
+        assert!(s.lines().count() == 4);
+        // All lines equal width.
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(secs(0.000_000_4), "0.4us");
+        assert_eq!(secs(0.002), "2.0ms");
+        assert_eq!(secs(3.25), "3.25s");
+    }
+
+    #[test]
+    fn paper_na_values() {
+        assert_eq!(paper_secs(None), "NA");
+        assert_eq!(paper_secs(Some(83.82)), "84s");
+    }
+
+    #[test]
+    fn mb_formatting() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+    }
+}

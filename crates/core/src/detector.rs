@@ -1,0 +1,119 @@
+//! A unified front door over every detection algorithm.
+//!
+//! The paper's evaluation (and any user comparing algorithms) wants to run
+//! "the same query through N detectors". [`Detector`] erases the per-
+//! algorithm construction differences behind one `detect` call while
+//! keeping the indexes explicit — building them is the offline phase and
+//! stays under caller control.
+
+use crate::graph_dod::GraphDod;
+use crate::params::{DodParams, DodResult};
+use crate::vptree_dod::VpTreeDod;
+use crate::{dolphin, nested_loop, snif};
+use dod_metrics::Dataset;
+
+/// Any of the workspace's exact DOD algorithms, ready to answer queries.
+pub enum Detector<'g> {
+    /// Randomized nested loop (no index).
+    NestedLoop {
+        /// Scan-order seed (does not affect results).
+        seed: u64,
+    },
+    /// SNIF r/2-clustering (index built per query, as in the paper).
+    Snif {
+        /// Clustering seed (does not affect results).
+        seed: u64,
+    },
+    /// DOLPHIN two-scan candidate index (built per query).
+    Dolphin {
+        /// Retention seed (does not affect results).
+        seed: u64,
+    },
+    /// VP-tree range counting over a prebuilt tree.
+    VpTree(VpTreeDod),
+    /// Proximity-graph filter/verify (Algorithm 1) over a prebuilt graph.
+    Graph(GraphDod<'g>),
+}
+
+impl Detector<'_> {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Detector::NestedLoop { .. } => "Nested-loop",
+            Detector::Snif { .. } => "SNIF",
+            Detector::Dolphin { .. } => "DOLPHIN",
+            Detector::VpTree(_) => "VP-tree",
+            Detector::Graph(g) => g.graph().kind.name(),
+        }
+    }
+
+    /// Runs the query. Every variant returns the identical exact outlier
+    /// set (enforced by the cross-algorithm test suite).
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> DodResult {
+        match self {
+            Detector::NestedLoop { seed } => nested_loop::detect(data, params, *seed),
+            Detector::Snif { seed } => snif::detect(data, params, *seed),
+            Detector::Dolphin { seed } => dolphin::detect(data, params, *seed),
+            Detector::VpTree(vp) => vp.detect(data, params),
+            Detector::Graph(g) => {
+                let report = g.detect(data, params);
+                let total = report.total_secs();
+                DodResult::new(report.outliers, total)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_graph::MrpgParams;
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(n: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                if i % 37 == 36 {
+                    vec![rng.gen_range(40.0f32..80.0), rng.gen_range(40.0f32..80.0)]
+                } else {
+                    let c = (i % 3) as f32 * 6.0;
+                    vec![c + rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)]
+                }
+            })
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let data = blob_data(300, 1);
+        let params = DodParams::new(1.5, 4);
+        let (graph, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(6));
+        let detectors = [
+            Detector::NestedLoop { seed: 0 },
+            Detector::Snif { seed: 1 },
+            Detector::Dolphin { seed: 2 },
+            Detector::VpTree(VpTreeDod::build(&data, 3)),
+            Detector::Graph(GraphDod::new(&graph)),
+        ];
+        let reference = detectors[0].detect(&data, &params).outliers;
+        assert!(!reference.is_empty());
+        for d in &detectors[1..] {
+            assert_eq!(d.detect(&data, &params).outliers, reference, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Detector::NestedLoop { seed: 0 }.name(), "Nested-loop");
+        assert_eq!(Detector::Snif { seed: 0 }.name(), "SNIF");
+        assert_eq!(Detector::Dolphin { seed: 0 }.name(), "DOLPHIN");
+        let data = blob_data(50, 2);
+        assert_eq!(Detector::VpTree(VpTreeDod::build(&data, 0)).name(), "VP-tree");
+        let (graph, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
+        assert_eq!(Detector::Graph(GraphDod::new(&graph)).name(), "MRPG");
+    }
+}

@@ -1,0 +1,370 @@
+//! The paper's DOD algorithm (Algorithm 1): proximity-graph filtering plus
+//! exact verification, with the §5.5 exact-`K'` shortcut.
+
+use crate::greedy::{greedy_count, TraversalBuffer};
+use crate::parallel::par_map_strided;
+use crate::params::DodParams;
+use crate::verify::{ExactCounter, VerifyStrategy};
+use dod_graph::ProximityGraph;
+use dod_metrics::Dataset;
+use std::time::Instant;
+
+/// Per-object outcome of the filtering phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum FilterOutcome {
+    /// Greedy count reached `k` — provably an inlier (Lemma 1).
+    #[default]
+    Inlier,
+    /// Count stayed below `k` — outlier candidate, must be verified.
+    Candidate,
+    /// Decided outlier via the exact-`K'` shortcut, no verification needed.
+    ExactOutlier,
+    /// Decided inlier via the exact-`K'` shortcut.
+    ExactInlier,
+}
+
+/// Detection report: the outliers plus the phase decomposition the paper's
+/// Tables 7 and 8 evaluate.
+#[derive(Debug, Clone)]
+pub struct GraphDodReport {
+    /// Ids of all outliers, ascending.
+    pub outliers: Vec<u32>,
+    /// Objects whose greedy count stayed below `k` (`|P'|`, the
+    /// verification workload).
+    pub candidates: usize,
+    /// Candidates that verification re-classified as inliers — the paper's
+    /// `f` (Table 7). Lower is better; MRPG's whole design minimizes this.
+    pub false_positives: usize,
+    /// Outliers decided during filtering by the exact-`K'` shortcut
+    /// (0 unless the graph is a full MRPG).
+    pub decided_in_filter: usize,
+    /// Wall-clock seconds of the filtering phase.
+    pub filter_secs: f64,
+    /// Wall-clock seconds of the verification phase.
+    pub verify_secs: f64,
+}
+
+impl GraphDodReport {
+    /// Total detection time (Table 5's "running time").
+    pub fn total_secs(&self) -> f64 {
+        self.filter_secs + self.verify_secs
+    }
+}
+
+/// Algorithm 1 bound to a proximity graph.
+///
+/// The graph is built once offline ([`dod_graph::mrpg::build`] and friends)
+/// and reused for any number of `(r, k)` queries — the "general to any `r`
+/// and `k`" requirement the paper's introduction sets.
+pub struct GraphDod<'g> {
+    graph: &'g ProximityGraph,
+    verify: VerifyStrategy,
+    seed: u64,
+}
+
+impl<'g> GraphDod<'g> {
+    /// Binds the algorithm to a graph with the paper's automatic
+    /// verification-strategy choice.
+    pub fn new(graph: &'g ProximityGraph) -> Self {
+        GraphDod {
+            graph,
+            verify: VerifyStrategy::Auto,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the verification strategy (the paper fixes VP-tree for
+    /// HEPMASS, PAMAP2 and Words and linear scan elsewhere).
+    pub fn with_verify(mut self, strategy: VerifyStrategy) -> Self {
+        self.verify = strategy;
+        self
+    }
+
+    /// Seed for the verification engine's internals (VP-tree vantage
+    /// points); detection results do not depend on it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The bound graph.
+    pub fn graph(&self) -> &ProximityGraph {
+        self.graph
+    }
+
+    /// Runs Algorithm 1 and returns the full report.
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> GraphDodReport {
+        params.validate();
+        let g = self.graph;
+        let n = data.len();
+        assert_eq!(
+            g.node_count(),
+            n,
+            "graph was built over {} objects but the dataset has {n}",
+            g.node_count()
+        );
+        let (r, k) = (params.r, params.k);
+        if n == 0 || k == 0 {
+            // k = 0: no object can have "fewer than 0" neighbors.
+            return GraphDodReport {
+                outliers: Vec::new(),
+                candidates: 0,
+                false_positives: 0,
+                decided_in_filter: 0,
+                filter_secs: 0.0,
+                verify_secs: 0.0,
+            };
+        }
+
+        // ---- Filtering phase (parallel, strided for load balance) -------
+        let t = Instant::now();
+        let use_shortcut = g.use_exact_shortcut;
+        let outcomes: Vec<FilterOutcome> = if params.threads <= 1 {
+            let mut buf = TraversalBuffer::new(n);
+            (0..n)
+                .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
+                .collect()
+        } else {
+            // Each worker keeps its own traversal buffer via thread_local
+            // emulation: stride workers construct one buffer each.
+            par_map_strided_buffered(g, data, n, r, k, use_shortcut, params.threads)
+        };
+        let filter_secs = t.elapsed().as_secs_f64();
+
+        // ---- Verification phase ------------------------------------------
+        let t = Instant::now();
+        let candidates: Vec<u32> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == FilterOutcome::Candidate)
+            .map(|(p, _)| p as u32)
+            .collect();
+        let decided_in_filter = outcomes
+            .iter()
+            .filter(|&&o| o == FilterOutcome::ExactOutlier)
+            .count();
+
+        let counter = ExactCounter::build(self.verify, data, self.seed);
+        let verdicts: Vec<bool> = par_map_strided(candidates.len(), params.threads, |ci| {
+            counter.count(data, candidates[ci] as usize, r, k) < k
+        });
+        let mut outliers: Vec<u32> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == FilterOutcome::ExactOutlier)
+            .map(|(p, _)| p as u32)
+            .collect();
+        let mut false_positives = 0;
+        for (ci, &is_outlier) in verdicts.iter().enumerate() {
+            if is_outlier {
+                outliers.push(candidates[ci]);
+            } else {
+                false_positives += 1;
+            }
+        }
+        outliers.sort_unstable();
+        let verify_secs = t.elapsed().as_secs_f64();
+
+        GraphDodReport {
+            outliers,
+            candidates: candidates.len(),
+            false_positives,
+            decided_in_filter,
+            filter_secs,
+            verify_secs,
+        }
+    }
+}
+
+/// Filter decision for one object (Algorithm 1 lines 3–5, with the §5.5
+/// replacement for exact-`K'` nodes).
+fn filter_one<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    p: usize,
+    r: f64,
+    k: usize,
+    use_shortcut: bool,
+    buf: &mut TraversalBuffer,
+) -> FilterOutcome {
+    if use_shortcut {
+        if let Some(exact) = g.exact.get(&(p as u32)) {
+            if k <= exact.dists.len() {
+                // The prefix holds the exact K' nearest distances: the
+                // number of them within r below k decides p outright.
+                let within = exact.dists.partition_point(|&d| d <= r);
+                return if within < k {
+                    FilterOutcome::ExactOutlier
+                } else {
+                    FilterOutcome::ExactInlier
+                };
+            }
+        }
+    }
+    if greedy_count(g, data, p, r, k, buf) < k {
+        FilterOutcome::Candidate
+    } else {
+        FilterOutcome::Inlier
+    }
+}
+
+/// Strided parallel filtering where every worker owns one traversal buffer.
+fn par_map_strided_buffered<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    n: usize,
+    r: f64,
+    k: usize,
+    use_shortcut: bool,
+    threads: usize,
+) -> Vec<FilterOutcome> {
+    let buckets: Vec<Vec<FilterOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut buf = TraversalBuffer::new(n);
+                    (t..n)
+                        .step_by(threads)
+                        .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("filter worker panicked"))
+            .collect()
+    });
+    let mut out = vec![FilterOutcome::Inlier; n];
+    for (t, bucket) in buckets.into_iter().enumerate() {
+        for (j, v) in bucket.into_iter().enumerate() {
+            out[t + j * threads] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested_loop;
+    use dod_graph::{GraphKind, MrpgParams};
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_with_outliers(n: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                if i < n - n / 20 {
+                    let c = (i % 4) as f32 * 10.0;
+                    vec![c + rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)]
+                } else {
+                    // planted outliers, far from the clusters
+                    vec![
+                        rng.gen_range(100.0f32..200.0),
+                        rng.gen_range(100.0f32..200.0),
+                    ]
+                }
+            })
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn matches_nested_loop_ground_truth_on_mrpg() {
+        let data = clustered_with_outliers(500, 1);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
+        let params = DodParams::new(2.0, 6);
+        let report = GraphDod::new(&g).detect(&data, &params);
+        let truth = nested_loop::detect(&data, &params, 0);
+        assert_eq!(report.outliers, truth.outliers);
+    }
+
+    #[test]
+    fn matches_ground_truth_on_kgraph_and_nsw() {
+        let data = clustered_with_outliers(400, 2);
+        let params = DodParams::new(2.0, 5);
+        let truth = nested_loop::detect(&data, &params, 0);
+        let kg = dod_graph::mrpg::build_kgraph(&data, 8, 1, 0);
+        assert_eq!(GraphDod::new(&kg).detect(&data, &params).outliers, truth.outliers);
+        let nsw = dod_graph::mrpg::build_nsw(&data, 8, 0);
+        assert_eq!(GraphDod::new(&nsw).detect(&data, &params).outliers, truth.outliers);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let data = clustered_with_outliers(400, 3);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
+        let dod = GraphDod::new(&g);
+        let seq = dod.detect(&data, &DodParams::new(2.0, 6));
+        let par = dod.detect(&data, &DodParams::new(2.0, 6).with_threads(4));
+        assert_eq!(seq.outliers, par.outliers);
+        assert_eq!(seq.candidates, par.candidates);
+        assert_eq!(seq.false_positives, par.false_positives);
+    }
+
+    #[test]
+    fn shortcut_decides_planted_outliers_in_filter() {
+        let data = clustered_with_outliers(600, 4);
+        let mut p = MrpgParams::new(8);
+        p.exact_m = Some(64); // cover the 30 planted outliers
+        let (g, _) = dod_graph::mrpg::build(&data, &p);
+        let report = GraphDod::new(&g).detect(&data, &DodParams::new(2.0, 6));
+        assert!(
+            report.decided_in_filter > 0,
+            "no outlier decided by the K' shortcut"
+        );
+        // Shortcut decisions are final: they never appear as candidates.
+        let truth = nested_loop::detect(&data, &DodParams::new(2.0, 6), 0);
+        assert_eq!(report.outliers, truth.outliers);
+    }
+
+    #[test]
+    fn k_zero_returns_no_outliers() {
+        let data = clustered_with_outliers(100, 5);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(5));
+        let report = GraphDod::new(&g).detect(&data, &DodParams::new(1.0, 0));
+        assert!(report.outliers.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_makes_everything_an_outlier() {
+        let data = clustered_with_outliers(50, 6);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(5));
+        let report = GraphDod::new(&g).detect(&data, &DodParams::new(1e9, 50));
+        assert_eq!(report.outliers.len(), 50);
+    }
+
+    #[test]
+    fn r_zero_with_duplicates() {
+        // Exact duplicates are neighbors at distance 0.
+        let mut rows = vec![vec![1.0f32, 1.0]; 30];
+        rows.push(vec![50.0, 50.0]); // singleton
+        let data = VectorSet::from_rows(&rows, L2);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
+        let report = GraphDod::new(&g).detect(&data, &DodParams::new(0.0, 1));
+        assert_eq!(report.outliers, vec![30]);
+    }
+
+    #[test]
+    fn mismatched_graph_size_panics() {
+        let data = clustered_with_outliers(50, 7);
+        let g = dod_graph::ProximityGraph::new(10, GraphKind::KGraph);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GraphDod::new(&g).detect(&data, &DodParams::new(1.0, 2))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let data = clustered_with_outliers(400, 8);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
+        let report = GraphDod::new(&g).detect(&data, &DodParams::new(2.0, 6));
+        // candidates = verified outliers + false positives.
+        let verified_outliers = report.outliers.len() - report.decided_in_filter;
+        assert_eq!(report.candidates, verified_outliers + report.false_positives);
+    }
+}

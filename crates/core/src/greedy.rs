@@ -1,0 +1,216 @@
+//! Greedy-Counting (paper Algorithm 2): graph-bounded range counting with
+//! early termination.
+//!
+//! From object `p`, BFS the proximity graph expanding only vertices within
+//! distance `r` of `p` — plus pivots beyond `r` when the graph asks for it
+//! (lines 13–14; MRPG needs this because `Remove-Links` re-routes
+//! non-pivot/non-pivot connectivity through pivots). Each vertex's distance
+//! is evaluated at most once, and the walk stops the moment `k` neighbors
+//! are confirmed, so inliers in dense regions cost `O(k)` distance
+//! evaluations regardless of `n` or dimensionality.
+//!
+//! The returned count never exceeds the true neighbor count (Lemma 1):
+//! outliers can never be filtered, which is what makes Algorithm 1 exact.
+
+use dod_graph::ProximityGraph;
+use dod_metrics::Dataset;
+use std::collections::VecDeque;
+
+/// Reusable traversal state: epoch-stamped visited marks plus the BFS
+/// queue. One buffer per worker thread avoids a fresh allocation per
+/// object (the filtering phase runs `n` traversals).
+pub struct TraversalBuffer {
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<u32>,
+}
+
+impl TraversalBuffer {
+    /// A buffer for graphs of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        TraversalBuffer {
+            visited: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Starts a new traversal: all vertices become unvisited in O(1).
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: reset marks once every 2^32 traversals.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.visited[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Counts neighbors of `p` (objects within `r`, excluding `p`) reachable by
+/// the greedy graph walk, stopping at `k`. Returns `min(reached, k)`.
+///
+/// Lemma 1: the result is a lower bound of the true neighbor count, so
+/// `greedy_count(..) >= k` proves `p` is an inlier while `< k` only makes
+/// it a *candidate* outlier.
+pub fn greedy_count<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    p: usize,
+    r: f64,
+    k: usize,
+    buf: &mut TraversalBuffer,
+) -> usize {
+    if k == 0 {
+        return 0;
+    }
+    buf.begin();
+    buf.mark(p as u32);
+    buf.queue.push_back(p as u32);
+    let mut count = 0usize;
+    while let Some(v) = buf.queue.pop_front() {
+        for i in 0..g.adj[v as usize].len() {
+            let w = g.adj[v as usize][i];
+            if !buf.mark(w) {
+                continue;
+            }
+            let d = data.dist(p, w as usize);
+            if d <= r {
+                count += 1;
+                if count == k {
+                    return count;
+                }
+                buf.queue.push_back(w);
+            } else if g.expand_pivots && g.pivot[w as usize] {
+                // Line 13: pivots bridge regions even when they themselves
+                // lie outside the query ball.
+                buf.queue.push_back(w);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_graph::GraphKind;
+    use dod_metrics::{VectorSet, L2};
+
+    /// A path graph over integer points 0..n on a line.
+    fn line_graph(n: usize) -> (VectorSet<L2>, ProximityGraph) {
+        let data =
+            VectorSet::from_rows(&(0..n).map(|i| vec![i as f32]).collect::<Vec<_>>(), L2);
+        let mut g = ProximityGraph::new(n, GraphKind::KGraph);
+        for i in 0..n as u32 - 1 {
+            g.add_undirected(i, i + 1);
+        }
+        (data, g)
+    }
+
+    #[test]
+    fn counts_reachable_neighbors() {
+        let (data, g) = line_graph(20);
+        let mut buf = TraversalBuffer::new(20);
+        // From point 10 with r = 3: neighbors are 7..13 minus itself = 6.
+        assert_eq!(greedy_count(&g, &data, 10, 3.0, 100, &mut buf), 6);
+    }
+
+    #[test]
+    fn early_termination_at_k() {
+        let (data, g) = line_graph(20);
+        let mut buf = TraversalBuffer::new(20);
+        assert_eq!(greedy_count(&g, &data, 10, 3.0, 4, &mut buf), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_zero() {
+        let (data, g) = line_graph(5);
+        let mut buf = TraversalBuffer::new(5);
+        assert_eq!(greedy_count(&g, &data, 2, 10.0, 0, &mut buf), 0);
+    }
+
+    #[test]
+    fn never_overcounts_lemma1() {
+        let (data, g) = line_graph(30);
+        let mut buf = TraversalBuffer::new(30);
+        for p in 0..30 {
+            for r in [0.5, 1.0, 2.5, 7.0] {
+                let truth = (0..30)
+                    .filter(|&j| j != p && data.dist(p, j) <= r)
+                    .count();
+                let got = greedy_count(&g, &data, p, r, usize::MAX, &mut buf);
+                assert!(got <= truth, "p={p} r={r}: {got} > {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn detour_blocks_reachability_without_pivot_rule() {
+        // 0 at origin; 2 within r of 0 but only reachable through 1, which
+        // is beyond r. Without pivot expansion the walk misses 2.
+        let data = VectorSet::from_rows(&[vec![0.0], vec![10.0], vec![1.0]], L2);
+        let mut g = ProximityGraph::new(3, GraphKind::KGraph);
+        g.add_undirected(0, 1);
+        g.add_undirected(1, 2);
+        let mut buf = TraversalBuffer::new(3);
+        assert_eq!(greedy_count(&g, &data, 0, 2.0, 10, &mut buf), 0);
+    }
+
+    #[test]
+    fn pivot_rule_bridges_far_relays() {
+        // Same topology, but vertex 1 is a pivot and the graph expands
+        // pivots: vertex 2 becomes countable.
+        let data = VectorSet::from_rows(&[vec![0.0], vec![10.0], vec![1.0]], L2);
+        let mut g = ProximityGraph::new(3, GraphKind::Mrpg);
+        g.add_undirected(0, 1);
+        g.add_undirected(1, 2);
+        g.pivot[1] = true;
+        let mut buf = TraversalBuffer::new(3);
+        assert_eq!(greedy_count(&g, &data, 0, 2.0, 10, &mut buf), 1);
+    }
+
+    #[test]
+    fn isolated_vertex_counts_nothing() {
+        let data = VectorSet::from_rows(&[vec![0.0], vec![0.1]], L2);
+        let g = ProximityGraph::new(2, GraphKind::KGraph);
+        let mut buf = TraversalBuffer::new(2);
+        assert_eq!(greedy_count(&g, &data, 0, 1.0, 5, &mut buf), 0);
+    }
+
+    #[test]
+    fn buffer_reuse_is_clean_across_queries() {
+        let (data, g) = line_graph(15);
+        let mut buf = TraversalBuffer::new(15);
+        let a = greedy_count(&g, &data, 3, 2.0, 100, &mut buf);
+        // Re-run the same query with the same buffer: same answer.
+        let b = greedy_count(&g, &data, 3, 2.0, 100, &mut buf);
+        assert_eq!(a, b);
+        // And an unrelated query is unaffected by stale marks.
+        assert_eq!(greedy_count(&g, &data, 12, 2.0, 100, &mut buf), 4);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_marks() {
+        let (data, g) = line_graph(4);
+        let mut buf = TraversalBuffer::new(4);
+        buf.epoch = u32::MAX - 1;
+        let a = greedy_count(&g, &data, 1, 1.0, 100, &mut buf);
+        let b = greedy_count(&g, &data, 1, 1.0, 100, &mut buf); // wraps here
+        let c = greedy_count(&g, &data, 1, 1.0, 100, &mut buf);
+        assert_eq!(a, 2);
+        assert_eq!(b, 2);
+        assert_eq!(c, 2);
+    }
+}

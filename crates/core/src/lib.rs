@@ -1,0 +1,35 @@
+//! Exact distance-based outlier detection (DOD) algorithms.
+//!
+//! Implements the paper's proximity-graph algorithm and all four baselines
+//! of its evaluation, each returning exactly the same outlier set:
+//!
+//! | Algorithm | Paper ref | Entry point |
+//! |---|---|---|
+//! | Proximity-graph filter/verify (Algorithm 1) | §4 | [`GraphDod`] |
+//! | Nested loop (randomized, early termination) | \[8, 21\] | [`nested_loop::detect`] |
+//! | SNIF (r/2-clustering, group pruning) | \[30\] | [`snif::detect`] |
+//! | DOLPHIN (two-scan candidate index) | \[4\] | [`dolphin::detect`] |
+//! | VP-tree range counting | \[35\] | [`vptree_dod::VpTreeDod`] |
+//!
+//! All detectors take the same [`DodParams`] and are exact: an object is
+//! reported iff it has fewer than `k` neighbors within distance `r`
+//! (Definition 2). The integration tests pin every algorithm to the
+//! nested-loop ground truth.
+
+pub mod detector;
+pub mod dolphin;
+pub mod graph_dod;
+pub mod greedy;
+pub mod nested_loop;
+pub mod parallel;
+pub mod params;
+pub mod snif;
+pub mod verify;
+pub mod vptree_dod;
+
+pub use detector::Detector;
+pub use graph_dod::{GraphDod, GraphDodReport};
+pub use greedy::{greedy_count, TraversalBuffer};
+pub use params::{DodParams, DodResult};
+pub use verify::VerifyStrategy;
+pub use vptree_dod::VpTreeDod;

@@ -1,0 +1,110 @@
+//! Shared parameter and result types for every DOD algorithm.
+
+/// The `(r, k)` query of Definition 2 plus an execution thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DodParams {
+    /// Distance threshold: a neighbor of `p` is any `p' ≠ p` with
+    /// `dist(p, p') ≤ r`.
+    pub r: f64,
+    /// Count threshold: `p` is an outlier iff it has fewer than `k`
+    /// neighbors. `k = 0` therefore means no object can be an outlier.
+    pub k: usize,
+    /// Worker threads for the parallel-friendly algorithms.
+    pub threads: usize,
+}
+
+impl DodParams {
+    /// Single-threaded parameters.
+    pub fn new(r: f64, k: usize) -> Self {
+        DodParams { r, k, threads: 1 }
+    }
+
+    /// Sets the thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Validates the query against a dataset size.
+    ///
+    /// # Panics
+    /// Panics if `r` is negative or NaN.
+    pub fn validate(&self) {
+        assert!(
+            self.r >= 0.0 && self.r.is_finite(),
+            "r must be a finite non-negative number, got {}",
+            self.r
+        );
+    }
+}
+
+/// The answer of a DOD query plus basic timing.
+#[derive(Debug, Clone)]
+pub struct DodResult {
+    /// Ids of all outliers, ascending.
+    pub outliers: Vec<u32>,
+    /// Total detection wall-clock seconds.
+    pub total_secs: f64,
+}
+
+impl DodResult {
+    /// Builds a result from an unsorted outlier list.
+    pub fn new(mut outliers: Vec<u32>, total_secs: f64) -> Self {
+        outliers.sort_unstable();
+        DodResult {
+            outliers,
+            total_secs,
+        }
+    }
+
+    /// Number of outliers found (`t` in the paper's analysis).
+    pub fn count(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Outlier ratio relative to a dataset of size `n`.
+    pub fn ratio(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.count() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_sorts_outliers() {
+        let r = DodResult::new(vec![5, 1, 3], 0.1);
+        assert_eq!(r.outliers, vec![1, 3, 5]);
+        assert_eq!(r.count(), 3);
+    }
+
+    #[test]
+    fn ratio_handles_empty_dataset() {
+        let r = DodResult::new(vec![], 0.0);
+        assert_eq!(r.ratio(0), 0.0);
+        assert_eq!(r.ratio(10), 0.0);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        let p = DodParams::new(1.0, 5).with_threads(0);
+        assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_r_is_rejected() {
+        DodParams::new(-1.0, 5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn nan_r_is_rejected() {
+        DodParams::new(f64::NAN, 5).validate();
+    }
+}

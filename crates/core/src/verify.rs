@@ -1,0 +1,227 @@
+//! The verification phase's `Exact-Counting` strategy (paper §4).
+//!
+//! Candidates that survive filtering are counted exactly, early-terminating
+//! at `k`. The paper picks the engine by intrinsic dimensionality: a
+//! VP-tree range count for low-dimensional data, a linear scan otherwise
+//! (tree pruning dies of the curse of dimensionality). [`VerifyStrategy::Auto`]
+//! makes that call with the TwoNN intrinsic-dimension estimator
+//! \[Facco et al., 2017\]: `d ≈ ln 2 / mean(ln(r2/r1))` over a sample,
+//! where `r1, r2` are 1st/2nd NN distances.
+
+use dod_metrics::Dataset;
+use dod_vptree::VpTree;
+
+/// How `Exact-Counting` answers range-count queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VerifyStrategy {
+    /// Estimate intrinsic dimensionality, then pick like the paper (its
+    /// footnote calls "less than 5" low; we cut at
+    /// [`VerifyStrategy::DEFAULT_CUTOFF`]).
+    Auto,
+    /// Always linear scan.
+    Linear,
+    /// Always VP-tree range counting (tree built once per detection call).
+    VpTree,
+}
+
+impl VerifyStrategy {
+    /// The intrinsic-dimensionality cutoff used by [`VerifyStrategy::Auto`].
+    pub const DEFAULT_CUTOFF: f64 = 6.0;
+
+    /// Resolves `Auto` into `Linear` or `VpTree` for a concrete dataset.
+    pub fn resolve<D: Dataset + ?Sized>(self, data: &D, seed: u64) -> VerifyStrategy {
+        match self {
+            VerifyStrategy::Auto => {
+                let d = intrinsic_dimension(data, 128, seed);
+                if d <= Self::DEFAULT_CUTOFF {
+                    VerifyStrategy::VpTree
+                } else {
+                    VerifyStrategy::Linear
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// TwoNN estimate of the intrinsic dimensionality from `sample` objects
+/// (each costs one linear scan). Returns `f64::INFINITY` for degenerate
+/// inputs (fewer than 3 objects, or all-coincident samples).
+pub fn intrinsic_dimension<D: Dataset + ?Sized>(data: &D, sample: usize, seed: u64) -> f64 {
+    let n = data.len();
+    if n < 3 {
+        return f64::INFINITY;
+    }
+    // Deterministic sample: stride through the ids with a seed offset.
+    let take = sample.clamp(1, n);
+    let stride = (n / take).max(1);
+    let offset = (seed as usize) % stride.max(1);
+    let mut log_ratios = Vec::with_capacity(take);
+    let mut idx = offset;
+    while idx < n && log_ratios.len() < take {
+        let (mut r1, mut r2) = (f64::INFINITY, f64::INFINITY);
+        for j in 0..n {
+            if j == idx {
+                continue;
+            }
+            let d = data.dist(idx, j);
+            if d < r1 {
+                r2 = r1;
+                r1 = d;
+            } else if d < r2 {
+                r2 = d;
+            }
+        }
+        if r1 > 0.0 && r2.is_finite() {
+            log_ratios.push((r2 / r1).ln());
+        }
+        idx += stride;
+    }
+    if log_ratios.is_empty() {
+        return f64::INFINITY;
+    }
+    let mean = log_ratios.iter().sum::<f64>() / log_ratios.len() as f64;
+    if mean <= 0.0 {
+        f64::INFINITY
+    } else {
+        std::f64::consts::LN_2 / mean
+    }
+}
+
+/// A resolved exact-counting engine, reusable across candidates.
+pub enum ExactCounter {
+    /// Linear scan with early termination.
+    Linear,
+    /// VP-tree range counting with early termination.
+    Tree(VpTree),
+}
+
+impl ExactCounter {
+    /// Builds the engine a detection run will use.
+    pub fn build<D: Dataset + ?Sized>(strategy: VerifyStrategy, data: &D, seed: u64) -> Self {
+        match strategy.resolve(data, seed) {
+            VerifyStrategy::Linear => ExactCounter::Linear,
+            VerifyStrategy::VpTree => ExactCounter::Tree(VpTree::build(data, seed)),
+            VerifyStrategy::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+
+    /// `min(true neighbor count of p, limit)`.
+    pub fn count<D: Dataset + ?Sized>(&self, data: &D, p: usize, r: f64, limit: usize) -> usize {
+        match self {
+            ExactCounter::Linear => {
+                let mut count = 0;
+                for j in 0..data.len() {
+                    if j != p && data.dist(p, j) <= r {
+                        count += 1;
+                        if count >= limit {
+                            return count;
+                        }
+                    }
+                }
+                count
+            }
+            ExactCounter::Tree(tree) => tree.range_count(data, p, r, limit),
+        }
+    }
+
+    /// Index bytes held by the engine (0 for linear scans).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ExactCounter::Linear => 0,
+            ExactCounter::Tree(t) => t.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn manifold(n: usize, latent: usize, ambient: usize, seed: u64) -> VectorSet<L2> {
+        // Random linear embedding of a `latent`-dim Gaussian into
+        // `ambient` dims: intrinsic dimension = latent.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map: Vec<Vec<f32>> = (0..latent)
+            .map(|_| (0..ambient).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                let z: Vec<f32> = (0..latent).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                (0..ambient)
+                    .map(|d| (0..latent).map(|l| z[l] * map[l][d]).sum())
+                    .collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn twonn_separates_low_from_high_dimension() {
+        let low = intrinsic_dimension(&manifold(600, 2, 20, 1), 100, 0);
+        let high = intrinsic_dimension(&manifold(600, 16, 20, 2), 100, 0);
+        assert!(low < 5.0, "low-dim estimate {low}");
+        assert!(high > 6.0, "high-dim estimate {high}");
+        assert!(low < high);
+    }
+
+    #[test]
+    fn auto_resolves_by_dimension() {
+        let low = manifold(600, 2, 20, 1);
+        let high = manifold(600, 16, 20, 2);
+        assert_eq!(
+            VerifyStrategy::Auto.resolve(&low, 0),
+            VerifyStrategy::VpTree
+        );
+        assert_eq!(
+            VerifyStrategy::Auto.resolve(&high, 0),
+            VerifyStrategy::Linear
+        );
+    }
+
+    #[test]
+    fn fixed_strategies_resolve_to_themselves() {
+        let data = manifold(50, 2, 4, 5);
+        assert_eq!(
+            VerifyStrategy::Linear.resolve(&data, 0),
+            VerifyStrategy::Linear
+        );
+        assert_eq!(
+            VerifyStrategy::VpTree.resolve(&data, 0),
+            VerifyStrategy::VpTree
+        );
+    }
+
+    #[test]
+    fn both_engines_agree_with_brute_force() {
+        let data = manifold(300, 3, 6, 6);
+        let lin = ExactCounter::build(VerifyStrategy::Linear, &data, 0);
+        let tree = ExactCounter::build(VerifyStrategy::VpTree, &data, 0);
+        for p in (0..300).step_by(17) {
+            for r in [0.2, 0.6, 1.5] {
+                let truth = (0..300)
+                    .filter(|&j| j != p && data.dist(p, j) <= r)
+                    .count();
+                assert_eq!(lin.count(&data, p, r, usize::MAX), truth);
+                assert_eq!(tree.count(&data, p, r, usize::MAX), truth);
+                // Early termination caps both.
+                if truth >= 3 {
+                    assert_eq!(lin.count(&data, p, r, 3), 3);
+                    assert_eq!(tree.count(&data, p, r, 3), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_datasets_estimate_infinite_dimension() {
+        let tiny = manifold(2, 1, 2, 7);
+        assert_eq!(intrinsic_dimension(&tiny, 10, 0), f64::INFINITY);
+        // All points coincide: r1 = 0 everywhere.
+        let dup = VectorSet::from_rows(&vec![vec![1.0f32, 2.0]; 40], L2);
+        assert_eq!(intrinsic_dimension(&dup, 10, 0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,144 @@
+//! VP-tree DOD baseline \[Yianilos, SODA'93\]: build the strongest metric
+//! range index offline, then answer one early-terminated range count per
+//! object (the paper's §3 "simple and practical solution").
+
+use crate::parallel::par_map_strided;
+use crate::params::{DodParams, DodResult};
+use dod_metrics::Dataset;
+use dod_vptree::VpTree;
+use std::time::Instant;
+
+/// The offline-built index plus its detection entry point.
+pub struct VpTreeDod {
+    tree: VpTree,
+    /// Wall-clock seconds of the offline build (paper §6.1 reports it).
+    pub build_secs: f64,
+}
+
+impl VpTreeDod {
+    /// Builds the VP-tree over `data` (one-time pre-processing).
+    pub fn build<D: Dataset + ?Sized>(data: &D, seed: u64) -> Self {
+        let t = Instant::now();
+        let tree = VpTree::build(data, seed);
+        VpTreeDod {
+            tree,
+            build_secs: t.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Index footprint in bytes (paper Table 6).
+    pub fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+    }
+
+    /// Detects all `(r, k)` outliers: one range count per object, stopped
+    /// at `k`.
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> DodResult {
+        params.validate();
+        let n = data.len();
+        assert_eq!(
+            self.tree.len(),
+            n,
+            "index was built over {} objects but the dataset has {n}",
+            self.tree.len()
+        );
+        let (r, k) = (params.r, params.k);
+        let t = Instant::now();
+        if n == 0 || k == 0 {
+            return DodResult::new(Vec::new(), t.elapsed().as_secs_f64());
+        }
+        let flags: Vec<bool> = par_map_strided(n, params.threads, |p| {
+            self.tree.range_count(data, p, r, k) < k
+        });
+        let outliers: Vec<u32> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(p, _)| p as u32)
+            .collect();
+        DodResult::new(outliers, t.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested_loop;
+    use dod_metrics::{StringSet, VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_blobs(n: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                if i % 30 == 29 {
+                    vec![rng.gen_range(40.0f32..80.0), rng.gen_range(40.0f32..80.0)]
+                } else {
+                    let c = (i % 4) as f32 * 6.0;
+                    vec![c + rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)]
+                }
+            })
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn matches_nested_loop() {
+        let data = random_blobs(500, 1);
+        let dod = VpTreeDod::build(&data, 0);
+        for (r, k) in [(1.5, 4), (2.5, 9), (0.6, 1)] {
+            let p = DodParams::new(r, k);
+            assert_eq!(
+                dod.detect(&data, &p).outliers,
+                nested_loop::detect(&data, &p, 0).outliers,
+                "r={r} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn reusable_across_queries() {
+        let data = random_blobs(200, 2);
+        let dod = VpTreeDod::build(&data, 1);
+        let a = dod.detect(&data, &DodParams::new(1.0, 3));
+        let b = dod.detect(&data, &DodParams::new(2.0, 3));
+        // Larger r can only shrink the outlier set.
+        assert!(b.outliers.len() <= a.outliers.len());
+        assert!(b.outliers.iter().all(|o| a.outliers.contains(o)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = random_blobs(300, 3);
+        let dod = VpTreeDod::build(&data, 2);
+        let p = DodParams::new(1.5, 5);
+        assert_eq!(
+            dod.detect(&data, &p).outliers,
+            dod.detect(&data, &p.with_threads(4)).outliers
+        );
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let data = StringSet::new(["cat", "bat", "hat", "rat", "qqqqqqqqqqqq"]);
+        let dod = VpTreeDod::build(&data, 0);
+        let res = dod.detect(&data, &DodParams::new(1.0, 2));
+        assert_eq!(res.outliers, vec![4]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = VectorSet::from_rows(&[], L2);
+        let dod = VpTreeDod::build(&data, 0);
+        assert!(dod.detect(&data, &DodParams::new(1.0, 2)).outliers.is_empty());
+    }
+
+    #[test]
+    fn build_time_is_recorded() {
+        let data = random_blobs(100, 4);
+        let dod = VpTreeDod::build(&data, 0);
+        assert!(dod.build_secs >= 0.0);
+        assert!(dod.size_bytes() > 0);
+    }
+}

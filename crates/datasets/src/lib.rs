@@ -1,0 +1,25 @@
+//! Synthetic workload generators mirroring the SIGMOD'21 DOD evaluation.
+//!
+//! The paper evaluates on seven real datasets (Table 1). This crate builds
+//! *synthetic equivalents* with the same dimensionality and distance
+//! function, Gaussian / Gaussian-mixture distance distributions (which the
+//! paper observes for the real data), power-law neighbor-count distributions
+//! (ditto), and a planted sparse tail so that reasonable `(r, k)` settings
+//! yield the small outlier ratios of Table 2. See DESIGN.md §3 for why this
+//! substitution preserves the evaluation's shape.
+//!
+//! Entry points:
+//! * [`Family`] — the seven dataset families (`deep`, `glove`, …, `words`).
+//! * [`Family::generate`] — build a dataset at a given cardinality and seed.
+//! * [`calibrate_r`] — pick a radius `r` that hits a target outlier ratio
+//!   for a given `k`, the way the paper's authors chose Table 2 parameters.
+
+pub mod calibrate;
+pub mod families;
+pub mod gaussian;
+pub mod words;
+
+pub use calibrate::{calibrate_r, exact_knn_distance, sample_knn_distances};
+pub use families::{AnyDataset, Family, Generated};
+pub use gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
+pub use words::WordGenerator;

@@ -1,0 +1,174 @@
+//! String workload generator for the edit-distance family (Words dataset).
+//!
+//! The paper's Words dataset holds 466k English words of length 1–45 whose
+//! outliers are long, rare words (§6.2 notes outliers "have large
+//! dimensionality", i.e. long strings). We emulate that: a vocabulary of
+//! root words, inliers derived from roots by at most a couple of random
+//! edits (so each root forms a dense edit-distance cluster), and a tail of
+//! long uniformly random strings that no root resembles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for edit-distance workloads.
+#[derive(Debug, Clone)]
+pub struct WordGenerator {
+    /// Number of strings to generate.
+    pub n: usize,
+    /// Number of root words (dense clusters).
+    pub roots: usize,
+    /// Minimum root length.
+    pub min_len: usize,
+    /// Maximum root length for the dense part.
+    pub max_len: usize,
+    /// Maximum number of random edits applied to a root per inlier.
+    pub max_edits: usize,
+    /// Fraction of long random strings planted as the sparse tail.
+    pub tail_fraction: f64,
+    /// Length range of tail strings (long → far from all roots).
+    pub tail_len: (usize, usize),
+}
+
+impl WordGenerator {
+    /// Paper-like defaults: lengths 3–12 for the dense part, tail strings of
+    /// length 20–45.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            roots: (n / 40).max(1),
+            min_len: 3,
+            max_len: 12,
+            max_edits: 2,
+            tail_fraction: 0.02,
+            tail_len: (20, 45),
+        }
+    }
+
+    /// Generates the strings, deterministically for a given seed.
+    pub fn generate(&self, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let roots: Vec<String> = (0..self.roots)
+            .map(|_| random_word(&mut rng, self.min_len, self.max_len))
+            .collect();
+
+        let n_tail = (self.n as f64 * self.tail_fraction).round() as usize;
+        let mut out = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if i < self.n - n_tail {
+                let root = &roots[rng.gen_range(0..roots.len())];
+                out.push(perturb(root, rng.gen_range(0..=self.max_edits), &mut rng));
+            } else {
+                out.push(random_word(&mut rng, self.tail_len.0, self.tail_len.1));
+            }
+        }
+        out
+    }
+}
+
+fn random_word<R: Rng>(rng: &mut R, min_len: usize, max_len: usize) -> String {
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+/// Applies `edits` random single-character insertions, deletions or
+/// substitutions to `word`.
+fn perturb<R: Rng>(word: &str, edits: usize, rng: &mut R) -> String {
+    let mut chars: Vec<u8> = word.as_bytes().to_vec();
+    for _ in 0..edits {
+        let c = b'a' + rng.gen_range(0..26u8);
+        match rng.gen_range(0..3u8) {
+            0 if !chars.is_empty() => {
+                // substitution
+                let i = rng.gen_range(0..chars.len());
+                chars[i] = c;
+            }
+            1 if !chars.is_empty() => {
+                // deletion
+                let i = rng.gen_range(0..chars.len());
+                chars.remove(i);
+            }
+            _ => {
+                // insertion
+                let i = rng.gen_range(0..=chars.len());
+                chars.insert(i, c);
+            }
+        }
+    }
+    String::from_utf8(chars).expect("ASCII edits preserve UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_metrics::edit_distance;
+
+    #[test]
+    fn generates_requested_count() {
+        let words = WordGenerator::new(500).generate(1);
+        assert_eq!(words.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = WordGenerator::new(100);
+        assert_eq!(g.generate(11), g.generate(11));
+    }
+
+    #[test]
+    fn inliers_stay_near_some_root() {
+        let g = WordGenerator::new(300);
+        let words = g.generate(3);
+        let n_tail = (300.0 * g.tail_fraction).round() as usize;
+        // Every inlier must be within max_edits of at least one other string
+        // in its cluster region — spot-check that the dense part's strings
+        // have short lengths (roots are at most max_len, +max_edits inserts).
+        for w in &words[..300 - n_tail] {
+            assert!(
+                w.len() <= g.max_len + g.max_edits,
+                "dense-part word too long: {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_words_are_far_from_dense_part() {
+        let g = WordGenerator::new(400);
+        let words = g.generate(7);
+        let n_tail = (400.0 * g.tail_fraction).round() as usize;
+        let (dense, tail) = words.split_at(400 - n_tail);
+        for t in tail {
+            let nearest = dense
+                .iter()
+                .map(|d| edit_distance(t.as_bytes(), d.as_bytes()))
+                .min()
+                .unwrap();
+            // Tail length ≥ 20, dense length ≤ 14 → distance ≥ 6 by the
+            // length-difference lower bound.
+            assert!(nearest >= 6, "tail word {t} too close ({nearest})");
+        }
+    }
+
+    #[test]
+    fn perturb_respects_edit_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let w = random_word(&mut rng, 4, 10);
+            let e = rng.gen_range(0..3usize);
+            let p = perturb(&w, e, &mut rng);
+            assert!(
+                edit_distance(w.as_bytes(), p.as_bytes()) <= e as u32,
+                "edit distance exceeded budget"
+            );
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let words = WordGenerator::new(200).generate(9);
+        assert!(words
+            .iter()
+            .all(|w| w.bytes().all(|b| b.is_ascii_lowercase())));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the workload generators: arbitrary parameter
+//! combinations must produce well-formed datasets (right count, finite
+//! distances, metric sanity) — the experiment harness sweeps these knobs.
+
+use dod_datasets::{ClusterGeometry, GaussianMixture, MixtureShape, WordGenerator};
+use dod_metrics::{Dataset, StringSet, VectorSet, L2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mixture_always_produces_finite_vectors(
+        n in 0usize..400,
+        dim in 1usize..24,
+        clusters in 1usize..8,
+        exponent in 0.0f64..2.0,
+        tail in 0.0f64..0.1,
+        seed in 0u64..1000,
+    ) {
+        let g = GaussianMixture {
+            clusters,
+            weight_exponent: exponent,
+            tail_fraction: tail,
+            ..GaussianMixture::new(n, dim)
+        };
+        let data = g.generate(seed);
+        prop_assert_eq!(data.len(), n * dim);
+        prop_assert!(data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn curve_geometry_is_well_formed(
+        n in 2usize..300,
+        dim in 1usize..16,
+        extent in 1.0f64..30.0,
+        harmonics in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let g = GaussianMixture {
+            clusters: 3,
+            geometry: ClusterGeometry::Curve { extent, harmonics },
+            ..GaussianMixture::new(n, dim)
+        };
+        let set = VectorSet::from_flat(g.generate(seed), dim, L2);
+        prop_assert_eq!(set.len(), n);
+        // Distances finite and symmetric on a few probes.
+        for i in 0..n.min(5) {
+            let d = set.dist(i, n - 1 - i);
+            prop_assert!(d.is_finite() && d >= 0.0);
+            prop_assert_eq!(d, set.dist(n - 1 - i, i));
+        }
+    }
+
+    #[test]
+    fn clamped_shapes_respect_their_domain(
+        n in 1usize..200,
+        hi in 1.0f32..1000.0,
+        density in 0.05f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let g = GaussianMixture {
+            shape: MixtureShape::SparseNonNegative { hi, density },
+            center_offset: hi as f64 / 2.0,
+            spread: hi as f64 / 4.0,
+            ..GaussianMixture::new(n, 8)
+        };
+        let data = g.generate(seed);
+        prop_assert!(data.iter().all(|&v| (0.0..=hi).contains(&v)));
+    }
+
+    #[test]
+    fn word_generator_respects_length_bounds(
+        n in 1usize..300,
+        seed in 0u64..500,
+    ) {
+        let g = WordGenerator::new(n);
+        let words = g.generate(seed);
+        prop_assert_eq!(words.len(), n);
+        let max_possible = g.tail_len.1.max(g.max_len + g.max_edits);
+        for w in &words {
+            prop_assert!(!w.is_empty() || g.min_len == 0 || g.max_edits > 0);
+            prop_assert!(w.len() <= max_possible, "{} exceeds {}", w.len(), max_possible);
+        }
+        let set = StringSet::new(words.iter().map(String::as_str));
+        prop_assert!(set.dist(0, n - 1).is_finite());
+    }
+
+    #[test]
+    fn halo_keeps_data_finite(
+        n in 1usize..200,
+        dof in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let g = GaussianMixture {
+            halo_dof: dof,
+            ..GaussianMixture::new(n, 6)
+        };
+        let data = g.generate(seed);
+        prop_assert!(data.iter().all(|v| v.is_finite()));
+    }
+}

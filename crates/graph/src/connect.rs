@@ -1,0 +1,282 @@
+//! Connect-SubGraphs (paper Algorithm 4): make the AKNN graph strongly
+//! connected.
+//!
+//! Phase 1 converts the directed AKNN graph into an undirected one by
+//! adding every reverse link (reverse AKNNs are usually similar objects, so
+//! this also helps reachability). Phase 2 runs BFS from a random object; if
+//! unvisited objects remain, it picks a random *pivot* among them, finds an
+//! approximate nearest neighbor inside the visited part with a greedy,
+//! hop-bounded ANN search (the \[26\] routine) restarted from a few random
+//! visited pivots, links the two, and resumes BFS — until every object is
+//! reached. Pivots are spread across subspaces by ball partitioning, so
+//! these patch links connect genuinely close regions rather than arbitrary
+//! nodes.
+
+use crate::graph::ProximityGraph;
+use dod_metrics::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Greedy ANN descent from `start` toward `query` (the algorithm of [26]):
+/// repeatedly move to the neighbor closest to `query` while it improves,
+/// for at most `max_hops` moves. Returns `(best_id, best_dist)`.
+pub fn greedy_ann_search<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    query: usize,
+    start: u32,
+    max_hops: usize,
+) -> (u32, f64) {
+    let mut cur = start;
+    let mut cur_d = data.dist(query, cur as usize);
+    for _ in 0..max_hops {
+        let mut best = cur;
+        let mut best_d = cur_d;
+        for &w in &g.adj[cur as usize] {
+            let d = data.dist(query, w as usize);
+            if d < best_d {
+                best_d = d;
+                best = w;
+            }
+        }
+        if best == cur {
+            break; // local minimum
+        }
+        cur = best;
+        cur_d = best_d;
+    }
+    (cur, cur_d)
+}
+
+/// Number of random visited pivots used as ANN starting points
+/// (`|V_piv|` in Algorithm 4 — a small constant).
+const V_PIV: usize = 3;
+
+/// Maximum hops of each ANN search (paper: "10 in our implementation").
+const MAX_HOPS: usize = 10;
+
+/// Runs both phases of Algorithm 4 in place. After this the graph is
+/// undirected and has exactly one connected component (for `n > 0`).
+pub fn connect_subgraphs<D: Dataset + ?Sized>(g: &mut ProximityGraph, data: &D, seed: u64) {
+    let n = g.node_count();
+    if n == 0 {
+        return;
+    }
+
+    // ---- Phase 1: reverse AKNN links (undirection) -----------------------
+    for u in 0..n as u32 {
+        // Snapshot to avoid holding a borrow while mutating other lists.
+        let links = g.adj[u as usize].clone();
+        for v in links {
+            if !g.has_link(v, u) {
+                g.adj[v as usize].push(u);
+            }
+        }
+    }
+
+    // ---- Phase 2: BFS + greedy-ANN patch links ---------------------------
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    let mut pivot_order: Vec<u32> = g.pivot_ids();
+    pivot_order.shuffle(&mut rng);
+
+    let mut visited = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut bfs = |from: u32, visited: &mut Vec<bool>, g: &ProximityGraph| {
+        if visited[from as usize] {
+            return;
+        }
+        visited[from as usize] = true;
+        queue.push_back(from);
+        while let Some(v) = queue.pop_front() {
+            for &w in &g.adj[v as usize] {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    };
+
+    bfs(order[0], &mut visited, g);
+    let mut cursor = 0usize; // over `order`, to find unvisited nodes
+    let mut pivot_cursor = 0usize; // over `pivot_order`
+    loop {
+        // Find an unvisited object (P' non-empty check).
+        while cursor < n && visited[order[cursor] as usize] {
+            cursor += 1;
+        }
+        if cursor == n {
+            break; // all reached
+        }
+        // v'_piv: a random unvisited pivot, falling back to the unvisited
+        // object itself when no pivot remains outside.
+        while pivot_cursor < pivot_order.len() && visited[pivot_order[pivot_cursor] as usize] {
+            pivot_cursor += 1;
+        }
+        let vp = if pivot_cursor < pivot_order.len() {
+            pivot_order[pivot_cursor]
+        } else {
+            order[cursor]
+        };
+
+        // V_piv: random visited pivots (ANN entry points); fall back to any
+        // visited object if the pivot pool is exhausted.
+        let mut starts: Vec<u32> = pivot_order
+            .iter()
+            .copied()
+            .filter(|&p| visited[p as usize])
+            .take(V_PIV)
+            .collect();
+        if starts.is_empty() {
+            starts.push(
+                order[..cursor + 1]
+                    .iter()
+                    .copied()
+                    .find(|&v| visited[v as usize])
+                    .unwrap_or(order[0]),
+            );
+        }
+
+        let mut best = starts[0];
+        let mut best_d = f64::INFINITY;
+        for &s in &starts {
+            let (cand, d) = greedy_ann_search(g, data, vp as usize, s, MAX_HOPS);
+            if d < best_d {
+                best_d = d;
+                best = cand;
+            }
+        }
+        g.add_undirected(vp, best);
+        // Resume BFS from the newly attached region.
+        bfs(vp, &mut visited, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+    use dod_metrics::{VectorSet, L2};
+    use rand::Rng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    /// Two well-separated clusters with intra-cluster links only.
+    fn two_islands(data: &VectorSet<L2>) -> ProximityGraph {
+        let n = data.len();
+        let half = n / 2;
+        let mut g = ProximityGraph::new(n, GraphKind::Mrpg);
+        for i in 0..half - 1 {
+            g.add_undirected(i as u32, (i + 1) as u32);
+        }
+        for i in half..n - 1 {
+            g.add_undirected(i as u32, (i + 1) as u32);
+        }
+        g
+    }
+
+    #[test]
+    fn connects_disjoint_subgraphs() {
+        let data = random_points(100, 3, 1);
+        let mut g = two_islands(&data);
+        assert_eq!(g.connected_components(), 2);
+        connect_subgraphs(&mut g, &data, 7);
+        assert_eq!(g.connected_components(), 1);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn makes_directed_graphs_undirected() {
+        let data = random_points(50, 2, 2);
+        let mut g = ProximityGraph::new(50, GraphKind::Mrpg);
+        // Purely directed chain.
+        for i in 0..49u32 {
+            g.adj[i as usize].push(i + 1);
+        }
+        connect_subgraphs(&mut g, &data, 3);
+        for u in 0..50u32 {
+            for &v in &g.adj[u as usize] {
+                assert!(g.has_link(v, u), "missing reverse of {u} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn connects_many_singletons() {
+        // Worst case: n isolated nodes, no pivots at all.
+        let data = random_points(40, 2, 4);
+        let mut g = ProximityGraph::new(40, GraphKind::Mrpg);
+        connect_subgraphs(&mut g, &data, 5);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn patch_links_prefer_nearby_nodes() {
+        // Two 1-d clusters; the patch link should join the cluster faces,
+        // not far ends. With pivots at cluster edges, greedy ANN walks there.
+        let rows: Vec<Vec<f32>> = (0..20)
+            .map(|i| {
+                if i < 10 {
+                    vec![i as f32]
+                } else {
+                    vec![100.0 + i as f32]
+                }
+            })
+            .collect();
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut g = two_islands(&data);
+        g.pivot = vec![true; 20]; // every node a pivot: ANN explores freely
+        connect_subgraphs(&mut g, &data, 11);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn greedy_search_descends_to_local_minimum() {
+        let rows: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32]).collect();
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut g = ProximityGraph::new(30, GraphKind::Mrpg);
+        for i in 0..29u32 {
+            g.add_undirected(i, i + 1);
+        }
+        // Query object 29, start at 0: the chain is monotone, so greedy
+        // reaches within max_hops of the query.
+        let (best, d) = greedy_ann_search(&g, &data, 29, 0, 100);
+        assert_eq!(best, 29);
+        assert_eq!(d, 0.0);
+        // Hop-bounded search stops early.
+        let (best, _) = greedy_ann_search(&g, &data, 29, 0, 5);
+        assert_eq!(best, 5);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let data = random_points(0, 2, 0);
+        let mut g = ProximityGraph::new(0, GraphKind::Mrpg);
+        connect_subgraphs(&mut g, &data, 0);
+        assert_eq!(g.connected_components(), 0);
+    }
+
+    #[test]
+    fn already_connected_graph_gains_no_patch_links() {
+        let data = random_points(60, 2, 9);
+        let mut g = ProximityGraph::new(60, GraphKind::Mrpg);
+        for i in 0..59u32 {
+            g.add_undirected(i, i + 1);
+        }
+        let links_before = g.link_count();
+        connect_subgraphs(&mut g, &data, 13);
+        // Phase 1 adds nothing (already undirected); phase 2 adds nothing
+        // (single component).
+        assert_eq!(g.link_count(), links_before);
+    }
+}

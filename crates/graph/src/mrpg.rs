@@ -1,0 +1,307 @@
+//! MRPG assembly (paper §5): NNDescent+ → Connect-SubGraphs →
+//! Remove-Detours → Remove-Links, with per-phase timing (paper Table 4).
+//!
+//! Also provides the KGraph and NSW entry points used by the evaluation, so
+//! the bench harness builds every compared graph through one module.
+
+use crate::connect::connect_subgraphs;
+use crate::detours::{remove_detours, DetourParams};
+use crate::graph::{ExactNn, GraphKind, ProximityGraph};
+use crate::nndescent::{self, NnDescentParams};
+use crate::nsw::{self, NswParams};
+use crate::prune::remove_links;
+use dod_metrics::Dataset;
+use std::time::Instant;
+
+/// Parameters for [`build`].
+#[derive(Debug, Clone)]
+pub struct MrpgParams {
+    /// Graph degree `K`.
+    pub k: usize,
+    /// Exact list length `K'` (paper default `4K`; MRPG-basic uses `K`).
+    pub k_prime: usize,
+    /// How many suspected outliers receive exact `K'`-NN lists
+    /// (the paper's constant `m`). `None` = `max(32, n/50)`.
+    pub exact_m: Option<usize>,
+    /// Ball-partitioning rounds for the NNDescent+ initialization.
+    pub partition_rounds: usize,
+    /// NNDescent+ iteration cap.
+    pub max_iters: usize,
+    /// Worker threads for every parallel phase.
+    pub threads: usize,
+    /// RNG seed (the whole pipeline is deterministic per seed).
+    pub seed: u64,
+    /// `false` builds MRPG-basic (`K' = K`, verification not shortcut).
+    pub full: bool,
+    /// Ablation toggle: run Connect-SubGraphs (§6.2 studies disabling it).
+    pub enable_connect: bool,
+    /// Ablation toggle: run Remove-Detours.
+    pub enable_detours: bool,
+    /// Ablation toggle: run Remove-Links.
+    pub enable_remove_links: bool,
+    /// Remove-Detours tuning.
+    pub detours: DetourParams,
+}
+
+impl MrpgParams {
+    /// Full MRPG with the paper's defaults for degree `k` (`K' = 4K`).
+    pub fn new(k: usize) -> Self {
+        MrpgParams {
+            k,
+            k_prime: 4 * k,
+            exact_m: None,
+            partition_rounds: 2,
+            max_iters: 15,
+            threads: 1,
+            seed: 0,
+            full: true,
+            enable_connect: true,
+            enable_detours: true,
+            enable_remove_links: true,
+            detours: DetourParams::for_degree(k),
+        }
+    }
+
+    /// MRPG-basic: exact lists of length `K` and no verification shortcut.
+    pub fn basic(k: usize) -> Self {
+        MrpgParams {
+            k_prime: k,
+            full: false,
+            ..MrpgParams::new(k)
+        }
+    }
+}
+
+/// Wall-clock time of each construction phase (paper Table 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildBreakdown {
+    /// NNDescent+ (including initialization and exact refinement).
+    pub nndescent_secs: f64,
+    /// Connect-SubGraphs.
+    pub connect_secs: f64,
+    /// Remove-Detours.
+    pub detours_secs: f64,
+    /// Remove-Links.
+    pub remove_links_secs: f64,
+}
+
+impl BuildBreakdown {
+    /// Total build time.
+    pub fn total_secs(&self) -> f64 {
+        self.nndescent_secs + self.connect_secs + self.detours_secs + self.remove_links_secs
+    }
+}
+
+/// Builds an MRPG (or MRPG-basic) over `data`.
+pub fn build<D: Dataset + ?Sized>(data: &D, params: &MrpgParams) -> (ProximityGraph, BuildBreakdown) {
+    let n = data.len();
+    let kind = if params.full {
+        GraphKind::Mrpg
+    } else {
+        GraphKind::MrpgBasic
+    };
+    let exact_m = params.exact_m.unwrap_or_else(|| (n / 50).max(32));
+
+    // ---- Step 1: NNDescent+ ---------------------------------------------
+    let t = Instant::now();
+    let nd_params = NnDescentParams {
+        k: params.k,
+        max_iters: params.max_iters,
+        plus: true,
+        partition_rounds: params.partition_rounds,
+        capacity: 0,
+        exact_m,
+        k_prime: params.k_prime.max(params.k),
+        threads: params.threads,
+        seed: params.seed,
+    };
+    let aknn = nndescent::build(data, &nd_params);
+    let mut g = ProximityGraph::new(n, kind);
+    g.pivot = aknn.pivots.clone();
+    for (p, list) in aknn.knn.iter().enumerate() {
+        g.adj[p] = list.iter().map(|&(_, id)| id).collect();
+    }
+    for (&p, &len) in &aknn.exact_len {
+        g.exact.insert(
+            p,
+            ExactNn {
+                dists: aknn.knn[p as usize][..len].iter().map(|&(d, _)| d).collect(),
+            },
+        );
+    }
+    let mut breakdown = BuildBreakdown {
+        nndescent_secs: t.elapsed().as_secs_f64(),
+        ..Default::default()
+    };
+
+    // ---- Step 2: Connect-SubGraphs ---------------------------------------
+    if params.enable_connect {
+        let t = Instant::now();
+        connect_subgraphs(&mut g, data, params.seed ^ 0xc0ffee);
+        breakdown.connect_secs = t.elapsed().as_secs_f64();
+    }
+
+    // ---- Step 3: Remove-Detours -------------------------------------------
+    if params.enable_detours {
+        let t = Instant::now();
+        let mut dp = params.detours.clone();
+        dp.threads = params.threads;
+        dp.seed = params.seed ^ 0xde7042;
+        remove_detours(&mut g, data, params.k, &dp);
+        breakdown.detours_secs = t.elapsed().as_secs_f64();
+    }
+
+    // ---- Step 4: Remove-Links ----------------------------------------------
+    if params.enable_remove_links {
+        let t = Instant::now();
+        remove_links(&mut g);
+        breakdown.remove_links_secs = t.elapsed().as_secs_f64();
+    }
+
+    (g, breakdown)
+}
+
+/// Builds a KGraph: the directed AKNN graph of plain NNDescent
+/// (no pivots, no exact lists, no pivot-expansion rule).
+pub fn build_kgraph<D: Dataset + ?Sized>(
+    data: &D,
+    k: usize,
+    threads: usize,
+    seed: u64,
+) -> ProximityGraph {
+    let mut params = NnDescentParams::kgraph(k);
+    params.threads = threads;
+    params.seed = seed;
+    let aknn = nndescent::build(data, &params);
+    let mut g = ProximityGraph::new(data.len(), GraphKind::KGraph);
+    for (p, list) in aknn.knn.iter().enumerate() {
+        g.adj[p] = list.iter().map(|&(_, id)| id).collect();
+    }
+    g
+}
+
+/// Builds an NSW sized to match a KGraph of degree `k` (paper §6).
+pub fn build_nsw<D: Dataset + ?Sized>(data: &D, k: usize, seed: u64) -> ProximityGraph {
+    let mut params = NswParams::matching_kgraph(k);
+    params.seed = seed;
+    nsw::build(data, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn mrpg_is_connected_and_well_formed() {
+        let data = random_points(400, 3, 1);
+        let mut p = MrpgParams::new(8);
+        p.threads = 2;
+        let (g, breakdown) = build(&data, &p);
+        g.assert_invariants();
+        assert_eq!(g.connected_components(), 1);
+        assert_eq!(g.kind, GraphKind::Mrpg);
+        assert!(g.expand_pivots && g.use_exact_shortcut);
+        assert!(breakdown.total_secs() > 0.0);
+        assert!(!g.exact.is_empty());
+    }
+
+    #[test]
+    fn exact_prefixes_survive_all_phases() {
+        let data = random_points(300, 3, 2);
+        let mut p = MrpgParams::new(6);
+        p.exact_m = Some(12);
+        let (g, _) = build(&data, &p);
+        assert_eq!(g.exact.len(), 12);
+        for (&v, e) in &g.exact {
+            let adj = &g.adj[v as usize];
+            assert!(adj.len() >= e.dists.len());
+            for (i, &d) in e.dists.iter().enumerate() {
+                let actual = data.dist(v as usize, adj[i] as usize);
+                assert!(
+                    (actual - d).abs() < 1e-12,
+                    "prefix {i} of node {v} corrupted"
+                );
+            }
+            // Prefix must be the true K'-NNs: compare the last stored
+            // distance against brute force.
+            let mut all: Vec<f64> = (0..300)
+                .filter(|&q| q != v as usize)
+                .map(|q| data.dist(v as usize, q))
+                .collect();
+            all.sort_by(f64::total_cmp);
+            let kth = all[e.dists.len() - 1];
+            assert!((e.dists.last().unwrap() - kth).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn basic_variant_disables_the_shortcut() {
+        let data = random_points(150, 2, 3);
+        let (g, _) = build(&data, &MrpgParams::basic(5));
+        assert_eq!(g.kind, GraphKind::MrpgBasic);
+        assert!(g.expand_pivots);
+        assert!(!g.use_exact_shortcut);
+        // Exact lists exist but have length K.
+        for e in g.exact.values() {
+            assert_eq!(e.dists.len(), 5);
+        }
+    }
+
+    #[test]
+    fn ablation_toggles_skip_phases() {
+        let data = random_points(200, 2, 4);
+        let mut p = MrpgParams::new(5);
+        p.enable_connect = false;
+        p.enable_detours = false;
+        p.enable_remove_links = false;
+        let (_, b) = build(&data, &p);
+        assert_eq!(b.connect_secs, 0.0);
+        assert_eq!(b.detours_secs, 0.0);
+        assert_eq!(b.remove_links_secs, 0.0);
+        assert!(b.nndescent_secs > 0.0);
+    }
+
+    #[test]
+    fn kgraph_is_directed_aknn() {
+        let data = random_points(200, 2, 5);
+        let g = build_kgraph(&data, 6, 1, 0);
+        g.assert_invariants();
+        assert_eq!(g.kind, GraphKind::KGraph);
+        assert!(!g.expand_pivots && !g.use_exact_shortcut);
+        for l in &g.adj {
+            assert_eq!(l.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_threads() {
+        let data = random_points(250, 2, 6);
+        let mut p1 = MrpgParams::new(5);
+        p1.seed = 9;
+        p1.threads = 1;
+        let mut p2 = p1.clone();
+        p2.threads = 3;
+        let (a, _) = build(&data, &p1);
+        let (b, _) = build(&data, &p2);
+        assert_eq!(a.adj, b.adj);
+        assert_eq!(a.pivot, b.pivot);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_graph() {
+        let data = random_points(0, 2, 0);
+        let (g, _) = build(&data, &MrpgParams::new(5));
+        assert_eq!(g.node_count(), 0);
+    }
+}

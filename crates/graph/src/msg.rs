@@ -1,0 +1,179 @@
+//! Exact monotonic search graph (MSG) construction — the Ω(n²) reference
+//! point of the paper's Theorem 3.
+//!
+//! For every object `p`, a full BFS finds all vertices without a witnessed
+//! monotonic path from `p` (plus any vertices unreachable from `p`); those
+//! are chain-linked in ascending distance order, which manufactures a
+//! monotonic path from `p` through all of them. The result guarantees:
+//! *a traversal from `p` that expands every vertex within distance `r`
+//! reaches every neighbor of `p`*, i.e. Greedy-Counting becomes exact
+//! (zero false positives) — the property the tests verify.
+//!
+//! This is intentionally impractical for large `n` (Theorem 3:
+//! `O(n²(K + log n))`); MRPG exists to approximate it in `O(nK² log K)`.
+
+use crate::graph::ProximityGraph;
+use dod_metrics::Dataset;
+use std::collections::VecDeque;
+
+/// Upgrades `g` into a monotonic search graph in place.
+pub fn make_monotonic<D: Dataset + ?Sized>(g: &mut ProximityGraph, data: &D) {
+    let n = g.node_count();
+    let mut dist_to_p = vec![0.0f64; n];
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for p in 0..n {
+        // Distances from p to everything (needed for flags and chains).
+        for (w, slot) in dist_to_p.iter_mut().enumerate() {
+            *slot = data.dist(p, w);
+        }
+        seen.iter_mut().for_each(|s| *s = false);
+        seen[p] = true;
+        queue.push_back(p as u32);
+        let mut non_monotonic: Vec<(f64, u32)> = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            let v_d = dist_to_p[v as usize];
+            for &w in &g.adj[v as usize] {
+                if seen[w as usize] {
+                    continue;
+                }
+                seen[w as usize] = true;
+                if v_d > dist_to_p[w as usize] {
+                    non_monotonic.push((dist_to_p[w as usize], w));
+                }
+                queue.push_back(w);
+            }
+        }
+        // Unreachable vertices need paths too (a disconnected graph cannot
+        // be an MSG).
+        for w in 0..n {
+            if !seen[w] {
+                non_monotonic.push((dist_to_p[w], w as u32));
+            }
+        }
+        non_monotonic.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut prev = p as u32;
+        for (_, w) in non_monotonic {
+            if w != prev {
+                g.add_undirected(prev, w);
+                prev = w;
+            }
+        }
+    }
+}
+
+/// Test oracle: counts neighbors of `p` reachable by expanding only
+/// vertices within distance `r` (Greedy-Counting without early
+/// termination or pivot rules). On an MSG this equals the true neighbor
+/// count for every `p` and `r`.
+pub fn bounded_reach_count<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    p: usize,
+    r: f64,
+) -> usize {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    seen[p] = true;
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(p as u32);
+    let mut count = 0;
+    while let Some(v) = queue.pop_front() {
+        for &w in &g.adj[v as usize] {
+            if seen[w as usize] {
+                continue;
+            }
+            seen[w as usize] = true;
+            if data.dist(p, w as usize) <= r {
+                count += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    fn true_count(data: &impl Dataset, p: usize, r: f64) -> usize {
+        (0..data.len())
+            .filter(|&j| j != p && data.dist(p, j) <= r)
+            .count()
+    }
+
+    #[test]
+    fn msg_makes_bounded_reach_exact() {
+        let data = random_points(80, 2, 1);
+        // Start from a sparse AKNN graph (likely full of detours).
+        let aknn = crate::nndescent::build(&data, &crate::nndescent::NnDescentParams::kgraph(3));
+        let mut g = ProximityGraph::new(80, GraphKind::KGraph);
+        for (p, l) in aknn.knn.iter().enumerate() {
+            for &(_, q) in l {
+                g.add_undirected(p as u32, q);
+            }
+        }
+        make_monotonic(&mut g, &data);
+        for p in 0..80 {
+            for r in [0.2, 0.5, 1.0] {
+                assert_eq!(
+                    bounded_reach_count(&g, &data, p, r),
+                    true_count(&data, p, r),
+                    "p={p} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn msg_connects_disconnected_graphs() {
+        let data = random_points(30, 2, 3);
+        let mut g = ProximityGraph::new(30, GraphKind::KGraph);
+        // No edges at all.
+        make_monotonic(&mut g, &data);
+        assert_eq!(g.connected_components(), 1);
+        for p in 0..30 {
+            assert_eq!(
+                bounded_reach_count(&g, &data, p, 0.8),
+                true_count(&data, p, 0.8),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_monotonic_graph_is_unchanged() {
+        // A complete graph is trivially monotonic (1-hop paths).
+        let data = random_points(12, 2, 5);
+        let mut g = ProximityGraph::new(12, GraphKind::KGraph);
+        for i in 0..12u32 {
+            for j in (i + 1)..12 {
+                g.add_undirected(i, j);
+            }
+        }
+        let links = g.link_count();
+        make_monotonic(&mut g, &data);
+        assert_eq!(g.link_count(), links);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let data = random_points(0, 2, 0);
+        let mut g = ProximityGraph::new(0, GraphKind::KGraph);
+        make_monotonic(&mut g, &data);
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal deterministic data-parallel helpers built on scoped threads.
+//!
+//! The paper's builders and detectors are "parallel-friendly" (§4): every
+//! unit of work reads shared immutable state and writes only its own output
+//! slot. These helpers encode exactly that pattern, so results are
+//! *identical* for any thread count — the tests rely on it.
+
+/// Runs `f(i, &mut out[i])` for every index, splitting `out` into contiguous
+/// chunks across `threads` OS threads.
+///
+/// `f` must only read shared state; each invocation gets exclusive access to
+/// its own output element, which is what makes this safe and deterministic.
+pub fn par_for_each_mut<T: Send, F>(out: &mut [T], threads: usize, f: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || out.len() < 2 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    f(t * chunk + off, slot);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel and collects the results in index order.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    par_for_each_mut(&mut out, threads, |i, slot| *slot = f(i));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_results() {
+        let seq = par_map(1000, 1, |i| i * i);
+        let par = par_map(1000, 4, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn thread_count_larger_than_items() {
+        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_writes_every_slot() {
+        let mut v = vec![0u64; 257];
+        par_for_each_mut(&mut v, 3, |i, s| *s = i as u64 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+}

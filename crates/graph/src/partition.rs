@@ -1,0 +1,210 @@
+//! VP-tree-style ball partitioning (paper Algorithm 3): the initialization
+//! of NNDescent+ and the source of MRPG's pivots.
+//!
+//! The object set is recursively split by the *mean* distance to a random
+//! vantage object. When the inner ("left") side fits the capacity `c =
+//! O(K)`, it forms a tight ball: its members receive their within-ball
+//! `K`-NNs as initial approximate K-NNs, and the vantage object becomes a
+//! **pivot**. Because every subspace of the data produces balls, pivots end
+//! up spread across sparse and dense regions alike — the property
+//! `Connect-SubGraphs` and `Remove-Detours` later rely on (§5 "how to
+//! choose pivots").
+//!
+//! Partitioning is repeated a constant number of `rounds` so objects that
+//! land in right-side leaves of one round usually get covered by another.
+
+use dod_metrics::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of the partitioning rounds.
+pub struct PartitionOutcome {
+    /// Per object: initial approximate K-NNs (ascending by distance), or
+    /// empty if no round covered the object.
+    pub initial: Vec<Vec<(f64, u32)>>,
+    /// Pivot flags.
+    pub pivots: Vec<bool>,
+}
+
+/// Runs `rounds` rounds of ball partitioning and returns initial AKNN lists
+/// plus pivot flags.
+///
+/// `capacity` is the leaf capacity `c` (the paper sets `c = O(K)`).
+pub fn partition_initialize<D: Dataset + ?Sized>(
+    data: &D,
+    k: usize,
+    capacity: usize,
+    rounds: usize,
+    seed: u64,
+) -> PartitionOutcome {
+    let n = data.len();
+    let mut out = PartitionOutcome {
+        initial: vec![Vec::new(); n],
+        pivots: vec![false; n],
+    };
+    let capacity = capacity.max(k + 1).max(2);
+    for round in 0..rounds {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(round as u64));
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        recurse(data, &mut ids[..], k, capacity, &mut rng, &mut out);
+    }
+    out
+}
+
+fn recurse<D: Dataset + ?Sized>(
+    data: &D,
+    ids: &mut [u32],
+    k: usize,
+    capacity: usize,
+    rng: &mut StdRng,
+    out: &mut PartitionOutcome,
+) {
+    if ids.len() <= capacity {
+        // A set this small can only be reached as the right side of a
+        // split (left leaves are absorbed below); the paper assigns initial
+        // AKNNs only through left leaves, so nothing to do here.
+        return;
+    }
+    // Random vantage object.
+    let pick = rng.gen_range(0..ids.len());
+    ids.swap(0, pick);
+    let vp = ids[0];
+    let mut dists: Vec<(f64, u32)> = ids[1..]
+        .iter()
+        .map(|&id| (data.dist(vp as usize, id as usize), id))
+        .collect();
+    let mean = dists.iter().map(|p| p.0).sum::<f64>() / dists.len() as f64;
+    let mut left: Vec<u32> = Vec::new();
+    let mut right: Vec<u32> = Vec::new();
+    for &(d, id) in &dists {
+        if d <= mean {
+            left.push(id);
+        } else {
+            right.push(id);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        // Degenerate split (e.g. all distances equal): fall back to a
+        // positional median split so recursion always makes progress.
+        let mid = dists.len() / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.0.total_cmp(&b.0));
+        left = dists[..mid].iter().map(|p| p.1).collect();
+        right = dists[mid..].iter().map(|p| p.1).collect();
+        if left.is_empty() {
+            // Two-object degenerate case: treat as a leaf ball.
+            assign_ball(data, vp, &right, k, out);
+            out.pivots[vp as usize] = true;
+            return;
+        }
+    }
+    if left.len() < capacity {
+        // Left leaf: a tight ball around the vantage object.
+        out.pivots[vp as usize] = true;
+        assign_ball(data, vp, &left, k, out);
+    } else {
+        // Keep the vantage object with its inner ball.
+        left.push(vp);
+        recurse(data, &mut left[..], k, capacity, rng, out);
+    }
+    recurse(data, &mut right[..], k, capacity, rng, out);
+}
+
+/// Gives every not-yet-covered member of the ball `{vp} ∪ members` its
+/// within-ball K-NNs as initial AKNNs.
+fn assign_ball<D: Dataset + ?Sized>(
+    data: &D,
+    vp: u32,
+    members: &[u32],
+    k: usize,
+    out: &mut PartitionOutcome,
+) {
+    let mut ball: Vec<u32> = Vec::with_capacity(members.len() + 1);
+    ball.push(vp);
+    ball.extend_from_slice(members);
+    for &p in &ball {
+        if !out.initial[p as usize].is_empty() {
+            continue; // covered by an earlier round
+        }
+        let mut nbrs: Vec<(f64, u32)> = ball
+            .iter()
+            .filter(|&&q| q != p)
+            .map(|&q| (data.dist(p as usize, q as usize), q))
+            .collect();
+        nbrs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        nbrs.truncate(k);
+        out.initial[p as usize] = nbrs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_metrics::{VectorSet, L2};
+    use rand::Rng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn covers_most_objects_with_initial_knn() {
+        let data = random_points(600, 4, 1);
+        let out = partition_initialize(&data, 8, 16, 3, 7);
+        let covered = out.initial.iter().filter(|l| !l.is_empty()).count();
+        assert!(covered > 400, "only {covered}/600 covered");
+    }
+
+    #[test]
+    fn initial_lists_are_sorted_and_self_free() {
+        let data = random_points(300, 3, 2);
+        let out = partition_initialize(&data, 5, 12, 2, 3);
+        for (p, l) in out.initial.iter().enumerate() {
+            assert!(l.len() <= 5);
+            assert!(l.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted at {p}");
+            assert!(l.iter().all(|&(_, q)| q as usize != p), "self-link at {p}");
+            for &(d, q) in l {
+                assert_eq!(d, data.dist(p, q as usize), "stale distance at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn produces_a_sublinear_pivot_set() {
+        let data = random_points(1000, 4, 5);
+        let out = partition_initialize(&data, 8, 16, 2, 11);
+        let pivots = out.pivots.iter().filter(|&&b| b).count();
+        assert!(pivots > 0, "no pivots at all");
+        assert!(pivots < 500, "pivots not sublinear: {pivots}");
+    }
+
+    #[test]
+    fn handles_duplicate_objects_without_hanging() {
+        let data = VectorSet::from_rows(&vec![vec![0.5f32, 0.5]; 200], L2);
+        let out = partition_initialize(&data, 4, 8, 2, 0);
+        // All distances are zero; every covered list holds 4 neighbors at 0.
+        let covered = out.initial.iter().filter(|l| !l.is_empty()).count();
+        assert!(covered > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = random_points(400, 3, 9);
+        let a = partition_initialize(&data, 6, 12, 2, 42);
+        let b = partition_initialize(&data, 6, 12, 2, 42);
+        assert_eq!(a.pivots, b.pivots);
+        for i in 0..400 {
+            assert_eq!(a.initial[i], b.initial[i]);
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_do_not_panic() {
+        let data = random_points(3, 2, 0);
+        let out = partition_initialize(&data, 2, 4, 2, 1);
+        assert_eq!(out.initial.len(), 3);
+    }
+}

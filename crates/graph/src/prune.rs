@@ -1,0 +1,177 @@
+//! Remove-Links (paper §5.4): drop redundant links between non-pivots that
+//! share a pivot.
+//!
+//! If non-pivots `p` and `w` are both linked to pivot `q`, Greedy-Counting
+//! launched anywhere near them will reach both through `q` anyway, so the
+//! direct link `{p, w}` only causes repeated visits. Removing it is safe
+//! *because* Algorithm 2 lines 13–14 expand pivots even when they lie
+//! beyond `r` — the pivot stays a bridge. Exact-`K'` prefixes are never
+//! touched (the §5.5 shortcut needs them intact).
+
+use crate::graph::ProximityGraph;
+use std::collections::HashSet;
+
+/// Statistics returned by [`remove_links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Undirected edges removed.
+    pub removed_edges: usize,
+}
+
+/// Runs the link removal in place and reports how many edges went away.
+pub fn remove_links(g: &mut ProximityGraph) -> PruneStats {
+    let n = g.node_count();
+    let mut removed = 0usize;
+    for p in 0..n as u32 {
+        if g.pivot[p as usize] {
+            continue;
+        }
+        let prot_p = g.protected_len(p);
+        // Pivot neighbors of p.
+        let pivot_nbrs: Vec<u32> = g.adj[p as usize]
+            .iter()
+            .copied()
+            .filter(|&q| g.pivot[q as usize])
+            .collect();
+        if pivot_nbrs.is_empty() {
+            continue;
+        }
+        // Removable side of p's list: non-pivot, outside the exact prefix.
+        let removable: HashSet<u32> = g.adj[p as usize][prot_p..]
+            .iter()
+            .copied()
+            .filter(|&w| !g.pivot[w as usize])
+            .collect();
+        if removable.is_empty() {
+            continue;
+        }
+        let mut to_remove: HashSet<u32> = HashSet::new();
+        for &q in &pivot_nbrs {
+            for &w in &g.adj[q as usize] {
+                if w == p || !removable.contains(&w) || to_remove.contains(&w) {
+                    continue;
+                }
+                // The link must also be outside w's protected prefix.
+                let prot_w = g.protected_len(w);
+                let pos = g.adj[w as usize].iter().position(|&x| x == p);
+                if let Some(pos) = pos {
+                    if pos >= prot_w {
+                        to_remove.insert(w);
+                    }
+                }
+            }
+        }
+        if to_remove.is_empty() {
+            continue;
+        }
+        // Drop {p, w} on both sides, preserving protected prefixes.
+        let adj_p = &mut g.adj[p as usize];
+        let mut i = prot_p;
+        while i < adj_p.len() {
+            if to_remove.contains(&adj_p[i]) {
+                adj_p.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        for &w in &to_remove {
+            let prot_w = g.protected_len(w);
+            let adj_w = &mut g.adj[w as usize];
+            if let Some(pos) = adj_w.iter().position(|&x| x == p) {
+                debug_assert!(pos >= prot_w, "checked before inserting into to_remove");
+                adj_w.swap_remove(pos.max(prot_w));
+            }
+            removed += 1;
+        }
+    }
+    PruneStats {
+        removed_edges: removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ExactNn, GraphKind};
+
+    /// The paper's Figure 5 scenario: p1, p2 non-pivots sharing pivot p3.
+    fn figure5() -> ProximityGraph {
+        let mut g = ProximityGraph::new(3, GraphKind::Mrpg);
+        g.add_undirected(0, 2); // p1 - pivot
+        g.add_undirected(1, 2); // p2 - pivot
+        g.add_undirected(0, 1); // p1 - p2 (redundant)
+        g.pivot[2] = true;
+        g
+    }
+
+    #[test]
+    fn removes_the_redundant_link() {
+        let mut g = figure5();
+        let stats = remove_links(&mut g);
+        assert_eq!(stats.removed_edges, 1);
+        assert!(!g.has_link(0, 1) && !g.has_link(1, 0));
+        assert!(g.has_link(0, 2) && g.has_link(1, 2));
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn keeps_links_between_pivots() {
+        let mut g = figure5();
+        g.pivot[0] = true; // p1 is now a pivot too
+        let stats = remove_links(&mut g);
+        // Only non-pivot pairs are pruned; p1 is a pivot so nothing at p1,
+        // and p2's link to pivot p1 is also out of scope.
+        assert_eq!(stats.removed_edges, 0);
+        assert!(g.has_link(0, 1));
+    }
+
+    #[test]
+    fn protects_exact_prefixes() {
+        let mut g = figure5();
+        // Pretend node 0's list starts with its exact 2-NN (2 then 1): the
+        // (0,1) entry is protected on 0's side.
+        g.adj[0] = vec![2, 1];
+        g.adj[1] = vec![2, 0];
+        g.exact.insert(
+            0,
+            ExactNn {
+                dists: vec![1.0, 2.0],
+            },
+        );
+        let stats = remove_links(&mut g);
+        assert_eq!(stats.removed_edges, 0);
+        assert!(g.has_link(0, 1) && g.has_link(1, 0));
+    }
+
+    #[test]
+    fn connectivity_is_preserved_via_pivots() {
+        // A clique of 5 non-pivots around one pivot: pruning removes all
+        // non-pivot pairs but the pivot keeps everything connected.
+        let mut g = ProximityGraph::new(6, GraphKind::Mrpg);
+        for i in 0..5u32 {
+            g.add_undirected(i, 5);
+            for j in (i + 1)..5 {
+                g.add_undirected(i, j);
+            }
+        }
+        g.pivot[5] = true;
+        assert_eq!(g.connected_components(), 1);
+        let stats = remove_links(&mut g);
+        assert_eq!(stats.removed_edges, 10); // all C(5,2) pairs
+        assert_eq!(g.connected_components(), 1);
+        for i in 0..5 {
+            assert_eq!(g.adj[i], vec![5]);
+        }
+    }
+
+    #[test]
+    fn no_pivots_means_no_removal() {
+        let mut g = ProximityGraph::new(4, GraphKind::Mrpg);
+        g.add_undirected(0, 1);
+        g.add_undirected(1, 2);
+        g.add_undirected(2, 3);
+        let stats = remove_links(&mut g);
+        assert_eq!(stats.removed_edges, 0);
+        assert_eq!(g.link_count(), 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Graph quality diagnostics, centered on the paper's key concept:
+//! **reachability of neighbors** (§5 — "neighbors of an arbitrary object p
+//! should be reachable from p for Greedy-Counting").
+//!
+//! [`neighbor_reachability`] measures exactly that: for sampled objects,
+//! the fraction of their true `r`-neighbors that a bounded traversal
+//! (expanding only vertices within `r`, plus pivots when the graph asks)
+//! actually reaches. `f`, the false-positive count of Table 7, is the
+//! downstream consequence of this number being below 1; measuring it
+//! directly lets tests and ablations reason about *why* a graph filters
+//! poorly, not just that it does.
+
+use crate::graph::ProximityGraph;
+use dod_metrics::Dataset;
+use std::collections::VecDeque;
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum node degree.
+    pub min: usize,
+    /// Mean node degree.
+    pub mean: f64,
+    /// Maximum node degree.
+    pub max: usize,
+    /// Fraction of nodes flagged as pivots.
+    pub pivot_fraction: f64,
+}
+
+/// Computes the degree summary of a graph.
+pub fn degree_stats(g: &ProximityGraph) -> DegreeStats {
+    let (min, mean, max) = g.degree_stats();
+    let pivots = g.pivot.iter().filter(|&&p| p).count();
+    DegreeStats {
+        min,
+        mean,
+        max,
+        pivot_fraction: if g.node_count() == 0 {
+            0.0
+        } else {
+            pivots as f64 / g.node_count() as f64
+        },
+    }
+}
+
+/// Result of [`neighbor_reachability`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reachability {
+    /// Mean over sampled objects of (reached neighbors / true neighbors);
+    /// objects with no neighbors are skipped. 1.0 = perfect (an MSG).
+    pub mean_recall: f64,
+    /// Number of sampled objects whose recall was below 1 (the potential
+    /// false positives of the filtering phase).
+    pub deficient_objects: usize,
+    /// Objects actually sampled (those with ≥ 1 true neighbor).
+    pub sampled: usize,
+}
+
+/// Measures how many of each sampled object's true `r`-neighbors the
+/// Greedy-Counting traversal can reach (without the early `k` cutoff).
+///
+/// Honors the graph's pivot-expansion rule, so MRPG is measured the way
+/// the detector actually walks it. Cost: `O(sample · n)` distances for the
+/// ground truth plus the traversals.
+pub fn neighbor_reachability<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    r: f64,
+    sample: usize,
+) -> Reachability {
+    let n = g.node_count();
+    if n == 0 {
+        return Reachability {
+            mean_recall: 1.0,
+            deficient_objects: 0,
+            sampled: 0,
+        };
+    }
+    let step = (n / sample.max(1)).max(1);
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut total_recall = 0.0;
+    let mut sampled = 0usize;
+    let mut deficient = 0usize;
+    let mut p = 0;
+    while p < n {
+        let truth = (0..n)
+            .filter(|&j| j != p && data.dist(p, j) <= r)
+            .count();
+        if truth > 0 {
+            // Bounded traversal (Greedy-Counting without the k cutoff).
+            seen.iter_mut().for_each(|s| *s = false);
+            seen[p] = true;
+            queue.clear();
+            queue.push_back(p as u32);
+            let mut reached = 0usize;
+            while let Some(v) = queue.pop_front() {
+                for &w in &g.adj[v as usize] {
+                    if seen[w as usize] {
+                        continue;
+                    }
+                    seen[w as usize] = true;
+                    if data.dist(p, w as usize) <= r {
+                        reached += 1;
+                        queue.push_back(w);
+                    } else if g.expand_pivots && g.pivot[w as usize] {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            let recall = reached as f64 / truth as f64;
+            total_recall += recall;
+            if reached < truth {
+                deficient += 1;
+            }
+            sampled += 1;
+        }
+        p += step;
+    }
+    Reachability {
+        mean_recall: if sampled == 0 {
+            1.0
+        } else {
+            total_recall / sampled as f64
+        },
+        deficient_objects: deficient,
+        sampled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+    use crate::mrpg::{self, MrpgParams};
+    use crate::msg;
+    use dod_metrics::{VectorSet, L2};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> VectorSet<L2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        VectorSet::from_rows(&rows, L2)
+    }
+
+    #[test]
+    fn msg_has_perfect_reachability() {
+        let data = random_points(60, 1);
+        let mut g = ProximityGraph::new(60, GraphKind::KGraph);
+        msg::make_monotonic(&mut g, &data);
+        let r = neighbor_reachability(&g, &data, 0.5, 60);
+        assert_eq!(r.mean_recall, 1.0);
+        assert_eq!(r.deficient_objects, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_has_zero_reachability() {
+        let data = random_points(40, 2);
+        let g = ProximityGraph::new(40, GraphKind::KGraph);
+        let r = neighbor_reachability(&g, &data, 0.5, 40);
+        assert_eq!(r.mean_recall, 0.0);
+        assert_eq!(r.deficient_objects, r.sampled);
+    }
+
+    #[test]
+    fn mrpg_reaches_at_least_as_much_as_its_aknn_core() {
+        let data = random_points(300, 3);
+        let mut p = MrpgParams::new(5);
+        p.enable_connect = false;
+        p.enable_detours = false;
+        p.enable_remove_links = false;
+        let (bare, _) = mrpg::build(&data, &p);
+        let (full, _) = mrpg::build(&data, &MrpgParams::new(5));
+        let r = 0.3;
+        let bare_reach = neighbor_reachability(&bare, &data, r, 100);
+        let full_reach = neighbor_reachability(&full, &data, r, 100);
+        assert!(
+            full_reach.mean_recall >= bare_reach.mean_recall - 1e-9,
+            "full {} < bare {}",
+            full_reach.mean_recall,
+            bare_reach.mean_recall
+        );
+    }
+
+    #[test]
+    fn degree_stats_counts_pivots() {
+        let mut g = ProximityGraph::new(4, GraphKind::Mrpg);
+        g.add_undirected(0, 1);
+        g.pivot[2] = true;
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1);
+        assert!((s.pivot_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_sane() {
+        let g = ProximityGraph::new(0, GraphKind::KGraph);
+        let s = degree_stats(&g);
+        assert_eq!(s.pivot_fraction, 0.0);
+        let data = random_points(0, 0);
+        let r = neighbor_reachability(&g, &data, 1.0, 10);
+        assert_eq!(r.sampled, 0);
+    }
+}

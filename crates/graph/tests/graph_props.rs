@@ -1,0 +1,140 @@
+//! Property tests on the graph-construction pipeline: structural
+//! invariants, connectivity, exact-prefix integrity and the MSG oracle on
+//! arbitrary inputs.
+
+use dod_graph::detours::DetourParams;
+use dod_graph::msg::{bounded_reach_count, make_monotonic};
+use dod_graph::{mrpg, GraphKind, MrpgParams, NnDescentParams, ProximityGraph};
+use dod_metrics::{Dataset, VectorSet, L2};
+use proptest::prelude::*;
+
+fn points(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        (-10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y)| vec![x, y]),
+        min_n..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mrpg_structural_invariants_hold(rows in points(10, 120), seed in 0u64..50) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut p = MrpgParams::new(5);
+        p.seed = seed;
+        let (g, _) = mrpg::build(&data, &p);
+        g.assert_invariants();
+        prop_assert_eq!(g.connected_components(), 1);
+        prop_assert_eq!(g.node_count(), data.len());
+    }
+
+    #[test]
+    fn exact_prefixes_are_true_nearest_neighbors(rows in points(20, 100)) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut p = MrpgParams::new(4);
+        p.exact_m = Some(5);
+        let (g, _) = mrpg::build(&data, &p);
+        for (&v, e) in &g.exact {
+            // The k'-th stored distance equals the true k'-th NN distance.
+            let mut all: Vec<f64> = (0..data.len())
+                .filter(|&q| q != v as usize)
+                .map(|q| data.dist(v as usize, q))
+                .collect();
+            all.sort_by(f64::total_cmp);
+            for (i, &d) in e.dists.iter().enumerate() {
+                prop_assert!((d - all[i]).abs() < 1e-9, "node {} rank {}", v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn kgraph_lists_are_plausible_aknn(rows in points(30, 150)) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let g = mrpg::build_kgraph(&data, 5, 1, 7);
+        // Every adjacency entry must be closer than a random baseline:
+        // check mean link distance < mean all-pairs distance.
+        let n = data.len();
+        let mut link = (0.0, 0usize);
+        for u in 0..n {
+            for &v in &g.adj[u] {
+                link = (link.0 + data.dist(u, v as usize), link.1 + 1);
+            }
+        }
+        let mut all = (0.0, 0usize);
+        for u in (0..n).step_by(3) {
+            for v in (1..n).step_by(7) {
+                if u != v {
+                    all = (all.0 + data.dist(u, v), all.1 + 1);
+                }
+            }
+        }
+        if link.1 > 0 && all.1 > 0 {
+            let link_mean = link.0 / link.1 as f64;
+            let all_mean = all.0 / all.1 as f64;
+            prop_assert!(link_mean <= all_mean + 1e-9,
+                "links are not local: {} vs {}", link_mean, all_mean);
+        }
+    }
+
+    #[test]
+    fn msg_oracle_reaches_every_neighbor(rows in points(10, 60), r in 0.5f64..15.0) {
+        // On a monotonic search graph, bounded-reach counting is exact for
+        // every object — the defining property of Theorem 3's construction.
+        let data = VectorSet::from_rows(&rows, L2);
+        let aknn = dod_graph::nndescent::build(&data, &NnDescentParams::kgraph(3));
+        let mut g = ProximityGraph::new(data.len(), GraphKind::KGraph);
+        for (p, l) in aknn.knn.iter().enumerate() {
+            for &(_, q) in l {
+                g.add_undirected(p as u32, q);
+            }
+        }
+        make_monotonic(&mut g, &data);
+        for p in 0..data.len() {
+            let truth = (0..data.len())
+                .filter(|&j| j != p && data.dist(p, j) <= r)
+                .count();
+            prop_assert_eq!(bounded_reach_count(&g, &data, p, r), truth, "p={}", p);
+        }
+    }
+
+    #[test]
+    fn remove_detours_only_adds_links(rows in points(10, 100)) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let aknn = dod_graph::nndescent::build(&data, &NnDescentParams::kgraph(4));
+        let mut g = ProximityGraph::new(data.len(), GraphKind::Mrpg);
+        for (p, l) in aknn.knn.iter().enumerate() {
+            for &(_, q) in l {
+                g.add_undirected(p as u32, q);
+            }
+        }
+        let before: Vec<Vec<u32>> = g.adj.clone();
+        dod_graph::detours::remove_detours(&mut g, &data, 4, &DetourParams::for_degree(4));
+        for (v, old) in before.iter().enumerate() {
+            for w in old {
+                prop_assert!(g.adj[v].contains(w), "lost link {} -> {}", v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_links_never_disconnects(rows in points(10, 100), seed in 0u64..20) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut p = MrpgParams::new(4);
+        p.seed = seed;
+        p.enable_remove_links = false;
+        let (mut g, _) = mrpg::build(&data, &p);
+        prop_assert_eq!(g.connected_components(), 1);
+        dod_graph::prune::remove_links(&mut g);
+        prop_assert_eq!(g.connected_components(), 1);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn nsw_is_always_connected(rows in points(2, 120), seed in 0u64..20) {
+        let data = VectorSet::from_rows(&rows, L2);
+        let g = mrpg::build_nsw(&data, 4, seed);
+        prop_assert_eq!(g.connected_components(), 1);
+        g.assert_invariants();
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`Dataset`] abstraction: id-addressed objects in a metric space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A finite set of objects in a metric space, addressed by dense ids
+/// `0..len()`.
+///
+/// `dist` must be an exact metric: non-negative, zero on identical ids,
+/// symmetric, and satisfying the triangle inequality. Implementations must be
+/// `Sync` because the DOD algorithms evaluate objects from multiple threads.
+pub trait Dataset: Sync {
+    /// Number of objects in the set.
+    fn len(&self) -> usize;
+
+    /// Exact metric distance between objects `i` and `j`.
+    ///
+    /// # Panics
+    /// May panic if `i` or `j` is out of bounds.
+    fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// `true` when the set holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<D: Dataset + ?Sized> Dataset for &D {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        (**self).dist(i, j)
+    }
+}
+
+impl<D: Dataset + ?Sized> Dataset for Box<D> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        (**self).dist(i, j)
+    }
+}
+
+/// Wraps a dataset and counts every distance evaluation.
+///
+/// The experiment harness uses this to report pruning power (distance
+/// computations are the dominant cost of every algorithm in the paper).
+/// Counting uses a relaxed atomic, so the overhead is a few nanoseconds per
+/// call and the wrapper stays `Sync`.
+pub struct DistanceCounter<D> {
+    inner: D,
+    calls: AtomicU64,
+}
+
+impl<D: Dataset> DistanceCounter<D> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `dist` evaluations since construction or the last [`reset`].
+    ///
+    /// [`reset`]: DistanceCounter::reset
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the wrapped dataset.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Borrows the wrapped dataset.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Dataset> Dataset for DistanceCounter<D> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.dist(i, j)
+    }
+}
+
+/// A view of a subset of a dataset's ids, itself a [`Dataset`].
+///
+/// Used by the sampling-rate experiments (Figures 6 and 7 of the paper):
+/// the same base objects are evaluated at increasing cardinality without
+/// regenerating data.
+pub struct Subset<D> {
+    base: D,
+    ids: Vec<u32>,
+}
+
+impl<D: Dataset> Subset<D> {
+    /// A view exposing only `ids` of `base` (in the given order).
+    ///
+    /// # Panics
+    /// Panics if any id is out of bounds for `base`.
+    pub fn new(base: D, ids: Vec<u32>) -> Self {
+        let n = base.len();
+        assert!(
+            ids.iter().all(|&i| (i as usize) < n),
+            "subset id out of bounds"
+        );
+        Self { base, ids }
+    }
+
+    /// The id in the base dataset backing subset position `i`.
+    pub fn base_id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    /// The ids of the base dataset exposed by this view.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+impl<D: Dataset> Dataset for Subset<D> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.base
+            .dist(self.ids[i] as usize, self.ids[j] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-d points on a line; distance is absolute difference.
+    struct Line(Vec<f64>);
+
+    impl Dataset for Line {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn dist(&self, i: usize, j: usize) -> f64 {
+            (self.0[i] - self.0[j]).abs()
+        }
+    }
+
+    #[test]
+    fn counter_counts_every_call() {
+        let d = DistanceCounter::new(Line(vec![0.0, 1.0, 3.0]));
+        assert_eq!(d.calls(), 0);
+        let _ = d.dist(0, 1);
+        let _ = d.dist(1, 2);
+        assert_eq!(d.calls(), 2);
+        d.reset();
+        assert_eq!(d.calls(), 0);
+    }
+
+    #[test]
+    fn counter_preserves_distances() {
+        let d = DistanceCounter::new(Line(vec![0.0, 1.0, 3.0]));
+        assert_eq!(d.dist(0, 2), 3.0);
+        assert_eq!(d.dist(2, 1), 2.0);
+    }
+
+    #[test]
+    fn subset_remaps_ids() {
+        let s = Subset::new(Line(vec![0.0, 10.0, 20.0, 30.0]), vec![3, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dist(0, 1), 20.0);
+        assert_eq!(s.base_id(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset id out of bounds")]
+    fn subset_rejects_bad_ids() {
+        let _ = Subset::new(Line(vec![0.0]), vec![1]);
+    }
+
+    #[test]
+    fn empty_dataset_reports_empty() {
+        let d = Line(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn dataset_by_reference_delegates() {
+        let d = Line(vec![0.0, 2.0]);
+        let r: &dyn Dataset = &d;
+        assert_eq!(r.len(), 2);
+        assert_eq!(d.dist(0, 1), 2.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Metric spaces and distance functions for distance-based outlier detection.
+//!
+//! Everything downstream (VP-trees, proximity graphs, the DOD algorithms)
+//! accesses data through the [`Dataset`] trait: objects are addressed by
+//! dense `usize` ids and the only operation is an exact metric distance
+//! between two ids. This is the contract the SIGMOD'21 paper relies on — the
+//! algorithms never look inside an object, which is what makes them work for
+//! multi-dimensional points, embedding vectors and strings alike.
+//!
+//! Provided spaces (mirroring Table 1 of the paper):
+//!
+//! | Space | Distance | Paper dataset |
+//! |---|---|---|
+//! | [`VectorSet<L2>`] | Euclidean norm | Deep, PAMAP2, SIFT |
+//! | [`VectorSet<L1>`] | Manhattan norm | HEPMASS |
+//! | [`VectorSet<L4>`] | Minkowski p=4 | MNIST |
+//! | [`VectorSet<Angular>`] | angular (arc-cosine) distance | Glove |
+//! | [`StringSet`] | Levenshtein edit distance | Words |
+//!
+//! All distances satisfy the metric axioms (identity, symmetry, triangle
+//! inequality); the property tests in this crate check them on random data.
+
+pub mod dataset;
+pub mod string;
+pub mod util;
+pub mod vector;
+
+pub use dataset::{Dataset, DistanceCounter, Subset};
+pub use util::OrdF64;
+pub use string::{edit_distance, StringSet};
+pub use vector::{Angular, Chebyshev, Minkowski, VectorMetric, VectorSet, L1, L2, L4};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a distance function, e.g. in dataset descriptors and
+/// experiment configuration files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Manhattan (`L1`) norm.
+    L1,
+    /// Euclidean (`L2`) norm.
+    L2,
+    /// Minkowski norm with `p = 4`.
+    L4,
+    /// Chebyshev (`L∞`) norm.
+    Chebyshev,
+    /// Angular (arc-cosine of cosine similarity) distance.
+    Angular,
+    /// Levenshtein edit distance over strings.
+    Edit,
+}
+
+impl MetricKind {
+    /// Human-readable name used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::L1 => "L1-norm",
+            MetricKind::L2 => "L2-norm",
+            MetricKind::L4 => "L4-norm",
+            MetricKind::Chebyshev => "Linf-norm",
+            MetricKind::Angular => "Angular distance",
+            MetricKind::Edit => "Edit distance",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

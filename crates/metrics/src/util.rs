@@ -1,0 +1,52 @@
+//! Small shared utilities for ordering distances.
+
+use std::cmp::Ordering;
+
+/// An `f64` with total ordering (via [`f64::total_cmp`]), usable as a
+/// `BinaryHeap` key. Distances in this codebase are never NaN, but a total
+/// order keeps the heaps well-defined even if one slipped through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-1.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5), OrdF64(3.5));
+    }
+
+    #[test]
+    fn works_as_max_heap_key() {
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(OrdF64(v));
+        }
+        assert_eq!(h.pop(), Some(OrdF64(3.0)));
+        assert_eq!(h.pop(), Some(OrdF64(2.0)));
+    }
+
+    #[test]
+    fn nan_has_a_consistent_position() {
+        // total_cmp puts NaN above +inf; we only need consistency.
+        assert!(OrdF64(f64::NAN) > OrdF64(f64::INFINITY));
+    }
+}

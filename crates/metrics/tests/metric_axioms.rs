@@ -1,0 +1,153 @@
+//! Property tests: every distance function must satisfy the metric axioms
+//! (identity of indiscernibles relaxed to `d(x,x) = 0`, symmetry, triangle
+//! inequality). The DOD algorithms' correctness proofs (Lemma 1 etc.) assume
+//! these properties, so violating them would silently break exactness.
+
+use dod_metrics::{
+    edit_distance, Angular, Chebyshev, Dataset, Minkowski, StringSet, VectorMetric, VectorSet, L1,
+    L2, L4,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const DIM: usize = 6;
+
+fn vec_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, DIM)
+}
+
+/// Absolute slack for floating-point triangle-inequality checks.
+const EPS: f64 = 1e-6;
+
+fn check_axioms<M: VectorMetric>(
+    metric: M,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+) -> Result<(), TestCaseError> {
+    check_axioms_eps(metric, a, b, c, EPS)
+}
+
+fn check_axioms_eps<M: VectorMetric>(
+    metric: M,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+    eps: f64,
+) -> Result<(), TestCaseError> {
+    let s = VectorSet::from_rows(&[a, b, c], metric);
+    for i in 0..3 {
+        let d_ii = s.dist(i, i);
+        prop_assert!(d_ii.abs() <= eps, "d(x,x) = {} != 0", d_ii);
+        for j in 0..3 {
+            let d_ij = s.dist(i, j);
+            prop_assert!(d_ij >= 0.0, "negative distance {}", d_ij);
+            prop_assert!(
+                (d_ij - s.dist(j, i)).abs() <= eps,
+                "asymmetric: d({},{})={} d({},{})={}",
+                i,
+                j,
+                d_ij,
+                j,
+                i,
+                s.dist(j, i)
+            );
+            for k in 0..3 {
+                let lhs = s.dist(i, k);
+                let rhs = d_ij + s.dist(j, k);
+                prop_assert!(
+                    lhs <= rhs + eps,
+                    "triangle violated: d({},{})={} > {}",
+                    i,
+                    k,
+                    lhs,
+                    rhs
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn l1_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        check_axioms(L1, a, b, c)?;
+    }
+
+    #[test]
+    fn l2_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        check_axioms(L2, a, b, c)?;
+    }
+
+    #[test]
+    fn l4_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        check_axioms(L4, a, b, c)?;
+    }
+
+    #[test]
+    fn chebyshev_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        check_axioms(Chebyshev, a, b, c)?;
+    }
+
+    #[test]
+    fn minkowski_p3_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        check_axioms(Minkowski::new(3.0), a, b, c)?;
+    }
+
+    #[test]
+    fn angular_is_a_metric(a in vec_strategy(), b in vec_strategy(), c in vec_strategy()) {
+        // Skip near-zero vectors: normalization leaves them at the origin,
+        // where angular distance degenerates to a constant π/2 (still
+        // symmetric but d(x,x) != 0, which the generator never produces).
+        let big = |v: &[f32]| v.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() > 1.0;
+        prop_assume!(big(&a) && big(&b) && big(&c));
+        // f32 row normalization + acos near 1 keeps errors ~1e-4.
+        check_axioms_eps(Angular, a, b, c, 2e-3)?;
+    }
+
+    #[test]
+    fn l2_agrees_with_minkowski_p2(a in vec_strategy(), b in vec_strategy()) {
+        let s2 = VectorSet::from_rows(&[a.clone(), b.clone()], L2);
+        let sm = VectorSet::from_rows(&[a, b], Minkowski::new(2.0));
+        prop_assert!((s2.dist(0, 1) - sm.dist(0, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[a-d]{0,12}",
+        b in "[a-d]{0,12}",
+        c in "[a-d]{0,12}",
+    ) {
+        let s = StringSet::new([a.as_str(), b.as_str(), c.as_str()]);
+        for i in 0..3 {
+            prop_assert_eq!(s.dist(i, i), 0.0);
+            for j in 0..3 {
+                prop_assert_eq!(s.dist(i, j), s.dist(j, i));
+                for k in 0..3 {
+                    prop_assert!(s.dist(i, k) <= s.dist(i, j) + s.dist(j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_longer_string(
+        a in "[a-z]{0,16}",
+        b in "[a-z]{0,16}",
+    ) {
+        let d = edit_distance(a.as_bytes(), b.as_bytes());
+        let lower = (a.len() as i64 - b.len() as i64).unsigned_abs() as u32;
+        let upper = a.len().max(b.len()) as u32;
+        prop_assert!(d >= lower, "distance {d} below length-difference bound {lower}");
+        prop_assert!(d <= upper, "distance {d} above max-length bound {upper}");
+    }
+
+    #[test]
+    fn edit_distance_zero_iff_equal(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+        let d = edit_distance(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(d == 0, a == b);
+    }
+}

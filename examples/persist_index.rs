@@ -1,0 +1,68 @@
+//! Index persistence: build the MRPG once, save it, reload in a "new
+//! process", and serve queries — the deployment shape the paper's offline /
+//! online split implies (Table 3 builds are hours at paper scale; you do
+//! not want them on the query path).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example persist_index
+//! ```
+
+use dod::core::nested_loop;
+use dod::datasets::Family;
+use dod::graph::serialize;
+use dod::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let gen = Family::Glove.generate(4000, 77);
+    let data = &gen.data;
+    let k = Family::Glove.default_k();
+    let r = dod::datasets::calibrate_r(data, k, 0.006, 400, 5);
+
+    // --- offline: build and persist -----------------------------------
+    let mut params = MrpgParams::new(Family::Glove.graph_degree());
+    params.threads = 2;
+    let t = Instant::now();
+    let (graph, _) = dod::graph::mrpg::build(data, &params);
+    println!("built MRPG in {:.2} s", t.elapsed().as_secs_f64());
+
+    let path = std::env::temp_dir().join("dod_quickstart.mrpg");
+    let t = Instant::now();
+    serialize::write_to(&graph, std::fs::File::create(&path).expect("create"))
+        .expect("serialize");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "saved to {} ({:.2} MB) in {:.1} ms",
+        path.display(),
+        bytes as f64 / 1048576.0,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // --- "new process": load and query --------------------------------
+    let t = Instant::now();
+    let loaded =
+        serialize::read_from(std::fs::File::open(&path).expect("open")).expect("deserialize");
+    println!("loaded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let report = GraphDod::new(&loaded)
+        .with_verify(VerifyStrategy::Linear)
+        .detect(data, &DodParams::new(r, k).with_threads(2));
+    println!(
+        "query (r={r:.3}, k={k}): {} outliers in {:.1} ms",
+        report.outliers.len(),
+        report.total_secs() * 1e3
+    );
+
+    // The loaded index answers identically to a fresh build and to brute
+    // force.
+    let fresh = GraphDod::new(&graph)
+        .with_verify(VerifyStrategy::Linear)
+        .detect(data, &DodParams::new(r, k));
+    assert_eq!(report.outliers, fresh.outliers);
+    let truth = nested_loop::detect(data, &DodParams::new(r, k), 0);
+    assert_eq!(report.outliers, truth.outliers);
+    println!("verified: loaded index = fresh index = brute force");
+
+    let _ = std::fs::remove_file(&path);
+}

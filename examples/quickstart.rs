@@ -1,0 +1,67 @@
+//! Quickstart: find distance-based outliers in a small 2-d point set.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the whole workflow: build the MRPG index once (offline),
+//! then answer `(r, k)` outlier queries (online), and cross-check the
+//! result against the brute-force nested loop.
+
+use dod::core::nested_loop;
+use dod::prelude::*;
+
+fn main() {
+    // --- 1. Data: three dense blobs + three isolated points --------------
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for i in 0..600 {
+        let cluster = (i % 3) as f32;
+        // Low-discrepancy jitter keeps the example dependency-free.
+        let jx = ((i as f32) * 0.754877).fract() - 0.5;
+        let jy = ((i as f32) * 0.569840).fract() - 0.5;
+        rows.push(vec![cluster * 10.0 + jx, cluster * 4.0 + jy]);
+    }
+    rows.push(vec![60.0, 60.0]);
+    rows.push(vec![-45.0, 30.0]);
+    rows.push(vec![15.0, -70.0]);
+    let data = VectorSet::from_rows(&rows, L2);
+    println!("dataset: {} points in 2-d (L2)", data.len());
+
+    // --- 2. Offline: build the MRPG proximity graph ----------------------
+    let (graph, timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(10));
+    println!(
+        "MRPG built in {:.1} ms ({} nodes, {} links, {} pivots)",
+        timing.total_secs() * 1e3,
+        graph.node_count(),
+        graph.link_count(),
+        graph.pivot_ids().len(),
+    );
+
+    // --- 3. Online: answer an (r, k) query --------------------------------
+    let params = DodParams::new(2.0, 8);
+    let report = GraphDod::new(&graph).detect(&data, &params);
+    println!(
+        "query (r = {}, k = {}): {} outliers, {} candidates after filtering, \
+         {} false positives, filter {:.2} ms + verify {:.2} ms",
+        params.r,
+        params.k,
+        report.outliers.len(),
+        report.candidates,
+        report.false_positives,
+        report.filter_secs * 1e3,
+        report.verify_secs * 1e3,
+    );
+    for &o in &report.outliers {
+        let row = data.row(o as usize);
+        println!("  outlier #{o}: ({:.1}, {:.1})", row[0], row[1]);
+    }
+
+    // --- 4. Exactness check ------------------------------------------------
+    let truth = nested_loop::detect(&data, &params, 0);
+    assert_eq!(
+        report.outliers, truth.outliers,
+        "graph-based result must equal the brute-force ground truth"
+    );
+    println!("verified: result identical to brute-force nested loop");
+}

@@ -1,0 +1,66 @@
+//! # dod — fast and exact distance-based outlier detection in metric spaces
+//!
+//! A from-scratch Rust reproduction of *"Fast and Exact Outlier Detection
+//! in Metric Spaces: A Proximity Graph-based Approach"* (Amagata, Onizuka
+//! & Hara, SIGMOD 2021; full version arXiv:2110.08959).
+//!
+//! Given a set `P` of objects in any metric space, a radius `r` and a
+//! count threshold `k`, an object is a **distance-based outlier** iff
+//! fewer than `k` objects lie within distance `r` of it. This crate finds
+//! *exactly* those objects, fast, by:
+//!
+//! 1. building **MRPG** — a proximity graph purpose-built for outlier
+//!    detection — once, offline ([`graph::mrpg::build`]);
+//! 2. answering any `(r, k)` query with graph-bounded counting plus exact
+//!    verification ([`core::GraphDod`]).
+//!
+//! ```
+//! use dod::prelude::*;
+//!
+//! // 2-d points: three dense blobs plus two isolated points.
+//! let mut rows: Vec<Vec<f32>> = Vec::new();
+//! for i in 0..300 {
+//!     let c = (i % 3) as f32 * 10.0;
+//!     let o = (i as f32 * 0.618).fract() - 0.5;
+//!     rows.push(vec![c + o, (i as f32 * 0.382).fract() - 0.5]);
+//! }
+//! rows.push(vec![500.0, 500.0]);
+//! rows.push(vec![-400.0, 300.0]);
+//! let data = VectorSet::from_rows(&rows, L2);
+//!
+//! // Offline: build the MRPG once.
+//! let (graph, _timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(8));
+//!
+//! // Online: any (r, k) query.
+//! let report = GraphDod::new(&graph).detect(&data, &DodParams::new(2.0, 5));
+//! assert_eq!(report.outliers, vec![300, 301]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`metrics`] — the [`metrics::Dataset`] abstraction plus L1/L2/L4,
+//!   angular and edit distances (paper Table 1).
+//! * [`datasets`] — synthetic generators mirroring the paper's seven
+//!   evaluation datasets, plus radius calibration.
+//! * [`vptree`] — VP-tree index (baseline + verification engine).
+//! * [`graph`] — proximity graphs: KGraph (NNDescent), NSW, and MRPG with
+//!   its full §5 pipeline (NNDescent+, Connect-SubGraphs, Remove-Detours,
+//!   Remove-Links).
+//! * [`core`] — the DOD algorithms: Algorithm 1 plus the nested-loop,
+//!   SNIF, DOLPHIN and VP-tree baselines.
+//!
+//! The `dod-bench` crate (workspace-internal) regenerates every table and
+//! figure of the paper's evaluation; see `EXPERIMENTS.md`.
+
+pub use dod_core as core;
+pub use dod_datasets as datasets;
+pub use dod_graph as graph;
+pub use dod_metrics as metrics;
+pub use dod_vptree as vptree;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use dod_core::{DodParams, DodResult, GraphDod, VerifyStrategy, VpTreeDod};
+    pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
+    pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
+}

@@ -1,0 +1,163 @@
+//! End-to-end exactness: every algorithm must return the identical outlier
+//! set on every dataset family of the paper's evaluation (Table 1), with
+//! the nested loop as ground truth.
+
+use dod::core::{dolphin, nested_loop, snif, DodParams, GraphDod, VerifyStrategy, VpTreeDod};
+use dod::datasets::{calibrate_r, Family};
+use dod::graph::MrpgParams;
+use dod::metrics::Dataset;
+
+/// Family-sized test instance: smaller for the expensive metrics.
+fn test_n(f: Family) -> usize {
+    match f {
+        Family::Mnist => 250,
+        Family::Words => 400,
+        _ => 600,
+    }
+}
+
+fn check_family(family: Family) {
+    let n = test_n(family);
+    let gen = family.generate(n, 7);
+    let data = &gen.data;
+    let k = family.default_k().min(n / 10);
+    let r = calibrate_r(data, k, family.target_outlier_ratio().max(0.01), 200, 5);
+    let params = DodParams::new(r, k).with_threads(2);
+
+    let truth = nested_loop::detect(data, &params, 0).outliers;
+    assert!(
+        !truth.is_empty(),
+        "{family}: the calibrated query found no outliers — test is vacuous"
+    );
+    assert!(
+        truth.len() < n / 2,
+        "{family}: too many outliers ({}) for a sane calibration",
+        truth.len()
+    );
+
+    // Baselines.
+    assert_eq!(
+        snif::detect(data, &params, 3).outliers,
+        truth,
+        "{family}: SNIF disagrees"
+    );
+    assert_eq!(
+        dolphin::detect(data, &params, 3).outliers,
+        truth,
+        "{family}: DOLPHIN disagrees"
+    );
+    let vp = VpTreeDod::build(data, 1);
+    assert_eq!(vp.detect(data, &params).outliers, truth, "{family}: VP-tree disagrees");
+
+    // Proximity-graph algorithms, all four graphs.
+    let degree = 10;
+    let nsw = dod::graph::mrpg::build_nsw(data, degree, 1);
+    assert_eq!(
+        GraphDod::new(&nsw).detect(data, &params).outliers,
+        truth,
+        "{family}: NSW disagrees"
+    );
+    let kg = dod::graph::mrpg::build_kgraph(data, degree, 2, 1);
+    assert_eq!(
+        GraphDod::new(&kg).detect(data, &params).outliers,
+        truth,
+        "{family}: KGraph disagrees"
+    );
+    let mut bp = MrpgParams::basic(degree);
+    bp.threads = 2;
+    let (basic, _) = dod::graph::mrpg::build(data, &bp);
+    assert_eq!(
+        GraphDod::new(&basic).detect(data, &params).outliers,
+        truth,
+        "{family}: MRPG-basic disagrees"
+    );
+    let mut fp = MrpgParams::new(degree);
+    fp.threads = 2;
+    let (mrpg, _) = dod::graph::mrpg::build(data, &fp);
+    for verify in [VerifyStrategy::Auto, VerifyStrategy::Linear, VerifyStrategy::VpTree] {
+        assert_eq!(
+            GraphDod::new(&mrpg)
+                .with_verify(verify)
+                .detect(data, &params)
+                .outliers,
+            truth,
+            "{family}: MRPG with {verify:?} verification disagrees"
+        );
+    }
+}
+
+#[test]
+fn deep_like_l2() {
+    check_family(Family::Deep);
+}
+
+#[test]
+fn glove_like_angular() {
+    check_family(Family::Glove);
+}
+
+#[test]
+fn hepmass_like_l1() {
+    check_family(Family::Hepmass);
+}
+
+#[test]
+fn mnist_like_l4() {
+    check_family(Family::Mnist);
+}
+
+#[test]
+fn pamap2_like_l2_bounded() {
+    check_family(Family::Pamap2);
+}
+
+#[test]
+fn sift_like_l2() {
+    check_family(Family::Sift);
+}
+
+#[test]
+fn words_edit_distance() {
+    check_family(Family::Words);
+}
+
+#[test]
+fn filtering_has_no_false_negatives() {
+    // Lemma 1 at system level: the candidate set plus shortcut decisions
+    // must cover every true outlier, for every graph kind.
+    let gen = Family::Sift.generate(500, 9);
+    let data = &gen.data;
+    let k = 10;
+    let r = calibrate_r(data, k, 0.02, 200, 1);
+    let params = DodParams::new(r, k);
+    let truth = nested_loop::detect(data, &params, 0).outliers;
+
+    for g in [
+        dod::graph::mrpg::build_nsw(data, 8, 0),
+        dod::graph::mrpg::build_kgraph(data, 8, 1, 0),
+        dod::graph::mrpg::build(data, &MrpgParams::new(8)).0,
+    ] {
+        let report = GraphDod::new(&g).detect(data, &params);
+        assert_eq!(report.outliers, truth, "{} missed outliers", g.kind);
+        // Every outlier is either verified (a candidate) or shortcut-decided.
+        assert!(
+            report.candidates + report.decided_in_filter >= truth.len(),
+            "{}: candidates cannot cover the outliers",
+            g.kind
+        );
+    }
+}
+
+#[test]
+fn subset_views_detect_like_materialized_subsets() {
+    // The sampling-rate experiments rely on Subset views behaving exactly
+    // like standalone datasets.
+    let gen = Family::Hepmass.generate(400, 3);
+    let ids: Vec<u32> = (0..400).filter(|i| i % 2 == 0).collect();
+    let view = dod::metrics::Subset::new(&gen.data, ids);
+    assert_eq!(view.len(), 200);
+    let params = DodParams::new(5.0, 3);
+    let a = nested_loop::detect(&view, &params, 0).outliers;
+    let vp = VpTreeDod::build(&view, 0);
+    assert_eq!(vp.detect(&view, &params).outliers, a);
+}

@@ -1,0 +1,120 @@
+//! Failure-injection and degenerate-input tests across every detector:
+//! empty datasets, singletons, k = 0, k > n, r = 0, r = ∞-ish, duplicate
+//! objects. Exactness must hold everywhere the problem is well-defined.
+
+use dod::core::{dolphin, nested_loop, snif, DodParams, GraphDod, VpTreeDod};
+use dod::graph::MrpgParams;
+use dod::prelude::*;
+
+fn all_outlier_sets(data: &(impl Dataset + ?Sized), params: &DodParams) -> Vec<Vec<u32>> {
+    let (g, _) = dod::graph::mrpg::build(data, &MrpgParams::new(4));
+    vec![
+        nested_loop::detect(data, params, 0).outliers,
+        snif::detect(data, params, 1).outliers,
+        dolphin::detect(data, params, 2).outliers,
+        VpTreeDod::build(data, 3).detect(data, params).outliers,
+        GraphDod::new(&g).detect(data, params).outliers,
+    ]
+}
+
+fn assert_all_equal(data: &(impl Dataset + ?Sized), params: &DodParams, expect: &[u32]) {
+    for (i, set) in all_outlier_sets(data, params).into_iter().enumerate() {
+        assert_eq!(set, expect, "algorithm #{i} differs for {params:?}");
+    }
+}
+
+#[test]
+fn empty_dataset_has_no_outliers() {
+    let data = VectorSet::from_rows(&[], L2);
+    assert_all_equal(&data, &DodParams::new(1.0, 3), &[]);
+}
+
+#[test]
+fn singleton_is_always_an_outlier_for_positive_k() {
+    let data = VectorSet::from_rows(&[vec![1.0, 2.0]], L2);
+    assert_all_equal(&data, &DodParams::new(10.0, 1), &[0]);
+    assert_all_equal(&data, &DodParams::new(10.0, 0), &[]);
+}
+
+#[test]
+fn k_zero_never_produces_outliers() {
+    let data = VectorSet::from_rows(&[vec![0.0], vec![100.0], vec![-100.0]], L2);
+    assert_all_equal(&data, &DodParams::new(0.1, 0), &[]);
+}
+
+#[test]
+fn k_at_least_n_makes_everything_an_outlier() {
+    let data = VectorSet::from_rows(&[vec![0.0], vec![0.1], vec![0.2]], L2);
+    // Even with infinite-ish r, each object has at most 2 neighbors < k=3.
+    assert_all_equal(&data, &DodParams::new(1e18, 3), &[0, 1, 2]);
+}
+
+#[test]
+fn r_zero_counts_only_exact_duplicates() {
+    let mut rows = vec![vec![5.0f32]; 10];
+    rows.push(vec![6.0]);
+    let data = VectorSet::from_rows(&rows, L2);
+    // Duplicates have 9 zero-distance neighbors; the singleton has none.
+    assert_all_equal(&data, &DodParams::new(0.0, 2), &[10]);
+}
+
+#[test]
+fn all_duplicates_no_outliers_even_at_r_zero() {
+    let data = VectorSet::from_rows(&vec![vec![3.0f32, 3.0]; 25], L2);
+    assert_all_equal(&data, &DodParams::new(0.0, 5), &[]);
+}
+
+#[test]
+fn two_points_mutual_neighbors() {
+    let data = VectorSet::from_rows(&[vec![0.0], vec![1.0]], L2);
+    assert_all_equal(&data, &DodParams::new(1.0, 1), &[]);
+    assert_all_equal(&data, &DodParams::new(0.5, 1), &[0, 1]);
+}
+
+#[test]
+fn boundary_r_is_inclusive_everywhere() {
+    // Neighbors at distance exactly r must count for every algorithm
+    // (Definition 1 uses <=). Integer coordinates make distances exact.
+    let data = VectorSet::from_rows(
+        &[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]],
+        L2,
+    );
+    // r = 1.0: ids 0..=3 form a chain, each with >= 1 neighbor; 4 isolated.
+    assert_all_equal(&data, &DodParams::new(1.0, 1), &[4]);
+}
+
+#[test]
+fn string_edge_cases() {
+    let data = StringSet::new(["", "a", "ab", "abcdefghij"]);
+    // r=1, k=1: "" ~ "a" ~ "ab" chain; the long string is isolated.
+    assert_all_equal(&data, &DodParams::new(1.0, 1), &[3]);
+}
+
+#[test]
+fn negative_r_panics_consistently() {
+    let data = VectorSet::from_rows(&[vec![0.0], vec![1.0]], L2);
+    let params = DodParams::new(-1.0, 1);
+    let r = std::panic::catch_unwind(|| nested_loop::detect(&data, &params, 0));
+    assert!(r.is_err());
+}
+
+#[test]
+fn huge_k_on_small_graph_degree() {
+    // k far above the graph degree K: filtering can't confirm inliers from
+    // 1-hop alone, multi-hop traversal and verification must cope.
+    let rows: Vec<Vec<f32>> = (0..200)
+        .map(|i| vec![(i % 20) as f32 * 0.01, (i / 20) as f32 * 0.01])
+        .collect();
+    let data = VectorSet::from_rows(&rows, L2);
+    let params = DodParams::new(0.05, 50);
+    let truth = nested_loop::detect(&data, &params, 0).outliers;
+    let (g, _) = dod::graph::mrpg::build(&data, &MrpgParams::new(4));
+    assert_eq!(GraphDod::new(&g).detect(&data, &params).outliers, truth);
+}
+
+#[test]
+fn detection_with_threads_beyond_object_count() {
+    let data = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![50.0]], L2);
+    let params = DodParams::new(2.0, 1).with_threads(16);
+    assert_all_equal(&data, &params, &[2]);
+}

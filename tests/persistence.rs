@@ -1,0 +1,50 @@
+//! Cross-crate persistence test: a serialized-then-reloaded MRPG must
+//! answer every query identically to the in-memory original, across
+//! dataset families and graph kinds.
+
+use dod::core::{DodParams, GraphDod};
+use dod::datasets::{calibrate_r, Family};
+use dod::graph::{mrpg, serialize, MrpgParams};
+
+#[test]
+fn reloaded_graphs_answer_identically() {
+    for family in [Family::Glove, Family::Words] {
+        let gen = family.generate(800, 3);
+        let data = &gen.data;
+        let k = 8;
+        let r = calibrate_r(data, k, 0.02, 300, 1);
+        let params = DodParams::new(r, k);
+
+        for graph in [
+            mrpg::build(data, &MrpgParams::new(8)).0,
+            mrpg::build(data, &MrpgParams::basic(8)).0,
+            mrpg::build_kgraph(data, 8, 1, 0),
+            mrpg::build_nsw(data, 8, 0),
+        ] {
+            let bytes = serialize::to_bytes(&graph);
+            let loaded = serialize::from_bytes(&bytes).expect("round trip");
+            let a = GraphDod::new(&graph).detect(data, &params);
+            let b = GraphDod::new(&loaded).detect(data, &params);
+            assert_eq!(a.outliers, b.outliers, "{family}/{}", graph.kind);
+            assert_eq!(a.candidates, b.candidates, "{family}/{}", graph.kind);
+            assert_eq!(
+                a.decided_in_filter, b.decided_in_filter,
+                "{family}/{}: the exact-K' shortcut state must survive",
+                graph.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn serialized_size_tracks_link_count() {
+    let gen = Family::Sift.generate(500, 9);
+    let (small, _) = mrpg::build(&gen.data, &MrpgParams::new(4));
+    let (large, _) = mrpg::build(&gen.data, &MrpgParams::new(12));
+    let small_bytes = serialize::to_bytes(&small).len();
+    let large_bytes = serialize::to_bytes(&large).len();
+    assert!(
+        large_bytes > small_bytes,
+        "K=12 graph ({large_bytes} B) should out-size K=4 ({small_bytes} B)"
+    );
+}

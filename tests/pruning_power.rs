@@ -1,0 +1,98 @@
+//! Pruning-power accounting: the whole point of the paper is that the
+//! graph-based algorithm evaluates far fewer distances than the scan
+//! baselines. These tests pin that claim with the `DistanceCounter`
+//! instrumentation rather than wall-clock (which is noisy in CI).
+
+use dod::core::{nested_loop, DodParams, GraphDod};
+use dod::datasets::{calibrate_r, Family};
+use dod::graph::MrpgParams;
+use dod::metrics::DistanceCounter;
+
+#[test]
+fn graph_filtering_beats_nested_loop_on_distance_calls() {
+    let gen = Family::Sift.generate(2000, 13);
+    let data = &gen.data;
+    let k = 20;
+    let r = calibrate_r(data, k, 0.01, 400, 3);
+    let params = DodParams::new(r, k);
+
+    // Build the graph outside the counted region (offline pre-processing,
+    // exactly like the paper's cost model).
+    let (graph, _) = dod::graph::mrpg::build(data, &MrpgParams::new(16));
+
+    let counted = DistanceCounter::new(data);
+    let nl = nested_loop::detect(&counted, &params, 0);
+    let nl_calls = counted.calls();
+    counted.reset();
+    let graph_report = GraphDod::new(&graph).detect(&counted, &params);
+    let graph_calls = counted.calls();
+
+    assert_eq!(nl.outliers, graph_report.outliers);
+    assert!(
+        graph_calls * 3 < nl_calls,
+        "graph DOD used {graph_calls} distance calls vs nested loop {nl_calls}: \
+         expected at least 3x pruning"
+    );
+}
+
+#[test]
+fn inlier_filtering_is_independent_of_n() {
+    // The O(k) inlier argument: doubling n must not double the distance
+    // calls spent on (the same) dense inliers. We compare calls-per-object
+    // at two cardinalities; for a scan baseline the ratio would be ~2.
+    let k = 10;
+    let mut per_object = Vec::new();
+    for n in [1500usize, 3000] {
+        let gen = Family::Glove.generate(n, 5);
+        let data = &gen.data;
+        let r = calibrate_r(data, k, 0.01, 300, 1);
+        let (graph, _) = dod::graph::mrpg::build(data, &MrpgParams::new(12));
+        let counted = DistanceCounter::new(data);
+        let _ = GraphDod::new(&graph).detect(&counted, &DodParams::new(r, k));
+        per_object.push(counted.calls() as f64 / n as f64);
+    }
+    let growth = per_object[1] / per_object[0];
+    assert!(
+        growth < 1.6,
+        "per-object filtering cost grew {growth:.2}x when n doubled \
+         ({:.1} -> {:.1} calls/object); should be ~flat",
+        per_object[0],
+        per_object[1]
+    );
+}
+
+#[test]
+fn exact_shortcut_eliminates_outlier_verification_calls() {
+    // §5.5: with exact K' lists covering the outliers, deciding them costs
+    // zero distance evaluations. Compare full MRPG against MRPG-basic.
+    let gen = Family::Words.generate(1500, 21);
+    let data = &gen.data;
+    let k = 10;
+    let r = calibrate_r(data, k, 0.04, 300, 9);
+    let params = DodParams::new(r, k);
+
+    let mut full = MrpgParams::new(12);
+    full.exact_m = Some(150);
+    let (g_full, _) = dod::graph::mrpg::build(data, &full);
+    let mut basic = MrpgParams::basic(12);
+    basic.exact_m = Some(150);
+    let (g_basic, _) = dod::graph::mrpg::build(data, &basic);
+
+    let counted = DistanceCounter::new(data);
+    let rep_full = GraphDod::new(&g_full).detect(&counted, &params);
+    let full_calls = counted.calls();
+    counted.reset();
+    let rep_basic = GraphDod::new(&g_basic).detect(&counted, &params);
+    let basic_calls = counted.calls();
+
+    assert_eq!(rep_full.outliers, rep_basic.outliers);
+    assert!(
+        rep_full.decided_in_filter > 0,
+        "shortcut never fired: exact lists missed every outlier"
+    );
+    assert!(
+        full_calls < basic_calls,
+        "full MRPG used {full_calls} calls, basic {basic_calls}: \
+         the shortcut should reduce distance evaluations"
+    );
+}

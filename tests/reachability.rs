@@ -1,0 +1,60 @@
+//! Ties the paper's causal story together: MRPG's construction phases
+//! raise *reachability of neighbors* (§5), and higher reachability means
+//! fewer filtering false positives (Table 7). Both ends are measured here
+//! on the same data.
+
+use dod::core::{DodParams, GraphDod};
+use dod::datasets::{calibrate_r, Family};
+use dod::graph::stats::neighbor_reachability;
+use dod::graph::{mrpg, MrpgParams};
+
+#[test]
+fn mrpg_reaches_neighbors_at_least_as_well_as_kgraph() {
+    let gen = Family::Glove.generate(2000, 11);
+    let data = &gen.data;
+    let k = 12;
+    let r = calibrate_r(data, k, 0.01, 400, 2);
+
+    let kgraph = mrpg::build_kgraph(data, 12, 2, 0);
+    let (full, _) = mrpg::build(data, &{
+        let mut p = MrpgParams::new(12);
+        p.threads = 2;
+        p
+    });
+
+    let kg_reach = neighbor_reachability(&kgraph, data, r, 200);
+    let mrpg_reach = neighbor_reachability(&full, data, r, 200);
+    assert!(
+        mrpg_reach.mean_recall >= kg_reach.mean_recall - 0.01,
+        "MRPG recall {} below KGraph {}",
+        mrpg_reach.mean_recall,
+        kg_reach.mean_recall
+    );
+    assert!(
+        mrpg_reach.mean_recall > 0.9,
+        "MRPG should reach the vast majority of neighbors, got {}",
+        mrpg_reach.mean_recall
+    );
+}
+
+#[test]
+fn deficient_reachability_upper_bounds_false_positives() {
+    // Every filtering false positive is an inlier whose traversal missed
+    // some neighbors; the reachability probe (run exhaustively) must
+    // therefore flag at least as many deficient objects as there are false
+    // positives.
+    let gen = Family::Sift.generate(1200, 19);
+    let data = &gen.data;
+    let k = 10;
+    let r = calibrate_r(data, k, 0.02, 300, 4);
+
+    let kgraph = mrpg::build_kgraph(data, 8, 2, 0);
+    let reach = neighbor_reachability(&kgraph, data, r, 1200); // every object
+    let report = GraphDod::new(&kgraph).detect(data, &DodParams::new(r, k));
+    assert!(
+        reach.deficient_objects >= report.false_positives,
+        "{} deficient objects cannot explain {} false positives",
+        reach.deficient_objects,
+        report.false_positives
+    );
+}
