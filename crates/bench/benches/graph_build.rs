@@ -15,9 +15,7 @@ fn bench_builds(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("graph_build_glove2k");
     g.sample_size(10);
-    g.bench_function("nsw", |b| {
-        b.iter(|| black_box(mrpg::build_nsw(data, k, 0)))
-    });
+    g.bench_function("nsw", |b| b.iter(|| black_box(mrpg::build_nsw(data, k, 0))));
     g.bench_function("kgraph_nndescent", |b| {
         b.iter(|| black_box(mrpg::build_kgraph(data, k, 2, 0)))
     });

@@ -97,7 +97,11 @@ struct FamilyMeasurement {
     phase_secs: [(f64, f64); 4],
 }
 
-fn measure_family(cfg: &Config, family: Family, out: &mut dyn Write) -> io::Result<FamilyMeasurement> {
+fn measure_family(
+    cfg: &Config,
+    family: Family,
+    out: &mut dyn Write,
+) -> io::Result<FamilyMeasurement> {
     let w = Workload::prepare(family, cfg);
     writeln!(out, "* workload {w}")?;
     out.flush()?;
@@ -113,7 +117,10 @@ fn measure_family(cfg: &Config, family: Family, out: &mut dyn Write) -> io::Resu
     let (dolphin_res, dolphin_bytes) = dolphin::detect_with_stats(&w.data, &params, cfg.seed);
     let vp_res = vp.detect(&w.data, &params);
     assert_eq!(nl.outliers, snif_res.outliers, "{family}: SNIF mismatch");
-    assert_eq!(nl.outliers, dolphin_res.outliers, "{family}: DOLPHIN mismatch");
+    assert_eq!(
+        nl.outliers, dolphin_res.outliers,
+        "{family}: DOLPHIN mismatch"
+    );
     assert_eq!(nl.outliers, vp_res.outliers, "{family}: VP-tree mismatch");
 
     // Online detection: the four graphs.
@@ -203,7 +210,13 @@ fn tables(cfg: &Config, filter: Option<u8>, out: &mut dyn Write) -> io::Result<(
     if want(3) {
         writeln!(out, "### Table 3 — pre-processing time\n")?;
         let mut t = Table::new([
-            "dataset", "n", "NSW", "KGraph", "MRPG-basic", "MRPG", "paper (NSW/KG/basic/MRPG)",
+            "dataset",
+            "n",
+            "NSW",
+            "KGraph",
+            "MRPG-basic",
+            "MRPG",
+            "paper (NSW/KG/basic/MRPG)",
         ]);
         for m in &measurements {
             let p = paper::TABLE3_PREPROCESS_SECS[paper::family_index(m.family)];
@@ -279,7 +292,9 @@ fn tables(cfg: &Config, filter: Option<u8>, out: &mut dyn Write) -> io::Result<(
         }
         writeln!(out, "{}", t.render())?;
         writeln!(out, "paper row order {ALGO_NAMES:?}; reference seconds:\n")?;
-        let mut t = Table::new(["dataset", "paper NL", "SNIF", "DOLPHIN", "VP-tree", "NSW", "KGraph", "basic", "MRPG"]);
+        let mut t = Table::new([
+            "dataset", "paper NL", "SNIF", "DOLPHIN", "VP-tree", "NSW", "KGraph", "basic", "MRPG",
+        ]);
         for m in &measurements {
             let p = paper::TABLE5_RUNNING_SECS[paper::family_index(m.family)];
             let mut cells = vec![m.family.to_string()];
@@ -292,7 +307,14 @@ fn tables(cfg: &Config, filter: Option<u8>, out: &mut dyn Write) -> io::Result<(
     if want(6) {
         writeln!(out, "### Table 6 — index size [MB]\n")?;
         let mut t = Table::new([
-            "dataset", "SNIF", "DOLPHIN", "VP-tree", "NSW", "KGraph", "MRPG-basic", "MRPG",
+            "dataset",
+            "SNIF",
+            "DOLPHIN",
+            "VP-tree",
+            "NSW",
+            "KGraph",
+            "MRPG-basic",
+            "MRPG",
         ]);
         for m in &measurements {
             let mut cells = vec![m.family.to_string()];
@@ -310,7 +332,12 @@ fn tables(cfg: &Config, filter: Option<u8>, out: &mut dyn Write) -> io::Result<(
     if want(7) {
         writeln!(out, "### Table 7 — false positives after filtering\n")?;
         let mut t = Table::new([
-            "dataset", "NSW", "KGraph", "MRPG-basic", "MRPG", "paper (NSW/KG/basic/MRPG)",
+            "dataset",
+            "NSW",
+            "KGraph",
+            "MRPG-basic",
+            "MRPG",
+            "paper (NSW/KG/basic/MRPG)",
         ]);
         for m in &measurements {
             let p = paper::TABLE7_FALSE_POSITIVES[paper::family_index(m.family)];
@@ -388,7 +415,11 @@ fn fig6_7(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
             build_t.row(build_cells);
             run_t.row(run_cells);
         }
-        writeln!(out, "Figure 6 (pre-processing time):\n\n{}", build_t.render())?;
+        writeln!(
+            out,
+            "Figure 6 (pre-processing time):\n\n{}",
+            build_t.render()
+        )?;
         writeln!(out, "Figure 7 (running time):\n\n{}", run_t.render())?;
         out.flush()?;
     }
@@ -449,7 +480,10 @@ fn fig8_9(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
 fn fig10(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
     writeln!(out, "## Figure 10 — thread scalability\n")?;
     let hw = std::thread::available_parallelism().map_or(2, |p| p.get());
-    writeln!(out, "(machine has {hw} hardware threads; counts beyond that are oversubscribed)\n")?;
+    writeln!(
+        out,
+        "(machine has {hw} hardware threads; counts beyond that are oversubscribed)\n"
+    )?;
     for family in paper::FIG10_FAMILIES {
         if !cfg.families.contains(&family) {
             continue;
@@ -476,7 +510,10 @@ fn fig10(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
 }
 
 fn ablation(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
-    writeln!(out, "## §6.2 ablation — Connect-SubGraphs / Remove-Detours (pamap2)\n")?;
+    writeln!(
+        out,
+        "## §6.2 ablation — Connect-SubGraphs / Remove-Detours (pamap2)\n"
+    )?;
     let family = Family::Pamap2;
     let w = Workload::prepare(family, cfg);
     writeln!(out, "workload {w}\n")?;
@@ -503,7 +540,9 @@ fn ablation(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
             name.to_string(),
             report.false_positives.to_string(),
             secs(report.total_secs()),
-            paper::ABLATION_PAMAP2_FALSE_POSITIVES[paper_idx].1.to_string(),
+            paper::ABLATION_PAMAP2_FALSE_POSITIVES[paper_idx]
+                .1
+                .to_string(),
         ]);
     }
     writeln!(out, "{}", t.render())?;

@@ -8,7 +8,10 @@ use dod_datasets::Family;
 
 /// Row order of every per-dataset table, matching [`Family::ALL`].
 pub fn family_index(f: Family) -> usize {
-    Family::ALL.iter().position(|&x| x == f).expect("known family")
+    Family::ALL
+        .iter()
+        .position(|&x| x == f)
+        .expect("known family")
 }
 
 /// Paper Table 3 — pre-processing time in seconds:
@@ -35,7 +38,16 @@ pub const TABLE4_GLOVE_DECOMPOSED: [(&str, Option<f64>, f64, f64); 4] = [
 /// Paper Table 5 — detection running time in seconds:
 /// `[Nested-loop, SNIF, DOLPHIN, VP-tree, NSW, KGraph, MRPG-basic, MRPG]`.
 pub const TABLE5_RUNNING_SECS: [[Option<f64>; 8]; 7] = [
-    [None, None, None, None, None, Some(8616.10), Some(5474.10), Some(1966.17)], // deep
+    [
+        None,
+        None,
+        None,
+        None,
+        None,
+        Some(8616.10),
+        Some(5474.10),
+        Some(1966.17),
+    ], // deep
     [
         Some(1045.47),
         Some(1222.43),
@@ -102,7 +114,15 @@ pub const TABLE5_RUNNING_SECS: [[Option<f64>; 8]; 7] = [
 /// `[SNIF, DOLPHIN, VP-tree, NSW, KGraph, MRPG-basic, MRPG]`
 /// (Nested-loop has no index).
 pub const TABLE6_INDEX_MB: [[Option<f64>; 7]; 7] = [
-    [None, None, Some(324.35), None, Some(1405.94), Some(5516.58), Some(7350.83)],
+    [
+        None,
+        None,
+        Some(324.35),
+        None,
+        Some(1405.94),
+        Some(5516.58),
+        Some(7350.83),
+    ],
     [
         Some(13.26),
         Some(69.14),
@@ -112,7 +132,15 @@ pub const TABLE6_INDEX_MB: [[Option<f64>; 7]; 7] = [
         Some(460.48),
         Some(438.76),
     ],
-    [Some(61.04), None, Some(265.39), None, Some(1195.35), Some(2188.65), Some(2450.84)],
+    [
+        Some(61.04),
+        None,
+        Some(265.39),
+        None,
+        Some(1195.35),
+        Some(2188.65),
+        Some(2450.84),
+    ],
     [
         Some(27.75),
         None,

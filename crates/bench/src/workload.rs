@@ -74,8 +74,7 @@ impl Config {
                     cfg.families = list
                         .split(',')
                         .map(|s| {
-                            Family::parse(s.trim())
-                                .ok_or_else(|| format!("unknown family {s:?}"))
+                            Family::parse(s.trim()).ok_or_else(|| format!("unknown family {s:?}"))
                         })
                         .collect::<Result<_, _>>()?;
                 }

@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(Detector::Snif { seed: 0 }.name(), "SNIF");
         assert_eq!(Detector::Dolphin { seed: 0 }.name(), "DOLPHIN");
         let data = blob_data(50, 2);
-        assert_eq!(Detector::VpTree(VpTreeDod::build(&data, 0)).name(), "VP-tree");
+        assert_eq!(
+            Detector::VpTree(VpTreeDod::build(&data, 0)).name(),
+            "VP-tree"
+        );
         let (graph, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
         assert_eq!(Detector::Graph(GraphDod::new(&graph)).name(), "MRPG");
     }

@@ -172,7 +172,10 @@ mod tests {
     fn independent_of_retention_seed() {
         let data = random_blobs(300, 2);
         let p = DodParams::new(1.5, 5);
-        assert_eq!(detect(&data, &p, 0).outliers, detect(&data, &p, 77).outliers);
+        assert_eq!(
+            detect(&data, &p, 0).outliers,
+            detect(&data, &p, 77).outliers
+        );
     }
 
     #[test]

@@ -144,10 +144,6 @@ impl<'g> GraphDod<'g> {
             .filter(|&&o| o == FilterOutcome::ExactOutlier)
             .count();
 
-        let counter = ExactCounter::build(self.verify, data, self.seed);
-        let verdicts: Vec<bool> = par_map_strided(candidates.len(), params.threads, |ci| {
-            counter.count(data, candidates[ci] as usize, r, k) < k
-        });
         let mut outliers: Vec<u32> = outcomes
             .iter()
             .enumerate()
@@ -155,11 +151,21 @@ impl<'g> GraphDod<'g> {
             .map(|(p, _)| p as u32)
             .collect();
         let mut false_positives = 0;
-        for (ci, &is_outlier) in verdicts.iter().enumerate() {
-            if is_outlier {
-                outliers.push(candidates[ci]);
-            } else {
-                false_positives += 1;
+        // Only stand up the exact-counting engine when filtering actually
+        // left candidates: resolving `Auto` samples the dataset and the
+        // VP-tree engine builds an index, both of which cost real distance
+        // evaluations that would be pure waste on an empty workload.
+        if !candidates.is_empty() {
+            let counter = ExactCounter::build(self.verify, data, self.seed);
+            let verdicts: Vec<bool> = par_map_strided(candidates.len(), params.threads, |ci| {
+                counter.count(data, candidates[ci] as usize, r, k) < k
+            });
+            for (ci, &is_outlier) in verdicts.iter().enumerate() {
+                if is_outlier {
+                    outliers.push(candidates[ci]);
+                } else {
+                    false_positives += 1;
+                }
             }
         }
         outliers.sort_unstable();
@@ -288,9 +294,15 @@ mod tests {
         let params = DodParams::new(2.0, 5);
         let truth = nested_loop::detect(&data, &params, 0);
         let kg = dod_graph::mrpg::build_kgraph(&data, 8, 1, 0);
-        assert_eq!(GraphDod::new(&kg).detect(&data, &params).outliers, truth.outliers);
+        assert_eq!(
+            GraphDod::new(&kg).detect(&data, &params).outliers,
+            truth.outliers
+        );
         let nsw = dod_graph::mrpg::build_nsw(&data, 8, 0);
-        assert_eq!(GraphDod::new(&nsw).detect(&data, &params).outliers, truth.outliers);
+        assert_eq!(
+            GraphDod::new(&nsw).detect(&data, &params).outliers,
+            truth.outliers
+        );
     }
 
     #[test]
@@ -365,6 +377,9 @@ mod tests {
         let report = GraphDod::new(&g).detect(&data, &DodParams::new(2.0, 6));
         // candidates = verified outliers + false positives.
         let verified_outliers = report.outliers.len() - report.decided_in_filter;
-        assert_eq!(report.candidates, verified_outliers + report.false_positives);
+        assert_eq!(
+            report.candidates,
+            verified_outliers + report.false_positives
+        );
     }
 }

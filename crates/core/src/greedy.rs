@@ -110,8 +110,7 @@ mod tests {
 
     /// A path graph over integer points 0..n on a line.
     fn line_graph(n: usize) -> (VectorSet<L2>, ProximityGraph) {
-        let data =
-            VectorSet::from_rows(&(0..n).map(|i| vec![i as f32]).collect::<Vec<_>>(), L2);
+        let data = VectorSet::from_rows(&(0..n).map(|i| vec![i as f32]).collect::<Vec<_>>(), L2);
         let mut g = ProximityGraph::new(n, GraphKind::KGraph);
         for i in 0..n as u32 - 1 {
             g.add_undirected(i, i + 1);
@@ -147,9 +146,7 @@ mod tests {
         let mut buf = TraversalBuffer::new(30);
         for p in 0..30 {
             for r in [0.5, 1.0, 2.5, 7.0] {
-                let truth = (0..30)
-                    .filter(|&j| j != p && data.dist(p, j) <= r)
-                    .count();
+                let truth = (0..30).filter(|&j| j != p && data.dist(p, j) <= r).count();
                 let got = greedy_count(&g, &data, p, r, usize::MAX, &mut buf);
                 assert!(got <= truth, "p={p} r={r}: {got} > {truth}");
             }

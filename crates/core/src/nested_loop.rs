@@ -67,10 +67,7 @@ mod tests {
     use dod_metrics::{StringSet, VectorSet, L2};
 
     fn line(points: &[f32]) -> VectorSet<L2> {
-        VectorSet::from_rows(
-            &points.iter().map(|&p| vec![p]).collect::<Vec<_>>(),
-            L2,
-        )
+        VectorSet::from_rows(&points.iter().map(|&p| vec![p]).collect::<Vec<_>>(), L2)
     }
 
     #[test]

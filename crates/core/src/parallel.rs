@@ -28,7 +28,10 @@ where
                 scope.spawn(move || (t..n).step_by(threads).map(f).collect::<Vec<T>>())
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut out = vec![T::default(); n];
     for (t, bucket) in buckets.iter_mut().enumerate() {

@@ -183,10 +183,7 @@ mod tests {
     fn whole_cluster_pruning_is_sound_at_boundaries() {
         // Members exactly at r/2 from the center and queries exactly at r:
         // <= comparisons everywhere per Definition 1.
-        let data = VectorSet::from_rows(
-            &[vec![0.0f32], vec![0.5], vec![1.0], vec![10.0]],
-            L2,
-        );
+        let data = VectorSet::from_rows(&[vec![0.0f32], vec![0.5], vec![1.0], vec![10.0]], L2);
         let p = DodParams::new(1.0, 2);
         assert_eq!(
             detect(&data, &p, 7).outliers,
@@ -197,8 +194,13 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let empty = VectorSet::from_rows(&[], L2);
-        assert!(detect(&empty, &DodParams::new(1.0, 2), 0).outliers.is_empty());
+        assert!(detect(&empty, &DodParams::new(1.0, 2), 0)
+            .outliers
+            .is_empty());
         let single = VectorSet::from_rows(&[vec![1.0f32]], L2);
-        assert_eq!(detect(&single, &DodParams::new(1.0, 1), 0).outliers, vec![0]);
+        assert_eq!(
+            detect(&single, &DodParams::new(1.0, 1), 0).outliers,
+            vec![0]
+        );
     }
 }

@@ -202,9 +202,7 @@ mod tests {
         let tree = ExactCounter::build(VerifyStrategy::VpTree, &data, 0);
         for p in (0..300).step_by(17) {
             for r in [0.2, 0.6, 1.5] {
-                let truth = (0..300)
-                    .filter(|&j| j != p && data.dist(p, j) <= r)
-                    .count();
+                let truth = (0..300).filter(|&j| j != p && data.dist(p, j) <= r).count();
                 assert_eq!(lin.count(&data, p, r, usize::MAX), truth);
                 assert_eq!(tree.count(&data, p, r, usize::MAX), truth);
                 // Early termination caps both.

@@ -131,7 +131,10 @@ mod tests {
     fn empty_dataset() {
         let data = VectorSet::from_rows(&[], L2);
         let dod = VpTreeDod::build(&data, 0);
-        assert!(dod.detect(&data, &DodParams::new(1.0, 2)).outliers.is_empty());
+        assert!(dod
+            .detect(&data, &DodParams::new(1.0, 2))
+            .outliers
+            .is_empty());
     }
 
     #[test]

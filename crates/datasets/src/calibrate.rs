@@ -103,10 +103,7 @@ mod tests {
     use dod_metrics::{VectorSet, L2};
 
     fn line(points: &[f32]) -> VectorSet<dod_metrics::L2> {
-        VectorSet::from_rows(
-            &points.iter().map(|&p| vec![p]).collect::<Vec<_>>(),
-            L2,
-        )
+        VectorSet::from_rows(&points.iter().map(|&p| vec![p]).collect::<Vec<_>>(), L2)
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use crate::gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
 use crate::words::WordGenerator;
-use dod_metrics::{
-    Angular, Dataset, MetricKind, StringSet, VectorSet, L1, L2, L4,
-};
+use dod_metrics::{Angular, Dataset, MetricKind, StringSet, VectorSet, L1, L2, L4};
 use serde::{Deserialize, Serialize};
 
 /// A dataset family, named after the real dataset it emulates.
@@ -172,11 +170,7 @@ impl Family {
                     tail_fraction: ratio * 0.8,
                     ..GaussianMixture::new(n, self.dim())
                 };
-                AnyDataset::Angular(VectorSet::from_flat(
-                    g.generate(seed),
-                    self.dim(),
-                    Angular,
-                ))
+                AnyDataset::Angular(VectorSet::from_flat(g.generate(seed), self.dim(), Angular))
             }
             Family::Hepmass => {
                 let g = GaussianMixture {

@@ -161,8 +161,7 @@ impl GaussianMixture {
                         (0..self.dim * harmonics)
                             .map(|i| {
                                 let m = (i % harmonics + 1) as f64;
-                                let amp = self.cluster_std * extent / m
-                                    * gauss(&mut rng);
+                                let amp = self.cluster_std * extent / m * gauss(&mut rng);
                                 let phase = rng.gen_range(0.0..std::f64::consts::TAU);
                                 (amp, phase)
                             })

@@ -304,13 +304,7 @@ mod tests {
     fn hop_bound_limits_reach() {
         // Chain 0-1-2-3-4 where distances decrease after 1 (detours at 2+).
         let data = VectorSet::from_rows(
-            &[
-                vec![0.0],
-                vec![10.0],
-                vec![9.0],
-                vec![8.0],
-                vec![7.0],
-            ],
+            &[vec![0.0], vec![10.0], vec![9.0], vec![8.0], vec![7.0]],
             L2,
         );
         let mut g = ProximityGraph::new(5, GraphKind::Mrpg);
@@ -325,21 +319,14 @@ mod tests {
 
     #[test]
     fn nearby_pivots_excludes_one_hop_and_exact() {
-        let data = VectorSet::from_rows(
-            &[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
-            L2,
-        );
+        let data =
+            VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]], L2);
         let mut g = ProximityGraph::new(5, GraphKind::Mrpg);
         for i in 0..4u32 {
             g.add_undirected(i, i + 1);
         }
         g.pivot = vec![false, true, true, true, false];
-        g.exact.insert(
-            3,
-            crate::graph::ExactNn {
-                dists: vec![],
-            },
-        );
+        g.exact.insert(3, crate::graph::ExactNn { dists: vec![] });
         let piv = nearby_pivots(&g, &data, 0, 4, 1000, 10);
         // 1 is one-hop (excluded), 3 is exact (excluded) => only 2.
         assert_eq!(piv, vec![2]);

@@ -216,12 +216,7 @@ mod tests {
         let data = random_points(800, 2);
         let h = build(&data, &HnswParams::matching_kgraph(8));
         assert!(h.layers.len() > 1, "no hierarchy emerged at n=800");
-        let occupancy = |l: usize| {
-            h.layers[l]
-                .iter()
-                .filter(|adj| !adj.is_empty())
-                .count()
-        };
+        let occupancy = |l: usize| h.layers[l].iter().filter(|adj| !adj.is_empty()).count();
         for l in 1..h.layers.len() {
             assert!(
                 occupancy(l) < occupancy(l - 1).max(1),

@@ -93,7 +93,10 @@ impl BuildBreakdown {
 }
 
 /// Builds an MRPG (or MRPG-basic) over `data`.
-pub fn build<D: Dataset + ?Sized>(data: &D, params: &MrpgParams) -> (ProximityGraph, BuildBreakdown) {
+pub fn build<D: Dataset + ?Sized>(
+    data: &D,
+    params: &MrpgParams,
+) -> (ProximityGraph, BuildBreakdown) {
     let n = data.len();
     let kind = if params.full {
         GraphKind::Mrpg
@@ -125,7 +128,10 @@ pub fn build<D: Dataset + ?Sized>(data: &D, params: &MrpgParams) -> (ProximityGr
         g.exact.insert(
             p,
             ExactNn {
-                dists: aknn.knn[p as usize][..len].iter().map(|&(d, _)| d).collect(),
+                dists: aknn.knn[p as usize][..len]
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .collect(),
             },
         );
     }

@@ -225,9 +225,7 @@ pub fn build<D: Dataset + ?Sized>(data: &D, params: &NnDescentParams) -> AknnGra
             candidates.dedup();
 
             for &x in &candidates {
-                if x as usize == p
-                    || member_ids.binary_search(&x).is_ok()
-                    || fresh_ids.contains(&x)
+                if x as usize == p || member_ids.binary_search(&x).is_ok() || fresh_ids.contains(&x)
                 {
                     continue;
                 }
@@ -292,8 +290,7 @@ pub fn build<D: Dataset + ?Sized>(data: &D, params: &NnDescentParams) -> AknnGra
                     heap.push((OrdF64(d), q as u32));
                 }
             }
-            let mut l: Vec<(f64, u32)> =
-                heap.into_iter().map(|(OrdF64(d), q)| (d, q)).collect();
+            let mut l: Vec<(f64, u32)> = heap.into_iter().map(|(OrdF64(d), q)| (d, q)).collect();
             l.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             l
         });

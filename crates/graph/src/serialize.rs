@@ -41,9 +41,8 @@ fn kind_from_u8(v: u8) -> Option<GraphKind> {
 
 /// Serializes the graph into an owned byte buffer.
 pub fn to_bytes(g: &ProximityGraph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        16 + g.link_count() * 4 + g.node_count() / 8 + g.exact.len() * 64,
-    );
+    let mut buf =
+        BytesMut::with_capacity(16 + g.link_count() * 4 + g.node_count() / 8 + g.exact.len() * 64);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(kind_to_u8(g.kind));

@@ -84,9 +84,7 @@ pub fn neighbor_reachability<D: Dataset + ?Sized>(
     let mut deficient = 0usize;
     let mut p = 0;
     while p < n {
-        let truth = (0..n)
-            .filter(|&j| j != p && data.dist(p, j) <= r)
-            .count();
+        let truth = (0..n).filter(|&j| j != p && data.dist(p, j) <= r).count();
         if truth > 0 {
             // Bounded traversal (Greedy-Counting without the k cutoff).
             seen.iter_mut().for_each(|s| *s = false);

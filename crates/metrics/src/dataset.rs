@@ -137,8 +137,7 @@ impl<D: Dataset> Dataset for Subset<D> {
     }
 
     fn dist(&self, i: usize, j: usize) -> f64 {
-        self.base
-            .dist(self.ids[i] as usize, self.ids[j] as usize)
+        self.base.dist(self.ids[i] as usize, self.ids[j] as usize)
     }
 }
 

@@ -26,8 +26,8 @@ pub mod util;
 pub mod vector;
 
 pub use dataset::{Dataset, DistanceCounter, Subset};
-pub use util::OrdF64;
 pub use string::{edit_distance, StringSet};
+pub use util::OrdF64;
 pub use vector::{Angular, Chebyshev, Minkowski, VectorMetric, VectorSet, L1, L2, L4};
 
 use serde::{Deserialize, Serialize};

@@ -104,11 +104,8 @@ mod tests {
 
     #[test]
     fn edit_distance_is_symmetric_on_samples() {
-        let pairs: &[(&[u8], &[u8])] = &[
-            (b"abcdef", b"azced"),
-            (b"x", b"yyyy"),
-            (b"hello", b"world"),
-        ];
+        let pairs: &[(&[u8], &[u8])] =
+            &[(b"abcdef", b"azced"), (b"x", b"yyyy"), (b"hello", b"world")];
         for &(a, b) in pairs {
             assert_eq!(edit_distance(a, b), edit_distance(b, a));
         }

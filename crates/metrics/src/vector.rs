@@ -261,10 +261,7 @@ mod tests {
     use super::*;
 
     fn set2<M: VectorMetric>(metric: M) -> VectorSet<M> {
-        VectorSet::from_rows(
-            &[vec![0.0, 0.0], vec![3.0, 4.0], vec![-1.0, 1.0]],
-            metric,
-        )
+        VectorSet::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![-1.0, 1.0]], metric)
     }
 
     #[test]

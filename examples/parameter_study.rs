@@ -20,19 +20,23 @@ fn main() {
     let data = &gen.data;
     let k0 = Family::Hepmass.default_k();
     let r0 = dod::datasets::calibrate_r(data, k0, 0.0065, 500, 7);
-    println!(
-        "hepmass-like: n={n}, 27-d L1; calibrated defaults r={r0:.1}, k={k0}\n"
-    );
+    println!("hepmass-like: n={n}, 27-d L1; calibrated defaults r={r0:.1}, k={k0}\n");
 
     // One graph, built once.
     let mut params = MrpgParams::new(Family::Hepmass.graph_degree());
     params.threads = 2;
     let (graph, timing) = dod::graph::mrpg::build(data, &params);
-    println!("MRPG built once in {:.2} s — reused for every query below\n", timing.total_secs());
+    println!(
+        "MRPG built once in {:.2} s — reused for every query below\n",
+        timing.total_secs()
+    );
     let dod_algo = GraphDod::new(&graph).with_verify(VerifyStrategy::VpTree);
 
     println!("vary r (k = {k0}):");
-    println!("{:>10} {:>10} {:>12} {:>12}", "r", "outliers", "ratio", "time [ms]");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "r", "outliers", "ratio", "time [ms]"
+    );
     let mut last = usize::MAX;
     for mult in [0.85, 0.95, 1.0, 1.05, 1.15] {
         let r = r0 * mult;
@@ -44,12 +48,18 @@ fn main() {
             report.outliers.len() as f64 / n as f64 * 100.0,
             report.total_secs() * 1e3
         );
-        assert!(report.outliers.len() <= last, "outliers must shrink as r grows");
+        assert!(
+            report.outliers.len() <= last,
+            "outliers must shrink as r grows"
+        );
         last = report.outliers.len();
     }
 
     println!("\nvary k (r = {r0:.1}):");
-    println!("{:>10} {:>10} {:>12} {:>12}", "k", "outliers", "ratio", "time [ms]");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "k", "outliers", "ratio", "time [ms]"
+    );
     let mut last = 0usize;
     for k in [k0 / 2, k0 - 10, k0, k0 + 10, k0 * 2] {
         let report = dod_algo.detect(data, &DodParams::new(r0, k).with_threads(2));

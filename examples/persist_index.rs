@@ -29,8 +29,7 @@ fn main() {
 
     let path = std::env::temp_dir().join("dod_quickstart.mrpg");
     let t = Instant::now();
-    serialize::write_to(&graph, std::fs::File::create(&path).expect("create"))
-        .expect("serialize");
+    serialize::write_to(&graph, std::fs::File::create(&path).expect("create")).expect("serialize");
     let bytes = std::fs::metadata(&path).expect("stat").len();
     println!(
         "saved to {} ({:.2} MB) in {:.1} ms",

@@ -47,7 +47,11 @@ fn check_family(family: Family) {
         "{family}: DOLPHIN disagrees"
     );
     let vp = VpTreeDod::build(data, 1);
-    assert_eq!(vp.detect(data, &params).outliers, truth, "{family}: VP-tree disagrees");
+    assert_eq!(
+        vp.detect(data, &params).outliers,
+        truth,
+        "{family}: VP-tree disagrees"
+    );
 
     // Proximity-graph algorithms, all four graphs.
     let degree = 10;
@@ -74,7 +78,11 @@ fn check_family(family: Family) {
     let mut fp = MrpgParams::new(degree);
     fp.threads = 2;
     let (mrpg, _) = dod::graph::mrpg::build(data, &fp);
-    for verify in [VerifyStrategy::Auto, VerifyStrategy::Linear, VerifyStrategy::VpTree] {
+    for verify in [
+        VerifyStrategy::Auto,
+        VerifyStrategy::Linear,
+        VerifyStrategy::VpTree,
+    ] {
         assert_eq!(
             GraphDod::new(&mrpg)
                 .with_verify(verify)

@@ -1,0 +1,63 @@
+//! Workspace smoke test: the `dod::prelude` quickstart path, end to end.
+//!
+//! Everything here goes through the facade crate's public API the way the
+//! crate-level docs tell a new user to — generate a small Gaussian blob
+//! set, build the MRPG offline, answer one `(r, k)` query online, and
+//! check the answer against the brute-force definition. If this fails,
+//! the README quickstart is broken no matter what the inner crates say.
+
+use dod::core::nested_loop;
+use dod::datasets::GaussianMixture;
+use dod::prelude::*;
+
+#[test]
+fn prelude_quickstart_agrees_with_nested_loop() {
+    // Small Gaussian blob set: 3 clusters in 4-d with a sparse tail, via
+    // the datasets crate's generator (the facade re-export).
+    let gen = GaussianMixture {
+        clusters: 3,
+        tail_fraction: 0.02,
+        ..GaussianMixture::new(400, 4)
+    };
+    let data = VectorSet::from_flat(gen.generate(7), 4, L2);
+    assert_eq!(data.len(), 400);
+
+    // Offline: build the MRPG once.
+    let (graph, _timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(8));
+    assert_eq!(graph.node_count(), data.len());
+    assert_eq!(graph.connected_components(), 1);
+
+    // Online: one (r, k) query through the prelude types.
+    let params = DodParams::new(1.5, 10);
+    let report = GraphDod::new(&graph).detect(&data, &params);
+
+    // Exactness: agreement with the nested-loop ground truth.
+    let truth = nested_loop::detect(&data, &params, 0);
+    assert_eq!(report.outliers, truth.outliers);
+
+    // The planted sparse tail should make the query non-degenerate: some
+    // outliers exist, and not everything is an outlier.
+    assert!(!report.outliers.is_empty(), "query found no outliers");
+    assert!(report.outliers.len() < data.len() / 2, "query degenerate");
+}
+
+#[test]
+fn prelude_exposes_every_documented_entry_point() {
+    // Compile-time contract: the names the crate docs promise are all
+    // importable from the prelude (plus a couple of spot checks that the
+    // types actually connect to each other).
+    let data = VectorSet::from_rows(&[vec![0.0f32, 0.0], vec![3.0, 4.0]], L2);
+    assert!((data.dist(0, 1) - 5.0).abs() < 1e-9);
+
+    let strings = StringSet::new(["abc", "abd"]);
+    assert!((strings.dist(0, 1) - 1.0).abs() < 1e-9);
+
+    // r below the edit distance of 1: both strings are neighborless, so
+    // with k = 1 both are outliers.
+    let params = DodParams::new(0.5, 1).with_threads(2);
+    let result: DodResult = nested_loop::detect(&strings, &params, 0);
+    assert_eq!(result.outliers.len(), 2);
+
+    let _kind: GraphKind = GraphKind::Mrpg;
+    let _strategy: VerifyStrategy = VerifyStrategy::Auto;
+}

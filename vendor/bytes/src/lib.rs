@@ -1,0 +1,197 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the little-endian read/write subset that `dod_graph`'s
+//! binary persistence uses: [`BytesMut`] with [`BufMut`] appends and
+//! `freeze()`, immutable [`Bytes`] that derefs to `&[u8]`, and [`Buf`]
+//! cursor reads over `&[u8]`. Backed by plain `Vec<u8>` — no refcounted
+//! slices, which the workspace never relies on.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (here: an owned `Vec<u8>` behind a deref).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// Growable byte buffer accepting [`BufMut`] appends.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Sequential little-endian reads from the front of a buffer.
+///
+/// Each `get_*` consumes its bytes; panics on underflow like the real
+/// crate (callers bounds-check with `remaining`/`len` first).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` bytes off the front.
+    fn copy_front(&mut self, n: usize) -> &[u8];
+
+    /// Discards `n` bytes off the front.
+    fn advance(&mut self, n: usize) {
+        self.copy_front(n);
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_front(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_front(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_front(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_front(8).try_into().unwrap())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_front(&mut self, n: usize) -> &[u8] {
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Sequential little-endian appends to the back of a buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"DODG");
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f64_le(-1.25);
+        let frozen = w.freeze();
+
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 4 + 1 + 4 + 8 + 8);
+        assert_eq!(&r[..4], b"DODG");
+        r.advance(4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), -1.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_equality_and_to_vec() {
+        let mut w = BytesMut::with_capacity(4);
+        w.put_u32_le(5);
+        let a = w.clone().freeze();
+        let b = w.freeze();
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), vec![5, 0, 0, 0]);
+    }
+}

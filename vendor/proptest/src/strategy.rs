@@ -1,0 +1,182 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no shrinking and no `ValueTree`; a
+/// strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// `&str` patterns act as string strategies, as in real proptest. Only
+/// the character-class-with-counted-repeat form `"[a-z]{lo,hi}"` (plus
+/// `{n}` exact counts) is supported — the only form the workspace uses.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pat = CharClassPattern::parse(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (vendored proptest)"));
+        pat.generate(rng)
+    }
+}
+
+#[derive(Debug)]
+struct CharClassPattern {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl CharClassPattern {
+    /// Parses `[<class>]{lo,hi}`, `[<class>]{n}`, or a bare `[<class>]`
+    /// (one repetition), where `<class>` is literal chars and `a-z` ranges.
+    fn parse(pattern: &str) -> Option<Self> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+
+        let mut chars = Vec::new();
+        let cs: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                let (a, b) = (cs[i], cs[i + 2]);
+                if a > b {
+                    return None;
+                }
+                chars.extend((a..=b).filter(|c| c.is_ascii()));
+                i += 3;
+            } else {
+                chars.push(cs[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+
+        let (lo, hi) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+            match counts.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = counts.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some(CharClassPattern { chars, lo, hi })
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(self.lo..=self.hi);
+        (0..len)
+            .map(|_| self.chars[rng.gen_range(0..self.chars.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_counted_char_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = "[a-d]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+        let s = "[xyz]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unsupported_patterns() {
+        assert!(CharClassPattern::parse("hello").is_none());
+        assert!(CharClassPattern::parse("[]{1,2}").is_none());
+        assert!(CharClassPattern::parse("[a-z]{5,2}").is_none());
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let strat = (0.0f32..1.0, 0.0f32..1.0).prop_map(|(x, y)| vec![x, y]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = strat.generate(&mut rng);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}

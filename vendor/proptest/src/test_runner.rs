@@ -1,0 +1,99 @@
+//! Case scheduling, config and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases a property runs, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs violated an assumption; try another case.
+    Reject,
+    /// The property failed on this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption not met).
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Drives `case` until `config.cases` cases pass; panics on the first
+/// failure, reporting the deterministic case seed.
+///
+/// Generation is seeded from a hash of the test name and the case index,
+/// so reruns reproduce the same inputs without any persisted state.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let name_tag = fnv1a(name.as_bytes());
+    let max_rejects = (config.cases as u64) * 64 + 1024;
+    let mut rejects = 0u64;
+    let mut passed = 0u32;
+    let mut case_idx = 0u64;
+    while passed < config.cases {
+        let seed = name_tag ^ case_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{name}: gave up after {rejects} prop_assume rejections \
+                     ({passed}/{} cases passed)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case #{case_idx} (seed {seed:#x}): {msg}");
+            }
+        }
+        case_idx += 1;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

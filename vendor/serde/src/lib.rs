@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the
+//! vendored `serde_derive` so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(...)]` annotations compile without a crate registry. No
+//! serialization machinery is provided — nothing in the workspace invokes
+//! serde at runtime today. Swap for the real crate via
+//! `[workspace.dependencies]` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
