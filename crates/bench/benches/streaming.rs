@@ -1,0 +1,131 @@
+//! Streaming slide cost: incremental maintenance (both `StreamIndex`
+//! backends) vs per-slide batch re-detection, at the acceptance workload
+//! n=4000, W=1024.
+//!
+//! Each timed iteration is one *slide*: ingest the next point of a
+//! drift/burst stream into a pre-warmed window and answer "current
+//! outliers". The batch baseline answers the same question by re-running
+//! the randomized nested loop over a window snapshot. The final
+//! `speedup_summary` "benchmark" feeds the whole stream through all three
+//! engines and prints the end-to-end ratio the acceptance criterion asks
+//! for (incremental ≥ 5x cheaper than batch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dod_bench::BatchSlideBaseline;
+use dod_core::DodParams;
+use dod_datasets::{calibrate_r, StreamScenario};
+use dod_metrics::{VectorSet, L2};
+use dod_stream::{Backend, GraphParams, StreamDetector, StreamParams, VectorSpace};
+use std::hint::black_box;
+
+const N: usize = 4000;
+const W: usize = 1024;
+const DIM: usize = 8;
+const K: usize = 8;
+
+fn workload() -> (Vec<Vec<f32>>, f64) {
+    let points = StreamScenario::new(DIM).generate(N, 42);
+    let prefix = VectorSet::from_rows(&points[..W], L2);
+    let r = calibrate_r(&prefix, K, 0.01, 400, 7);
+    (points, r)
+}
+
+fn warmed_detector(
+    points: &[Vec<f32>],
+    r: f64,
+    backend: Backend,
+) -> StreamDetector<VectorSpace<L2>> {
+    let mut det = StreamDetector::with_backend(
+        VectorSpace::new(L2, DIM),
+        StreamParams::count(r, K, W),
+        backend,
+    );
+    for p in &points[..W] {
+        det.insert(p.clone());
+    }
+    det
+}
+
+fn bench_slides(c: &mut Criterion) {
+    let (points, r) = workload();
+    let mut g = c.benchmark_group("streaming_slide_n4000_w1024");
+    g.sample_size(10);
+
+    for (name, backend) in [
+        ("incremental_exhaustive", Backend::Exhaustive),
+        ("incremental_graph", Backend::Graph(GraphParams::default())),
+    ] {
+        let mut det = warmed_detector(&points, r, backend);
+        let mut i = W;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                det.insert(points[i % N].clone());
+                i += 1;
+                black_box(det.outliers())
+            })
+        });
+    }
+
+    {
+        let mut baseline = BatchSlideBaseline::new(W, DodParams::new(r, K), 0);
+        for p in &points[..W] {
+            baseline.slide(p);
+        }
+        let mut i = W;
+        g.bench_function("batch_per_slide", |b| {
+            b.iter(|| {
+                let out = baseline.slide(&points[i % N]);
+                i += 1;
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Not a micro-benchmark: one full pass of the stream through every
+/// engine, printing the end-to-end speedup (this is the ≥5x acceptance
+/// number).
+fn speedup_summary(_c: &mut Criterion) {
+    let (points, r) = workload();
+
+    let t0 = std::time::Instant::now();
+    let mut baseline = BatchSlideBaseline::new(W, DodParams::new(r, K), 0);
+    let mut batch_out = 0usize;
+    for p in &points {
+        batch_out += baseline.slide(p).len();
+    }
+    let batch_secs = t0.elapsed().as_secs_f64();
+
+    println!("\n== streaming end-to-end (n={N}, W={W}, r={r:.4}, k={K}) ==");
+    println!(
+        "batch_per_slide              {batch_secs:>9.3}s total ({:.0} us/slide, {batch_out} outlier-slides)",
+        batch_secs / N as f64 * 1e6
+    );
+    for (name, backend) in [
+        ("incremental_exhaustive", Backend::Exhaustive),
+        ("incremental_graph", Backend::Graph(GraphParams::default())),
+    ] {
+        let mut det = StreamDetector::with_backend(
+            VectorSpace::new(L2, DIM),
+            StreamParams::count(r, K, W),
+            backend,
+        );
+        let t0 = std::time::Instant::now();
+        let mut out = 0usize;
+        for p in &points {
+            det.insert(p.clone());
+            out += det.outliers().len();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(out, batch_out, "{name} disagrees with batch");
+        println!(
+            "{name:<28} {secs:>9.3}s total ({:.0} us/slide) -> {:.1}x cheaper than batch",
+            secs / N as f64 * 1e6,
+            batch_secs / secs
+        );
+    }
+}
+
+criterion_group!(benches, bench_slides, speedup_summary);
+criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! experiments <subcommand> [flags]
 //!
 //! subcommands:
-//!   tables | table3..table8 | fig6_7 | fig8_9 | fig10 | ablation | all
+//!   tables | table3..table8 | fig6_7 | fig8_9 | fig10 | ablation |
+//!   hnsw | stream | all
 //! flags:
 //!   --scale <f64>       dataset size multiplier (default 1.0)
 //!   --seed <u64>        master seed (default 42)
@@ -12,6 +13,8 @@
 //!   --build-threads <usize>
 //!   --families <list>   comma-separated subset of
 //!                       deep,glove,hepmass,mnist,pamap2,sift,words
+//!   --json <path>       also write machine-readable results (tables and
+//!                       stream rows), e.g. BENCH_dod.json / BENCH_stream.json
 //! ```
 
 use dod_bench::experiments::{self, Which};
@@ -20,8 +23,8 @@ use dod_bench::Config;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <tables|table3|table4|table5|table6|table7|table8|\
-         fig6_7|fig8_9|fig10|ablation|all> [--scale F] [--seed N] [--threads N] \
-         [--build-threads N] [--families a,b,c]"
+         fig6_7|fig8_9|fig10|ablation|hnsw|stream|all> [--scale F] [--seed N] \
+         [--threads N] [--build-threads N] [--families a,b,c] [--json PATH]"
     );
     std::process::exit(2);
 }

@@ -2,11 +2,13 @@
 
 use crate::graphs::{build_all_graphs, mrpg_params};
 use crate::paper;
-use crate::report::{paper_secs, secs, Table};
+use crate::report::{paper_secs, secs, JsonReport, JsonVal, Table};
+use crate::slide_baseline::BatchSlideBaseline;
 use crate::workload::{Config, Workload};
 use dod_core::{dolphin, nested_loop, snif, DodParams, GraphDod, GraphDodReport, VpTreeDod};
-use dod_datasets::Family;
-use dod_metrics::{Dataset, Subset};
+use dod_datasets::{calibrate_r, Family, StreamScenario};
+use dod_metrics::{Dataset, Subset, VectorSet, L2};
+use dod_stream::{Backend, GraphParams, StreamDetector, StreamParams, VectorSpace};
 use std::io::{self, Write};
 
 /// Which experiment(s) to run; parsed from the CLI subcommand.
@@ -25,6 +27,9 @@ pub enum Which {
     /// Extension: test the paper's §3 claim that HNSW's hierarchy cannot
     /// help the DOD problem.
     Hnsw,
+    /// Extension: sliding-window streaming engine vs per-slide batch
+    /// re-detection.
+    Stream,
     /// Everything.
     All,
 }
@@ -45,33 +50,57 @@ impl Which {
             "fig10" => Which::Fig10,
             "ablation" => Which::Ablation,
             "hnsw" => Which::Hnsw,
+            "stream" => Which::Stream,
             "all" => Which::All,
             _ => return None,
         })
     }
 }
 
-/// Runs the selected experiment(s), writing Markdown to `out`.
+/// Runs the selected experiment(s), writing Markdown to `out`. With
+/// `--json <path>` the `tables` and `stream` experiments additionally
+/// collect machine-readable rows written to that path at the end.
 pub fn run(cfg: &Config, which: Which, out: &mut dyn Write) -> io::Result<()> {
     writeln!(
         out,
         "# DOD experiments (scale={}, seed={}, detect-threads={}, build-threads={})\n",
         cfg.scale, cfg.seed, cfg.threads, cfg.build_threads
     )?;
+    let mut json = cfg.json.as_ref().map(|_| {
+        let mut j = JsonReport::new();
+        j.meta("scale", cfg.scale)
+            .meta("seed", cfg.seed as usize)
+            .meta("threads", cfg.threads);
+        j
+    });
     match which {
-        Which::Tables(filter) => tables(cfg, filter, out)?,
+        Which::Tables(filter) => tables(cfg, filter, out, &mut json)?,
         Which::Fig6and7 => fig6_7(cfg, out)?,
         Which::Fig8and9 => fig8_9(cfg, out)?,
         Which::Fig10 => fig10(cfg, out)?,
         Which::Ablation => ablation(cfg, out)?,
         Which::Hnsw => hnsw_claim(cfg, out)?,
+        Which::Stream => stream_experiment(cfg, out, &mut json)?,
         Which::All => {
-            tables(cfg, None, out)?;
+            tables(cfg, None, out, &mut json)?;
             fig6_7(cfg, out)?;
             fig8_9(cfg, out)?;
             fig10(cfg, out)?;
             ablation(cfg, out)?;
             hnsw_claim(cfg, out)?;
+            stream_experiment(cfg, out, &mut json)?;
+        }
+    }
+    if let (Some(json), Some(path)) = (&json, &cfg.json) {
+        if json.is_empty() {
+            writeln!(
+                out,
+                "\n(--json: this subcommand collects no machine-readable rows; \
+                 {path} not written — use tables, stream or all)"
+            )?;
+        } else {
+            json.write(path)?;
+            writeln!(out, "\n(machine-readable results written to {path})")?;
         }
     }
     Ok(())
@@ -197,13 +226,42 @@ const ALGO_NAMES: [&str; 8] = [
     "MRPG",
 ];
 
-fn tables(cfg: &Config, filter: Option<u8>, out: &mut dyn Write) -> io::Result<()> {
+fn tables(
+    cfg: &Config,
+    filter: Option<u8>,
+    out: &mut dyn Write,
+    json: &mut Option<JsonReport>,
+) -> io::Result<()> {
     writeln!(out, "## Tables 3–8 (paper §6.1–6.2)\n")?;
     let mut measurements = Vec::new();
     for &family in &cfg.families {
         measurements.push(measure_family(cfg, family, out)?);
     }
     writeln!(out)?;
+
+    if let Some(json) = json {
+        for m in &measurements {
+            for (i, name) in ALGO_NAMES.iter().enumerate() {
+                json.row([
+                    ("experiment", JsonVal::from("tables")),
+                    ("dataset", JsonVal::from(m.family.to_string())),
+                    ("n", JsonVal::from(m.n)),
+                    ("algorithm", JsonVal::from(*name)),
+                    ("detect_secs", JsonVal::from(m.detect_secs[i])),
+                ]);
+            }
+            for (i, graph) in ["NSW", "KGraph", "MRPG-basic", "MRPG"].iter().enumerate() {
+                json.row([
+                    ("experiment", JsonVal::from("tables_build")),
+                    ("dataset", JsonVal::from(m.family.to_string())),
+                    ("n", JsonVal::from(m.n)),
+                    ("graph", JsonVal::from(*graph)),
+                    ("build_secs", JsonVal::from(m.build_secs[i])),
+                    ("false_positives", JsonVal::from(m.false_positives[i])),
+                ]);
+            }
+        }
+    }
 
     let want = |t: u8| filter.is_none() || filter == Some(t);
 
@@ -610,5 +668,118 @@ fn hnsw_claim(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
          flat small-world graphs at layer 0) while its index is strictly\n\
          larger — the hierarchy buys nothing for DOD, as §3 argues.\n"
     )?;
+    Ok(())
+}
+
+fn stream_experiment(
+    cfg: &Config,
+    out: &mut dyn Write,
+    json: &mut Option<JsonReport>,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "## Extension — sliding-window streaming engine\n\n\
+         A drift/burst/churn stream is fed point-by-point; after every\n\
+         slide the engine answers \"current outliers\". Incremental\n\
+         maintenance (both backends) is compared against re-running the\n\
+         batch nested loop over the window contents per slide. All three\n\
+         agree exactly on every slide (asserted).\n"
+    )?;
+    let dim = 8;
+    let n = ((4000.0 * cfg.scale) as usize).max(256);
+    let w = (n / 4).clamp(64, 1024);
+    let k = 8;
+    let scenario = StreamScenario::new(dim);
+    let points = scenario.generate(n, cfg.seed);
+
+    // Calibrate r on a window-sized prefix so ~1% of a full window is
+    // outlying.
+    let prefix = VectorSet::from_rows(&points[..w], L2);
+    let r = calibrate_r(&prefix, k, 0.01, 400.min(w), cfg.seed ^ 0x57ea);
+    writeln!(out, "workload: n={n}, W={w}, dim={dim}, r={r:.4}, k={k}\n")?;
+
+    // Per-slide batch baseline: re-detect over the window with the
+    // randomized nested loop (positions mapped back to seqs).
+    let t0 = std::time::Instant::now();
+    let mut baseline = BatchSlideBaseline::new(w, DodParams::new(r, k), cfg.seed);
+    let batch_outliers: Vec<Vec<u64>> = points.iter().map(|p| baseline.slide(p)).collect();
+    let batch_secs = t0.elapsed().as_secs_f64();
+
+    let mut t = Table::new([
+        "engine",
+        "total",
+        "per slide",
+        "speedup vs batch",
+        "safe promotions",
+        "repairs",
+    ]);
+    t.row([
+        "batch nested-loop".to_string(),
+        secs(batch_secs),
+        secs(batch_secs / n as f64),
+        "1.0x".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+
+    // One emitter for every engine's JSON row, the batch baseline included,
+    // so the schema cannot drift between them.
+    let emit_row = |json: &mut Option<JsonReport>, engine: &str, total: f64| {
+        if let Some(json) = json {
+            json.row([
+                ("experiment", JsonVal::from("stream")),
+                ("engine", JsonVal::from(engine)),
+                ("n", JsonVal::from(n)),
+                ("window", JsonVal::from(w)),
+                ("r", JsonVal::from(r)),
+                ("k", JsonVal::from(k)),
+                ("total_secs", JsonVal::from(total)),
+                ("slide_us", JsonVal::from(total / n as f64 * 1e6)),
+                ("speedup_vs_batch", JsonVal::from(batch_secs / total)),
+            ]);
+        }
+    };
+    emit_row(json, "batch nested-loop", batch_secs);
+
+    let mut measured: Vec<(&str, f64)> = Vec::new();
+    for (name, backend) in [
+        ("stream exhaustive", Backend::Exhaustive),
+        ("stream graph", Backend::Graph(GraphParams::default())),
+    ] {
+        let space = VectorSpace::new(L2, dim);
+        let sp = StreamParams::count(r, k, w);
+        let mut det = StreamDetector::with_backend(space, sp, backend);
+        let t0 = std::time::Instant::now();
+        let mut disagreements = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            det.insert(p.clone());
+            let got = det.outliers();
+            if got != batch_outliers[i] {
+                disagreements += 1;
+            }
+        }
+        let total = t0.elapsed().as_secs_f64();
+        assert_eq!(disagreements, 0, "{name} disagreed with batch re-detection");
+        let stats = det.stats();
+        t.row([
+            name.to_string(),
+            secs(total),
+            secs(total / n as f64),
+            format!("{:.1}x", batch_secs / total),
+            stats.safe_promotions.to_string(),
+            (stats.full_repairs + stats.incremental_repairs).to_string(),
+        ]);
+        measured.push((name, total));
+        emit_row(json, name, total);
+    }
+    writeln!(out, "{}", t.render())?;
+    for (name, total) in measured {
+        writeln!(
+            out,
+            "{name}: {:.1}x cheaper per slide than batch re-detection",
+            batch_secs / total
+        )?;
+    }
+    writeln!(out)?;
     Ok(())
 }

@@ -24,8 +24,10 @@ pub mod experiments;
 pub mod graphs;
 pub mod paper;
 pub mod report;
+pub mod slide_baseline;
 pub mod workload;
 
 pub use graphs::{build_all_graphs, BuiltGraphs};
 pub use report::Table;
+pub use slide_baseline::BatchSlideBaseline;
 pub use workload::{Config, Workload};

@@ -1,4 +1,132 @@
-//! Markdown table rendering for experiment reports.
+//! Markdown table rendering and machine-readable JSON reports.
+
+/// A JSON scalar for [`JsonReport`] rows (the vendored `serde` stand-in
+/// has no serializer, so the harness emits JSON directly).
+#[derive(Debug, Clone)]
+pub enum JsonVal {
+    /// A number (serialized with full precision; non-finite becomes
+    /// `null`).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+impl From<f64> for JsonVal {
+    fn from(v: f64) -> Self {
+        JsonVal::Num(v)
+    }
+}
+
+impl From<usize> for JsonVal {
+    fn from(v: usize) -> Self {
+        JsonVal::Int(v as i64)
+    }
+}
+
+impl From<&str> for JsonVal {
+    fn from(v: &str) -> Self {
+        JsonVal::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonVal {
+    fn from(v: String) -> Self {
+        JsonVal::Str(v)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_val(v: &JsonVal) -> String {
+    match v {
+        JsonVal::Num(n) if n.is_finite() => format!("{n}"),
+        JsonVal::Num(_) => "null".to_string(),
+        JsonVal::Int(i) => format!("{i}"),
+        JsonVal::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Machine-readable experiment results: flat metadata plus a list of
+/// measurement rows, written as one JSON object so the perf trajectory
+/// can be tracked across PRs (`experiments <sub> --json BENCH_dod.json`).
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    meta: Vec<(String, JsonVal)>,
+    rows: Vec<Vec<(String, JsonVal)>>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a top-level metadata field.
+    pub fn meta(&mut self, key: &str, val: impl Into<JsonVal>) -> &mut Self {
+        self.meta.push((key.to_string(), val.into()));
+        self
+    }
+
+    /// Adds one measurement row.
+    pub fn row<I: IntoIterator<Item = (&'static str, JsonVal)>>(&mut self, fields: I) {
+        self.rows.push(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+    }
+
+    /// Number of measurement rows collected.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the whole report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  \"{}\": {},\n", json_escape(k), json_val(v)));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = row
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), json_val(v)))
+                .collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {{{}}}{}\n", fields.join(", "), comma));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
 
 /// A simple right-aligned Markdown table builder.
 pub struct Table {
@@ -119,5 +247,35 @@ mod tests {
     #[test]
     fn mb_formatting() {
         assert_eq!(mb(1024 * 1024), "1.00");
+    }
+
+    #[test]
+    fn json_report_renders_valid_shape() {
+        let mut j = JsonReport::new();
+        j.meta("experiment", "stream").meta("scale", 0.5);
+        j.row([
+            ("backend", JsonVal::from("graph")),
+            ("slides", JsonVal::from(100usize)),
+            ("secs", JsonVal::from(0.25)),
+        ]);
+        j.row([("backend", JsonVal::from("exhaustive"))]);
+        let s = j.render();
+        assert!(s.starts_with("{\n"), "{s}");
+        assert!(s.contains("\"experiment\": \"stream\""));
+        assert!(s.contains("\"scale\": 0.5"));
+        assert!(s.contains("{\"backend\": \"graph\", \"slides\": 100, \"secs\": 0.25},"));
+        assert!(s.trim_end().ends_with('}'));
+        assert_eq!(j.len(), 2);
+        assert!(!j.is_empty());
+    }
+
+    #[test]
+    fn json_strings_are_escaped_and_nonfinite_nulled() {
+        let mut j = JsonReport::new();
+        j.meta("note", "a\"b\\c\nd");
+        j.row([("v", JsonVal::Num(f64::INFINITY))]);
+        let s = j.render();
+        assert!(s.contains("a\\\"b\\\\c\\nd"), "{s}");
+        assert!(s.contains("\"v\": null"));
     }
 }

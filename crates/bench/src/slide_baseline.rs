@@ -1,0 +1,79 @@
+//! The per-slide batch re-detection baseline the streaming engine is
+//! measured against.
+//!
+//! One shared implementation so the `stream` experiments subcommand and
+//! the `streaming` criterion bench cannot drift apart: ingest a point into
+//! a FIFO window, snapshot it, re-run the randomized nested loop, map
+//! positions back to global sequence numbers.
+
+use dod_core::{nested_loop, DodParams};
+use dod_metrics::{VectorSet, L2};
+use std::collections::VecDeque;
+
+/// A count-window stream answered by from-scratch batch detection per
+/// slide. Seq numbering matches `dod_stream` (0, 1, 2, … in arrival
+/// order), so outputs are directly comparable.
+pub struct BatchSlideBaseline {
+    window: VecDeque<Vec<f32>>,
+    capacity: usize,
+    front_seq: u64,
+    params: DodParams,
+    seed: u64,
+}
+
+impl BatchSlideBaseline {
+    /// A baseline over the `capacity` most recent points.
+    pub fn new(capacity: usize, params: DodParams, seed: u64) -> Self {
+        assert!(capacity >= 1, "count window needs capacity >= 1");
+        BatchSlideBaseline {
+            window: VecDeque::new(),
+            capacity,
+            front_seq: 0,
+            params,
+            seed,
+        }
+    }
+
+    /// Ingests one point and returns the current outliers as seqs,
+    /// ascending — the answer `StreamDetector::outliers` must reproduce.
+    pub fn slide(&mut self, point: &[f32]) -> Vec<u64> {
+        self.window.push_back(point.to_vec());
+        if self.window.len() > self.capacity {
+            self.window.pop_front();
+            self.front_seq += 1;
+        }
+        let snapshot = VectorSet::from_rows(self.window.make_contiguous(), L2);
+        nested_loop::detect(&snapshot, &self.params, self.seed)
+            .outliers
+            .into_iter()
+            .map(|pos| self.front_seq + pos as u64)
+            .collect()
+    }
+
+    /// Current window fill.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` before the first slide.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slides_expire_fifo_and_map_seqs() {
+        // r=0.5, k=1 over a window of 2: a lone far point is an outlier.
+        let mut b = BatchSlideBaseline::new(2, DodParams::new(0.5, 1), 0);
+        assert_eq!(b.slide(&[0.0]), vec![0]); // alone: no neighbor at all
+        assert_eq!(b.slide(&[0.1]), Vec::<u64>::new());
+        // Seq 2 evicts seq 0; window = {0.1, 9.0}: both isolated.
+        assert_eq!(b.slide(&[9.0]), vec![1, 2]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

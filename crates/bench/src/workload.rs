@@ -20,6 +20,8 @@ pub struct Config {
     pub families: Vec<Family>,
     /// Sample size of the radius calibration.
     pub calib_samples: usize,
+    /// Write machine-readable results to this path (`--json`).
+    pub json: Option<String>,
 }
 
 impl Default for Config {
@@ -32,6 +34,7 @@ impl Default for Config {
             build_threads: hw,
             families: Family::ALL.to_vec(),
             calib_samples: 800,
+            json: None,
         }
     }
 }
@@ -69,6 +72,7 @@ impl Config {
                         .parse()
                         .map_err(|e| format!("--build-threads: {e}"))?
                 }
+                "--json" => cfg.json = Some(next("--json")?),
                 "--families" => {
                     let list = next("--families")?;
                     cfg.families = list
@@ -226,6 +230,17 @@ mod tests {
         assert_eq!(cfg.scale, 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.families, vec![Family::Glove, Family::Words]);
+    }
+
+    #[test]
+    fn json_flag_round_trips() {
+        let args: Vec<String> = ["--json", "BENCH_dod.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = Config::from_args(&args).unwrap();
+        assert_eq!(cfg.json.as_deref(), Some("BENCH_dod.json"));
+        assert!(Config::from_args(&["--json".to_string()]).is_err());
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl TraversalBuffer {
     }
 
     /// Starts a new traversal: all vertices become unvisited in O(1).
-    fn begin(&mut self) {
+    ///
+    /// Public so other walk implementations (e.g. the streaming crate's
+    /// insertion-time beam search) can reuse the epoch-stamped visited set
+    /// instead of duplicating the wrap-around logic.
+    pub fn begin(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Stamp wrap-around: reset marks once every 2^32 traversals.
@@ -46,8 +50,9 @@ impl TraversalBuffer {
         self.queue.clear();
     }
 
+    /// Marks `v` visited; `true` iff it was unvisited this traversal.
     #[inline]
-    fn mark(&mut self, v: u32) -> bool {
+    pub fn mark(&mut self, v: u32) -> bool {
         let slot = &mut self.visited[v as usize];
         if *slot == self.epoch {
             false
@@ -100,6 +105,52 @@ pub fn greedy_count<D: Dataset + ?Sized>(
         }
     }
     count
+}
+
+/// Like [`greedy_count`], but collects the *ids* of the reached neighbors
+/// into `out` (cleared first) instead of only counting them, and does not
+/// stop at `k` — the walk floods everything reachable under the expansion
+/// rule, up to `limit` collected ids.
+///
+/// The result is a subset of the true `r`-neighborhood of `p` (Lemma 1
+/// applies unchanged), which is what incremental consumers — the streaming
+/// engine's graph backend discovers a new point's neighbors with this —
+/// need: every returned id is a certified neighbor, while missed neighbors
+/// only weaken filtering, never exactness.
+pub fn greedy_collect<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    p: usize,
+    r: f64,
+    limit: usize,
+    buf: &mut TraversalBuffer,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    if limit == 0 {
+        return;
+    }
+    buf.begin();
+    buf.mark(p as u32);
+    buf.queue.push_back(p as u32);
+    while let Some(v) = buf.queue.pop_front() {
+        for i in 0..g.adj[v as usize].len() {
+            let w = g.adj[v as usize][i];
+            if !buf.mark(w) {
+                continue;
+            }
+            let d = data.dist(p, w as usize);
+            if d <= r {
+                out.push(w);
+                if out.len() == limit {
+                    return;
+                }
+                buf.queue.push_back(w);
+            } else if g.expand_pivots && g.pivot[w as usize] {
+                buf.queue.push_back(w);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +247,56 @@ mod tests {
         assert_eq!(a, b);
         // And an unrelated query is unaffected by stale marks.
         assert_eq!(greedy_count(&g, &data, 12, 2.0, 100, &mut buf), 4);
+    }
+
+    #[test]
+    fn collect_returns_exactly_the_reached_ids() {
+        let (data, g) = line_graph(20);
+        let mut buf = TraversalBuffer::new(20);
+        let mut out = Vec::new();
+        greedy_collect(&g, &data, 10, 3.0, usize::MAX, &mut buf, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![7, 8, 9, 11, 12, 13]);
+    }
+
+    #[test]
+    fn collect_respects_the_limit() {
+        let (data, g) = line_graph(20);
+        let mut buf = TraversalBuffer::new(20);
+        let mut out = Vec::new();
+        greedy_collect(&g, &data, 10, 3.0, 2, &mut buf, &mut out);
+        assert_eq!(out.len(), 2);
+        let mut none = vec![99];
+        greedy_collect(&g, &data, 10, 3.0, 0, &mut buf, &mut none);
+        assert!(none.is_empty(), "limit 0 must clear and collect nothing");
+    }
+
+    #[test]
+    fn collect_agrees_with_count() {
+        let (data, g) = line_graph(30);
+        let mut buf = TraversalBuffer::new(30);
+        let mut out = Vec::new();
+        for p in (0..30).step_by(5) {
+            for r in [0.5, 2.0, 6.5] {
+                greedy_collect(&g, &data, p, r, usize::MAX, &mut buf, &mut out);
+                let counted = greedy_count(&g, &data, p, r, usize::MAX, &mut buf);
+                assert_eq!(out.len(), counted, "p={p} r={r}");
+                assert!(out.iter().all(|&w| data.dist(p, w as usize) <= r));
+            }
+        }
+    }
+
+    #[test]
+    fn collect_honors_the_pivot_rule() {
+        let data = VectorSet::from_rows(&[vec![0.0], vec![10.0], vec![1.0]], L2);
+        let mut g = ProximityGraph::new(3, GraphKind::Mrpg);
+        g.add_undirected(0, 1);
+        g.add_undirected(1, 2);
+        g.pivot[1] = true;
+        let mut buf = TraversalBuffer::new(3);
+        let mut out = Vec::new();
+        greedy_collect(&g, &data, 0, 2.0, usize::MAX, &mut buf, &mut out);
+        assert_eq!(out, vec![2]);
     }
 
     #[test]

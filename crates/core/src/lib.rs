@@ -29,7 +29,7 @@ pub mod vptree_dod;
 
 pub use detector::Detector;
 pub use graph_dod::{GraphDod, GraphDodReport};
-pub use greedy::{greedy_count, TraversalBuffer};
+pub use greedy::{greedy_collect, greedy_count, TraversalBuffer};
 pub use params::{DodParams, DodResult};
 pub use verify::VerifyStrategy;
 pub use vptree_dod::VpTreeDod;

@@ -283,7 +283,99 @@ pub enum AnyDataset {
     Strings(StringSet),
 }
 
+/// A typed-access request hit a dataset of a different space — e.g. asking
+/// for the L2 vectors of the angular `glove` family.
+///
+/// Returned instead of panicking so library consumers can surface the
+/// mismatch at their own boundary (`?` it up, or `expect` it where a
+/// family's space is an invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyMismatch {
+    /// The space the caller asked for.
+    pub expected: &'static str,
+    /// The space the dataset actually is.
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for FamilyMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "expected a {} dataset, found a {} dataset",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for FamilyMismatch {}
+
 impl AnyDataset {
+    /// The space this dataset lives in, as a short name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AnyDataset::L1(_) => "L1",
+            AnyDataset::L2(_) => "L2",
+            AnyDataset::L4(_) => "L4",
+            AnyDataset::Angular(_) => "angular",
+            AnyDataset::Strings(_) => "string",
+        }
+    }
+
+    /// The L2 vector set, or a typed error describing the mismatch.
+    pub fn as_l2(&self) -> Result<&VectorSet<L2>, FamilyMismatch> {
+        match self {
+            AnyDataset::L2(s) => Ok(s),
+            other => Err(FamilyMismatch {
+                expected: "L2",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The L1 vector set, or a typed error describing the mismatch.
+    pub fn as_l1(&self) -> Result<&VectorSet<L1>, FamilyMismatch> {
+        match self {
+            AnyDataset::L1(s) => Ok(s),
+            other => Err(FamilyMismatch {
+                expected: "L1",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The L4 vector set, or a typed error describing the mismatch.
+    pub fn as_l4(&self) -> Result<&VectorSet<L4>, FamilyMismatch> {
+        match self {
+            AnyDataset::L4(s) => Ok(s),
+            other => Err(FamilyMismatch {
+                expected: "L4",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The angular vector set, or a typed error describing the mismatch.
+    pub fn as_angular(&self) -> Result<&VectorSet<Angular>, FamilyMismatch> {
+        match self {
+            AnyDataset::Angular(s) => Ok(s),
+            other => Err(FamilyMismatch {
+                expected: "angular",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// The string set, or a typed error describing the mismatch.
+    pub fn as_strings(&self) -> Result<&StringSet, FamilyMismatch> {
+        match self {
+            AnyDataset::Strings(s) => Ok(s),
+            other => Err(FamilyMismatch {
+                expected: "string",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
     /// Bytes of raw object storage (for the index-size experiment).
     pub fn data_bytes(&self) -> usize {
         match self {
@@ -424,13 +516,35 @@ mod tests {
 
     #[test]
     fn pamap2_is_clamped_to_domain() {
-        if let AnyDataset::L2(s) = &Family::Pamap2.generate(100, 6).data {
-            for i in 0..100 {
-                assert!(s.row(i).iter().all(|&v| (0.0..=100_000.0).contains(&v)));
-            }
-        } else {
-            panic!("pamap2 should be an L2 vector set");
+        let g = Family::Pamap2.generate(100, 6);
+        let s = g.data.as_l2().expect("pamap2 should be an L2 vector set");
+        for i in 0..100 {
+            assert!(s.row(i).iter().all(|&v| (0.0..=100_000.0).contains(&v)));
         }
+    }
+
+    #[test]
+    fn typed_access_reports_mismatches_without_panicking() {
+        let glove = Family::Glove.generate(10, 1);
+        let err = glove.data.as_l2().err().expect("glove is not L2");
+        assert_eq!(
+            err,
+            FamilyMismatch {
+                expected: "L2",
+                found: "angular"
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "expected a L2 dataset, found a angular dataset"
+        );
+        assert!(glove.data.as_angular().is_ok());
+        assert!(glove.data.as_strings().is_err());
+        let words = Family::Words.generate(10, 1);
+        assert!(words.data.as_strings().is_ok());
+        assert!(words.data.as_l1().is_err());
+        assert!(words.data.as_l4().is_err());
+        assert_eq!(words.data.kind_name(), "string");
     }
 
     #[test]

@@ -261,7 +261,8 @@ impl GaussianMixture {
 
 /// One standard normal sample (Box–Muller; two uniforms per call keeps the
 /// generator branch-free and deterministic).
-fn gauss<R: Rng>(rng: &mut R) -> f64 {
+/// Standard normal via Box-Muller (shared with the stream scenarios).
+pub(crate) fn gauss<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

@@ -13,13 +13,18 @@
 //! * [`Family::generate`] — build a dataset at a given cardinality and seed.
 //! * [`calibrate_r`] — pick a radius `r` that hits a target outlier ratio
 //!   for a given `k`, the way the paper's authors chose Table 2 parameters.
+//! * [`StreamScenario`] — arrival-ordered streams with concentration
+//!   drift, outlier bursts and cluster churn, for the sliding-window
+//!   engine.
 
 pub mod calibrate;
 pub mod families;
 pub mod gaussian;
+pub mod stream;
 pub mod words;
 
 pub use calibrate::{calibrate_r, exact_knn_distance, sample_knn_distances};
-pub use families::{AnyDataset, Family, Generated};
+pub use families::{AnyDataset, Family, FamilyMismatch, Generated};
 pub use gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
+pub use stream::{StreamEvent, StreamScenario};
 pub use words::WordGenerator;

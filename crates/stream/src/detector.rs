@@ -1,0 +1,532 @@
+//! The streaming front door: [`StreamDetector`].
+//!
+//! One object owns the window, the per-resident neighbor knowledge and a
+//! [`StreamIndex`] backend. Each insertion expires due residents, runs the
+//! backend's discovery and folds the result into the incremental counts;
+//! [`outliers`](StreamDetector::outliers) then answers from the maintained
+//! state, exactly — candidates whose knowledge is incomplete get a lazy
+//! exact repair that scans only the window suffix that arrived since their
+//! last repair, so repeated queries between slides cost `O(changed
+//! objects)`, not `O(W²)`.
+
+use crate::counts::NeighborState;
+use crate::graph::{GraphIndex, GraphParams};
+use crate::index::{ExhaustiveIndex, StreamIndex};
+use crate::space::Space;
+use crate::window::{WindowSpec, WindowStore, WindowView};
+use dod_core::verify::ExactCounter;
+use dod_core::VerifyStrategy;
+use dod_metrics::Dataset;
+use std::collections::HashMap;
+
+/// The streaming query: Definition 2's `(r, k)` plus the window bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Distance threshold.
+    pub r: f64,
+    /// Count threshold: a window resident is an outlier iff fewer than `k`
+    /// other residents lie within `r` of it.
+    pub k: usize,
+    /// What bounds the window.
+    pub window: WindowSpec,
+}
+
+impl StreamParams {
+    /// A count-based window of the `w` most recent points.
+    pub fn count(r: f64, k: usize, w: usize) -> Self {
+        StreamParams {
+            r,
+            k,
+            window: WindowSpec::Count(w),
+        }
+    }
+
+    /// A time-based window with the given horizon.
+    pub fn timed(r: f64, k: usize, horizon: f64) -> Self {
+        StreamParams {
+            r,
+            k,
+            window: WindowSpec::Time(horizon),
+        }
+    }
+
+    /// Validates the query.
+    ///
+    /// # Panics
+    /// Panics on a negative/NaN radius or an invalid window spec.
+    pub fn validate(&self) {
+        assert!(
+            self.r >= 0.0 && self.r.is_finite(),
+            "r must be a finite non-negative number, got {}",
+            self.r
+        );
+        self.window.validate();
+    }
+}
+
+/// Which [`StreamIndex`] backend a detector runs on.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Exact incremental counter (`O(W)` distances per slide, zero
+    /// verification).
+    Exhaustive,
+    /// Lazily-repaired proximity graph (sublinear discovery, lazy exact
+    /// repair).
+    Graph(GraphParams),
+}
+
+/// What one insertion did to the window.
+#[derive(Debug, Clone)]
+pub struct SlideReport {
+    /// Seq assigned to the inserted point.
+    pub seq: u64,
+    /// Seqs expired by this slide, oldest first.
+    pub expired: Vec<u64>,
+    /// Window size after the slide.
+    pub window_len: usize,
+}
+
+/// Lifetime counters (cheap, always on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Points ingested.
+    pub inserts: u64,
+    /// Points expired.
+    pub expirations: u64,
+    /// Objects promoted to safe inliers (≥ `k` succeeding neighbors —
+    /// tracking stopped forever).
+    pub safe_promotions: u64,
+    /// Full-window exact repairs performed by queries.
+    pub full_repairs: u64,
+    /// Suffix-only exact repairs performed by queries.
+    pub incremental_repairs: u64,
+}
+
+/// A sliding-window exact distance-based outlier detector.
+///
+/// ```
+/// use dod_stream::{Backend, StreamDetector, StreamParams, VectorSpace};
+/// use dod_metrics::L2;
+///
+/// let params = StreamParams::count(1.5, 2, 64);
+/// let mut det = StreamDetector::new(VectorSpace::new(L2, 1), params);
+/// for i in 0..64 {
+///     det.insert(vec![(i % 8) as f32 * 0.5]);
+/// }
+/// det.insert(vec![100.0]); // far from everything
+/// let out = det.outliers();
+/// assert_eq!(out, vec![64]);
+/// assert_eq!(out, det.audit()); // from-scratch cross-check agrees
+/// ```
+pub struct StreamDetector<S: Space> {
+    space: S,
+    params: StreamParams,
+    win: WindowStore<S::Point>,
+    /// Neighbor knowledge for live, non-safe residents.
+    states: HashMap<u64, NeighborState>,
+    index: Box<dyn StreamIndex<S>>,
+    stats: StreamStats,
+}
+
+impl<S: Space> StreamDetector<S> {
+    /// A detector on the [`Backend::Exhaustive`] backend.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    pub fn new(space: S, params: StreamParams) -> Self
+    where
+        S: 'static,
+    {
+        Self::with_backend(space, params, Backend::Exhaustive)
+    }
+
+    /// A detector on the chosen backend.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    pub fn with_backend(space: S, params: StreamParams, backend: Backend) -> Self
+    where
+        S: 'static,
+    {
+        let index: Box<dyn StreamIndex<S>> = match backend {
+            Backend::Exhaustive => Box::new(ExhaustiveIndex),
+            Backend::Graph(gp) => Box::new(GraphIndex::new(gp, params.k)),
+        };
+        Self::with_index(space, params, index)
+    }
+
+    /// A detector on a custom [`StreamIndex`] implementation.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    pub fn with_index(space: S, params: StreamParams, index: Box<dyn StreamIndex<S>>) -> Self {
+        params.validate();
+        StreamDetector {
+            space,
+            params,
+            win: WindowStore::new(),
+            states: HashMap::new(),
+            index,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Ingests a point at the next unit-spaced tick (`0, 1, 2, …`).
+    pub fn insert(&mut self, point: S::Point) -> SlideReport {
+        let t = if self.win.now().is_finite() {
+            self.win.now() + 1.0
+        } else {
+            0.0
+        };
+        self.insert_at(point, t)
+    }
+
+    /// Ingests a point at an explicit timestamp.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or behind the latest observed timestamp
+    /// (streams are ordered by definition; reorder upstream).
+    pub fn insert_at(&mut self, point: S::Point, time: f64) -> SlideReport {
+        let point = self.space.prepare(point);
+        self.win.advance_clock(time);
+        let expired = self.expire_due(true);
+        let seq = self.win.push(point, time);
+        self.stats.inserts += 1;
+
+        let discovered = {
+            let view = WindowView::new(&self.win, &self.space);
+            self.index.on_insert(&view, seq, self.params.r)
+        };
+        let k = self.params.k;
+        if k > 0 {
+            for &d in &discovered {
+                let Some(st) = self.states.get_mut(&d) else {
+                    continue;
+                };
+                st.add_succ(seq);
+                if st.succ_count() >= k {
+                    self.states.remove(&d);
+                    self.stats.safe_promotions += 1;
+                }
+            }
+            self.states.insert(
+                seq,
+                NeighborState::new(seq, discovered, self.index.is_exact()),
+            );
+        }
+        SlideReport {
+            seq,
+            expired,
+            window_len: self.win.len(),
+        }
+    }
+
+    /// Advances the clock without inserting, expiring due residents
+    /// (useful for time-based windows when the stream goes quiet).
+    ///
+    /// # Panics
+    /// Panics if `time` regresses.
+    pub fn advance_to(&mut self, time: f64) -> Vec<u64> {
+        self.win.advance_clock(time);
+        self.expire_due(false)
+    }
+
+    fn expire_due(&mut self, incoming: bool) -> Vec<u64> {
+        let mut expired = Vec::new();
+        while self.win.front_due(self.params.window, incoming) {
+            let e = self.win.pop_front().expect("due implies non-empty");
+            self.states.remove(&e.seq);
+            {
+                let view = WindowView::new(&self.win, &self.space);
+                self.index.on_expire(&view, e.seq);
+            }
+            self.stats.expirations += 1;
+            expired.push(e.seq);
+        }
+        expired
+    }
+
+    /// Seqs of the current window's outliers, ascending. Exact for both
+    /// backends: inexact candidates are repaired against the window before
+    /// their verdict is trusted.
+    pub fn outliers(&mut self) -> Vec<u64> {
+        let k = self.params.k;
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let front = self.win.front_seq();
+        let next = self.win.next_seq();
+        let trusted = self.index.is_exact();
+        let (win, space, states, stats) =
+            (&self.win, &self.space, &mut self.states, &mut self.stats);
+        let r = self.params.r;
+        let mut promoted = Vec::new();
+        for (&seq, st) in states.iter_mut() {
+            if st.live_count(front) >= k {
+                continue; // certified inlier (counts are lower bounds)
+            }
+            if !trusted && !st.is_exact(next) {
+                repair(win, space, seq, st, r, stats);
+                if st.succ_count() >= k {
+                    promoted.push(seq);
+                    continue;
+                }
+                if st.live_count(front) >= k {
+                    continue;
+                }
+            }
+            out.push(seq);
+        }
+        for seq in promoted {
+            self.states.remove(&seq);
+            self.stats.safe_promotions += 1;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Recomputes the outlier set from scratch over the current window
+    /// through the batch verification engine
+    /// ([`dod_core::verify::ExactCounter`]) — an independent code path the
+    /// incremental result can be cross-checked against.
+    pub fn audit(&self) -> Vec<u64> {
+        let (r, k) = (self.params.r, self.params.k);
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let view = WindowView::new(&self.win, &self.space);
+        let counter = ExactCounter::build(VerifyStrategy::Linear, &view, 0);
+        for pos in 0..view.len() {
+            if counter.count(&view, pos, r, k) < k {
+                out.push(view.seq_at(pos));
+            }
+        }
+        out
+    }
+
+    /// Number of points currently in the window.
+    pub fn len(&self) -> usize {
+        self.win.len()
+    }
+
+    /// `true` when the window holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.win.is_empty()
+    }
+
+    /// The window contents as a read-only [`dod_metrics::Dataset`] view.
+    pub fn window_view(&self) -> WindowView<'_, S> {
+        WindowView::new(&self.win, &self.space)
+    }
+
+    /// Seqs currently in the window, ascending.
+    pub fn window_seqs(&self) -> Vec<u64> {
+        self.win.iter().map(|e| e.seq).collect()
+    }
+
+    /// The live point with seq `seq`, if any.
+    pub fn get(&self, seq: u64) -> Option<&S::Point> {
+        self.win.point(seq)
+    }
+
+    /// Latest observed timestamp (−∞ before the first insertion).
+    pub fn now(&self) -> f64 {
+        self.win.now()
+    }
+
+    /// The query parameters.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    /// The backend's display name.
+    pub fn backend_name(&self) -> &'static str {
+        self.index.name()
+    }
+
+    /// Residents still tracked (live and not yet safe).
+    pub fn tracked(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Approximate heap bytes of engine state (neighbor lists + backend).
+    pub fn size_bytes(&self) -> usize {
+        self.states.values().map(|s| s.size_bytes()).sum::<usize>()
+            + self.states.len()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<NeighborState>())
+            + self.index.size_bytes()
+    }
+}
+
+/// Makes `st`'s knowledge exact for the current window: a full window scan
+/// the first time, a scan of only the arrivals since `exact_upto`
+/// afterwards.
+fn repair<S: Space>(
+    win: &WindowStore<S::Point>,
+    space: &S,
+    seq: u64,
+    st: &mut NeighborState,
+    r: f64,
+    stats: &mut StreamStats,
+) {
+    let own = win.point(seq).expect("tracked seq is live");
+    if !st.pred_exact {
+        let mut pred = Vec::new();
+        let mut succ = Vec::new();
+        for e in win.iter() {
+            if e.seq != seq && space.dist(own, &e.point) <= r {
+                if e.seq < seq {
+                    pred.push(e.seq);
+                } else {
+                    succ.push(e.seq);
+                }
+            }
+        }
+        st.set_exact(pred, succ, win.next_seq());
+        stats.full_repairs += 1;
+    } else {
+        let from = st.exact_upto.max(win.front_seq());
+        for e in win.iter_from(from) {
+            if space.dist(own, &e.point) <= r {
+                st.add_succ(e.seq);
+            }
+        }
+        st.exact_upto = win.next_seq();
+        stats.incremental_repairs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::VectorSpace;
+    use dod_metrics::L2;
+
+    fn det(r: f64, k: usize, w: usize, backend: Backend) -> StreamDetector<VectorSpace<L2>> {
+        StreamDetector::with_backend(
+            VectorSpace::new(L2, 1),
+            StreamParams::count(r, k, w),
+            backend,
+        )
+    }
+
+    fn both() -> [Backend; 2] {
+        [Backend::Exhaustive, Backend::Graph(GraphParams::default())]
+    }
+
+    #[test]
+    fn isolated_point_is_flagged_and_expires_away() {
+        for backend in both() {
+            let mut d = det(1.0, 2, 4, backend);
+            for x in [0.0f32, 0.3, 0.6, 50.0] {
+                d.insert(vec![x]);
+            }
+            assert_eq!(d.outliers(), vec![3], "{}", d.backend_name());
+            // Four more clustered points push the outlier out of the window.
+            for x in [0.1f32, 0.2, 0.4, 0.5] {
+                d.insert(vec![x]);
+            }
+            assert!(!d.outliers().contains(&3));
+            assert_eq!(d.outliers(), d.audit(), "{}", d.backend_name());
+        }
+    }
+
+    #[test]
+    fn expiry_can_create_outliers() {
+        for backend in both() {
+            // Window of 3: [0.0, 0.1, 9.0] — 9.0 alone is an outlier; when
+            // 0.0 and 0.1 expire, the window [9.0, 20.0, 30.0] makes
+            // everything an outlier.
+            let mut d = det(0.5, 1, 3, backend);
+            for x in [0.0f32, 0.1, 9.0, 20.0, 30.0] {
+                d.insert(vec![x]);
+            }
+            assert_eq!(d.outliers(), vec![2, 3, 4], "{}", d.backend_name());
+            assert_eq!(d.outliers(), d.audit());
+        }
+    }
+
+    #[test]
+    fn repeated_queries_are_stable_and_cheap() {
+        for backend in both() {
+            let mut d = det(0.5, 2, 16, backend);
+            for i in 0..40 {
+                d.insert(vec![(i % 5) as f32 * 0.2]);
+            }
+            let a = d.outliers();
+            let before = d.stats();
+            let b = d.outliers();
+            let after = d.stats();
+            assert_eq!(a, b);
+            // The second query repaired nothing new.
+            assert_eq!(before.full_repairs, after.full_repairs);
+        }
+    }
+
+    #[test]
+    fn safe_inliers_stop_being_tracked() {
+        let mut d = det(1.0, 2, 8, Backend::Exhaustive);
+        for _ in 0..8 {
+            d.insert(vec![0.0]);
+        }
+        // Every early point has ≥2 succeeding duplicates: safe.
+        assert!(d.stats().safe_promotions >= 4);
+        assert!(d.tracked() < 8);
+        assert!(d.outliers().is_empty());
+    }
+
+    #[test]
+    fn k_zero_reports_nothing() {
+        for backend in both() {
+            let mut d = det(1.0, 0, 4, backend);
+            for x in [0.0f32, 100.0, 200.0] {
+                d.insert(vec![x]);
+            }
+            assert!(d.outliers().is_empty());
+            assert!(d.audit().is_empty());
+            assert_eq!(d.tracked(), 0);
+        }
+    }
+
+    #[test]
+    fn timed_window_expires_by_horizon() {
+        let space = VectorSpace::new(L2, 1);
+        let mut d = StreamDetector::new(space, StreamParams::timed(1.0, 1, 10.0));
+        d.insert_at(vec![0.0], 0.0);
+        d.insert_at(vec![0.2], 5.0);
+        d.insert_at(vec![0.3], 9.0);
+        assert_eq!(d.len(), 3);
+        let expired = d.advance_to(12.0);
+        assert_eq!(expired, vec![0]); // time 0.0 <= 12 - 10
+        assert_eq!(d.window_seqs(), vec![1, 2]);
+        let expired = d.advance_to(30.0);
+        assert_eq!(expired, vec![1, 2]);
+        assert!(d.is_empty());
+        assert!(d.outliers().is_empty());
+    }
+
+    #[test]
+    fn reports_describe_the_slide() {
+        let mut d = det(1.0, 1, 2, Backend::Exhaustive);
+        let r0 = d.insert(vec![0.0]);
+        assert_eq!((r0.seq, r0.window_len), (0, 1));
+        assert!(r0.expired.is_empty());
+        d.insert(vec![1.0]);
+        let r2 = d.insert(vec![2.0]);
+        assert_eq!(r2.expired, vec![0]);
+        assert_eq!(r2.window_len, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn invalid_radius_is_rejected_at_construction() {
+        let _ = det(f64::NAN, 1, 4, Backend::Exhaustive);
+    }
+}

@@ -48,6 +48,24 @@
 //!   Remove-Links).
 //! * [`core`] — the DOD algorithms: Algorithm 1 plus the nested-loop,
 //!   SNIF, DOLPHIN and VP-tree baselines.
+//! * [`stream`] — sliding-window streaming detection: ingest points one at
+//!   a time, maintain neighbor counts incrementally, answer "current
+//!   outliers" exactly after every slide.
+//!
+//! ## Streaming
+//!
+//! ```
+//! use dod::prelude::*;
+//!
+//! // Flag points with < 2 neighbors within 1.5 among the 32 most recent.
+//! let params = StreamParams::count(1.5, 2, 32);
+//! let mut det = StreamDetector::new(VectorSpace::new(L2, 1), params);
+//! for i in 0..32 {
+//!     det.insert(vec![(i % 4) as f32]);
+//! }
+//! det.insert(vec![500.0]);
+//! assert_eq!(det.outliers(), vec![32]);
+//! ```
 //!
 //! The `dod-bench` crate (workspace-internal) regenerates every table and
 //! figure of the paper's evaluation; see `EXPERIMENTS.md`.
@@ -56,6 +74,7 @@ pub use dod_core as core;
 pub use dod_datasets as datasets;
 pub use dod_graph as graph;
 pub use dod_metrics as metrics;
+pub use dod_stream as stream;
 pub use dod_vptree as vptree;
 
 /// One-stop imports for typical use.
@@ -63,4 +82,8 @@ pub mod prelude {
     pub use dod_core::{DodParams, DodResult, GraphDod, VerifyStrategy, VpTreeDod};
     pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
     pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
+    pub use dod_stream::{
+        Backend, GraphParams, SlideReport, StreamDetector, StreamParams, StringSpace, VectorSpace,
+        WindowSpec,
+    };
 }
