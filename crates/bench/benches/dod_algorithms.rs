@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dod_bench::{build_all_graphs, Config, Workload};
-use dod_core::{dolphin, nested_loop, snif, DodParams, GraphDod, VpTreeDod};
+use dod_core::{dolphin, nested_loop, snif, DodParams, Engine, IndexSpec, Query};
 use dod_datasets::Family;
 use std::hint::black_box;
 
@@ -15,8 +15,15 @@ fn bench_algorithms(c: &mut Criterion) {
     };
     let w = Workload::prepare(Family::Glove, &cfg);
     let params = DodParams::new(w.r, w.k).with_threads(2);
+    let query = Query::new(w.r, w.k)
+        .expect("calibrated query")
+        .with_threads(2);
     let built = build_all_graphs(&w.data, &w, 2, 0);
-    let vp = VpTreeDod::build(&w.data, 0);
+    let vp = Engine::builder(&w.data)
+        .index(IndexSpec::VpTree)
+        .threads(2)
+        .build()
+        .expect("vptree engine");
 
     let mut g = c.benchmark_group("detection_glove3k");
     g.sample_size(10);
@@ -30,18 +37,23 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(dolphin::detect(&w.data, &params, 0)))
     });
     g.bench_function("vptree", |b| {
-        b.iter(|| black_box(vp.detect(&w.data, &params)))
+        b.iter(|| black_box(vp.query(query).expect("query")))
     });
-    for built_graph in &built.graphs {
+    for built_graph in built.graphs {
         let name = match built_graph.graph.kind {
             dod_graph::GraphKind::Nsw => "graph_nsw",
             dod_graph::GraphKind::KGraph => "graph_kgraph",
             dod_graph::GraphKind::MrpgBasic => "graph_mrpg_basic",
             dod_graph::GraphKind::Mrpg => "graph_mrpg",
         };
+        let engine = Engine::builder(&w.data)
+            .prebuilt_graph(built_graph.graph)
+            .verify(w.verify_strategy())
+            .threads(2)
+            .build()
+            .expect("graph engine");
         g.bench_function(name, |b| {
-            let dod = GraphDod::new(&built_graph.graph).with_verify(w.verify_strategy());
-            b.iter(|| black_box(dod.detect(&w.data, &params)))
+            b.iter(|| black_box(engine.query(query).expect("query")))
         });
     }
     g.finish();

@@ -12,10 +12,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dod_bench::BatchSlideBaseline;
-use dod_core::DodParams;
+use dod_core::{DodParams, Query};
 use dod_datasets::{calibrate_r, StreamScenario};
 use dod_metrics::{VectorSet, L2};
-use dod_stream::{Backend, GraphParams, StreamDetector, StreamParams, VectorSpace};
+use dod_stream::{Backend, GraphParams, StreamDetector, VectorSpace, WindowSpec};
 use std::hint::black_box;
 
 const N: usize = 4000;
@@ -35,11 +35,13 @@ fn warmed_detector(
     r: f64,
     backend: Backend,
 ) -> StreamDetector<VectorSpace<L2>> {
-    let mut det = StreamDetector::with_backend(
+    let mut det = StreamDetector::open(
         VectorSpace::new(L2, DIM),
-        StreamParams::count(r, K, W),
+        Query::new(r, K).expect("calibrated query is valid"),
+        WindowSpec::Count(W),
         backend,
-    );
+    )
+    .expect("valid stream parameters");
     for p in &points[..W] {
         det.insert(p.clone());
     }
@@ -106,11 +108,13 @@ fn speedup_summary(_c: &mut Criterion) {
         ("incremental_exhaustive", Backend::Exhaustive),
         ("incremental_graph", Backend::Graph(GraphParams::default())),
     ] {
-        let mut det = StreamDetector::with_backend(
+        let mut det = StreamDetector::open(
             VectorSpace::new(L2, DIM),
-            StreamParams::count(r, K, W),
+            Query::new(r, K).expect("calibrated query is valid"),
+            WindowSpec::Count(W),
             backend,
-        );
+        )
+        .expect("valid stream parameters");
         let t0 = std::time::Instant::now();
         let mut out = 0usize;
         for p in &points {

@@ -5,10 +5,11 @@ use crate::paper;
 use crate::report::{paper_secs, secs, JsonReport, JsonVal, Table};
 use crate::slide_baseline::BatchSlideBaseline;
 use crate::workload::{Config, Workload};
-use dod_core::{dolphin, nested_loop, snif, DodParams, GraphDod, GraphDodReport, VpTreeDod};
+use dod_core::{dolphin, nested_loop, snif, DodParams, Engine, IndexSpec, OutlierReport, Query};
 use dod_datasets::{calibrate_r, Family, StreamScenario};
+use dod_graph::ProximityGraph;
 use dod_metrics::{Dataset, Subset, VectorSet, L2};
-use dod_stream::{Backend, GraphParams, StreamDetector, StreamParams, VectorSpace};
+use dod_stream::{Backend, GraphParams, StreamDetector, VectorSpace, WindowSpec};
 use std::io::{self, Write};
 
 /// Which experiment(s) to run; parsed from the CLI subcommand.
@@ -55,6 +56,33 @@ impl Which {
             _ => return None,
         })
     }
+}
+
+/// Stands an [`Engine`] up over a prebuilt graph, configured the way the
+/// workload's paper settings dictate (verification strategy, threads,
+/// seed). The engine owns the graph; kind/size stay reachable through
+/// [`Engine::graph`]/[`Engine::index_bytes`].
+fn graph_engine<'a, D: Dataset>(
+    data: &'a D,
+    graph: ProximityGraph,
+    w: &Workload,
+    threads: usize,
+    seed: u64,
+) -> Engine<&'a D> {
+    Engine::builder(data)
+        .prebuilt_graph(graph)
+        .verify(w.verify_strategy())
+        .threads(threads)
+        .seed(seed)
+        .build()
+        .expect("prebuilt graph covers the workload dataset")
+}
+
+/// The workload's calibrated `(r, k)` as a validated engine query.
+fn workload_query(w: &Workload, threads: usize) -> Query {
+    Query::new(w.r, w.k)
+        .expect("calibrated workload parameters are valid")
+        .with_threads(threads)
 }
 
 /// Runs the selected experiment(s), writing Markdown to `out`. With
@@ -135,16 +163,32 @@ fn measure_family(
     writeln!(out, "* workload {w}")?;
     out.flush()?;
     let params = DodParams::new(w.r, w.k).with_threads(cfg.threads);
+    let query = workload_query(&w, cfg.threads);
 
     // Offline builds.
     let built = build_all_graphs(&w.data, &w, cfg.build_threads, cfg.seed);
-    let vp = VpTreeDod::build(&w.data, cfg.seed);
+    let build_secs = [
+        built.graphs[0].build_secs,
+        built.graphs[1].build_secs,
+        built.graphs[2].build_secs,
+        built.graphs[3].build_secs,
+    ];
+    let breakdowns = [
+        built.graphs[2].breakdown.expect("basic has breakdown"),
+        built.graphs[3].breakdown.expect("mrpg has breakdown"),
+    ];
+    let vp = Engine::builder(&w.data)
+        .index(IndexSpec::VpTree)
+        .seed(cfg.seed)
+        .threads(cfg.threads)
+        .build()
+        .expect("VP-tree engines build for any dataset");
 
     // Online detection: baselines.
     let nl = nested_loop::detect(&w.data, &params, cfg.seed);
     let (snif_res, snif_bytes) = snif::detect_with_stats(&w.data, &params, cfg.seed);
     let (dolphin_res, dolphin_bytes) = dolphin::detect_with_stats(&w.data, &params, cfg.seed);
-    let vp_res = vp.detect(&w.data, &params);
+    let vp_res = vp.query(query).expect("VP-tree query");
     assert_eq!(nl.outliers, snif_res.outliers, "{family}: SNIF mismatch");
     assert_eq!(
         nl.outliers, dolphin_res.outliers,
@@ -152,17 +196,20 @@ fn measure_family(
     );
     assert_eq!(nl.outliers, vp_res.outliers, "{family}: VP-tree mismatch");
 
-    // Online detection: the four graphs.
-    let mut graph_reports: Vec<GraphDodReport> = Vec::with_capacity(4);
-    for b in &built.graphs {
-        let report = GraphDod::new(&b.graph)
-            .with_verify(w.verify_strategy())
-            .with_seed(cfg.seed)
-            .detect(&w.data, &params);
+    // Online detection: the four graphs, each behind an Engine session.
+    let engines: Vec<Engine<&_>> = built
+        .graphs
+        .into_iter()
+        .map(|b| graph_engine(&w.data, b.graph, &w, cfg.threads, cfg.seed))
+        .collect();
+    let mut graph_reports: Vec<OutlierReport> = Vec::with_capacity(4);
+    for engine in &engines {
+        let report = engine.query(query).expect("graph query");
         assert_eq!(
-            nl.outliers, report.outliers,
+            nl.outliers,
+            report.outliers,
             "{family}: {} mismatch",
-            b.graph.kind
+            engine.index_name()
         );
         graph_reports.push(report);
     }
@@ -170,26 +217,21 @@ fn measure_family(
     Ok(FamilyMeasurement {
         family,
         n: w.n,
-        build_secs: [
-            built.graphs[0].build_secs,
-            built.graphs[1].build_secs,
-            built.graphs[2].build_secs,
-            built.graphs[3].build_secs,
-        ],
+        build_secs,
         index_mb: [
             snif_bytes as f64 / 1048576.0,
             dolphin_bytes as f64 / 1048576.0,
-            vp.size_bytes() as f64 / 1048576.0,
-            built.graphs[0].graph.size_bytes() as f64 / 1048576.0,
-            built.graphs[1].graph.size_bytes() as f64 / 1048576.0,
-            built.graphs[2].graph.size_bytes() as f64 / 1048576.0,
-            built.graphs[3].graph.size_bytes() as f64 / 1048576.0,
+            vp.index_bytes() as f64 / 1048576.0,
+            engines[0].index_bytes() as f64 / 1048576.0,
+            engines[1].index_bytes() as f64 / 1048576.0,
+            engines[2].index_bytes() as f64 / 1048576.0,
+            engines[3].index_bytes() as f64 / 1048576.0,
         ],
         detect_secs: [
-            nl.total_secs,
-            snif_res.total_secs,
-            dolphin_res.total_secs,
-            vp_res.total_secs,
+            nl.total_secs(),
+            snif_res.total_secs(),
+            dolphin_res.total_secs(),
+            vp_res.total_secs(),
             graph_reports[0].total_secs(),
             graph_reports[1].total_secs(),
             graph_reports[2].total_secs(),
@@ -202,10 +244,7 @@ fn measure_family(
             graph_reports[3].false_positives,
         ],
         outliers: nl.outliers.len(),
-        breakdowns: [
-            built.graphs[2].breakdown.expect("basic has breakdown"),
-            built.graphs[3].breakdown.expect("mrpg has breakdown"),
-        ],
+        breakdowns,
         phase_secs: [
             (graph_reports[0].filter_secs, graph_reports[0].verify_secs),
             (graph_reports[1].filter_secs, graph_reports[1].verify_secs),
@@ -455,15 +494,14 @@ fn fig6_7(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
             let ids = w.sample_ids(rate, cfg.seed ^ 0x5a);
             let data = Subset::new(&w.data, ids);
             let built = build_all_graphs(&data, &w, cfg.build_threads, cfg.seed);
-            let params = DodParams::new(w.r, w.k).with_threads(cfg.threads);
+            let query = workload_query(&w, cfg.threads);
             let mut build_cells = vec![format!("{rate:.1}"), data.len().to_string()];
             let mut run_cells = vec![format!("{rate:.1}"), data.len().to_string()];
             let mut reference: Option<Vec<u32>> = None;
-            for b in &built.graphs {
+            for b in built.graphs {
                 build_cells.push(secs(b.build_secs));
-                let report = GraphDod::new(&b.graph)
-                    .with_verify(w.verify_strategy())
-                    .detect(&data, &params);
+                let engine = graph_engine(&data, b.graph, &w, cfg.threads, cfg.seed);
+                let report = engine.query(query).expect("graph query");
                 run_cells.push(secs(report.total_secs()));
                 match &reference {
                     None => reference = Some(report.outliers),
@@ -490,17 +528,29 @@ fn fig8_9(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
         let w = Workload::prepare(family, cfg);
         writeln!(out, "### {w}\n")?;
         let built = build_all_graphs(&w.data, &w, cfg.build_threads, cfg.seed);
+        // Build-once/query-many: one engine per graph serves both grids.
+        let engines: Vec<Engine<&_>> = built
+            .graphs
+            .into_iter()
+            .map(|b| graph_engine(&w.data, b.graph, &w, cfg.threads, cfg.seed))
+            .collect();
+        // One untimed warm-up query per engine: the verification engine is
+        // built lazily on first use and cached, so without this the first
+        // grid row alone would pay it and the rows would not compare.
+        for engine in &engines {
+            let _ = engine
+                .query(workload_query(&w, cfg.threads))
+                .expect("warm-up query");
+        }
 
         let mut k_t = Table::new(["k", "NSW", "KGraph", "MRPG-basic", "MRPG"]);
         for k in paper::k_grid(family) {
             let k = k.min(w.n - 1);
-            let params = DodParams::new(w.r, k).with_threads(cfg.threads);
+            let query = Query::new(w.r, k).expect("valid").with_threads(cfg.threads);
             let mut cells = vec![k.to_string()];
             let mut reference: Option<Vec<u32>> = None;
-            for b in &built.graphs {
-                let report = GraphDod::new(&b.graph)
-                    .with_verify(w.verify_strategy())
-                    .detect(&w.data, &params);
+            for engine in &engines {
+                let report = engine.query(query).expect("graph query");
                 cells.push(secs(report.total_secs()));
                 match &reference {
                     None => reference = Some(report.outliers),
@@ -514,13 +564,11 @@ fn fig8_9(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
         let mut r_t = Table::new(["r", "NSW", "KGraph", "MRPG-basic", "MRPG"]);
         for mult in paper::R_GRID_MULTIPLIERS {
             let r = w.r * mult;
-            let params = DodParams::new(r, w.k).with_threads(cfg.threads);
+            let query = Query::new(r, w.k).expect("valid").with_threads(cfg.threads);
             let mut cells = vec![format!("{r:.4}")];
             let mut reference: Option<Vec<u32>> = None;
-            for b in &built.graphs {
-                let report = GraphDod::new(&b.graph)
-                    .with_verify(w.verify_strategy())
-                    .detect(&w.data, &params);
+            for engine in &engines {
+                let report = engine.query(query).expect("graph query");
                 cells.push(secs(report.total_secs()));
                 match &reference {
                     None => reference = Some(report.outliers),
@@ -549,14 +597,25 @@ fn fig10(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
         let w = Workload::prepare(family, cfg);
         writeln!(out, "### {w}\n")?;
         let built = build_all_graphs(&w.data, &w, cfg.build_threads, cfg.seed);
+        let engines: Vec<Engine<&_>> = built
+            .graphs
+            .into_iter()
+            .map(|b| graph_engine(&w.data, b.graph, &w, cfg.threads, cfg.seed))
+            .collect();
+        // Untimed warm-up so the cached verification engine is built
+        // before the grid — otherwise only the first thread count pays it.
+        for engine in &engines {
+            let _ = engine
+                .query(workload_query(&w, cfg.threads))
+                .expect("warm-up query");
+        }
         let mut t = Table::new(["threads", "NSW", "KGraph", "MRPG-basic", "MRPG"]);
         for threads in paper::THREAD_GRID {
-            let params = DodParams::new(w.r, w.k).with_threads(threads);
+            // The per-query override scales one engine across the grid.
+            let query = workload_query(&w, threads);
             let mut cells = vec![threads.to_string()];
-            for b in &built.graphs {
-                let report = GraphDod::new(&b.graph)
-                    .with_verify(w.verify_strategy())
-                    .detect(&w.data, &params);
+            for engine in &engines {
+                let report = engine.query(query).expect("graph query");
                 cells.push(secs(report.total_secs()));
             }
             t.row(cells);
@@ -590,9 +649,10 @@ fn ablation(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
         p.enable_connect = connect;
         p.enable_detours = detours;
         let (g, _) = dod_graph::mrpg::build(&w.data, &p);
-        let report = GraphDod::new(&g)
-            .with_verify(w.verify_strategy())
-            .detect(&w.data, &params);
+        let engine = graph_engine(&w.data, g, &w, cfg.threads, cfg.seed);
+        let report = engine
+            .query(workload_query(&w, cfg.threads))
+            .expect("graph query");
         assert_eq!(report.outliers, truth, "{name} lost exactness");
         t.row([
             name.to_string(),
@@ -628,7 +688,7 @@ fn hnsw_claim(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
     ]);
     for &family in &cfg.families {
         let w = Workload::prepare(family, cfg);
-        let params = DodParams::new(w.r, w.k).with_threads(cfg.threads);
+        let query = workload_query(&w, cfg.threads);
 
         let t0 = std::time::Instant::now();
         let nsw = dod_graph::mrpg::build_nsw(&w.data, w.degree, cfg.seed);
@@ -639,14 +699,13 @@ fn hnsw_claim(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
             &dod_graph::hnsw::HnswParams::matching_kgraph(w.degree),
         );
         let hnsw_build = t0.elapsed().as_secs_f64();
+        let hnsw_bytes = hnsw.size_bytes();
         let hnsw_flat = hnsw.bottom_layer_graph();
 
-        let nsw_report = GraphDod::new(&nsw)
-            .with_verify(w.verify_strategy())
-            .detect(&w.data, &params);
-        let hnsw_report = GraphDod::new(&hnsw_flat)
-            .with_verify(w.verify_strategy())
-            .detect(&w.data, &params);
+        let nsw_engine = graph_engine(&w.data, nsw, &w, cfg.threads, cfg.seed);
+        let hnsw_engine = graph_engine(&w.data, hnsw_flat, &w, cfg.threads, cfg.seed);
+        let nsw_report = nsw_engine.query(query).expect("graph query");
+        let hnsw_report = hnsw_engine.query(query).expect("graph query");
         assert_eq!(
             nsw_report.outliers, hnsw_report.outliers,
             "{family}: exactness must hold on both graphs"
@@ -655,8 +714,8 @@ fn hnsw_claim(cfg: &Config, out: &mut dyn Write) -> io::Result<()> {
             family.to_string(),
             secs(nsw_build),
             secs(hnsw_build),
-            format!("{:.2}", nsw.size_bytes() as f64 / 1048576.0),
-            format!("{:.2}", hnsw.size_bytes() as f64 / 1048576.0),
+            format!("{:.2}", nsw_engine.index_bytes() as f64 / 1048576.0),
+            format!("{:.2}", hnsw_bytes as f64 / 1048576.0),
             secs(nsw_report.total_secs()),
             secs(hnsw_report.total_secs()),
         ]);
@@ -747,8 +806,9 @@ fn stream_experiment(
         ("stream graph", Backend::Graph(GraphParams::default())),
     ] {
         let space = VectorSpace::new(L2, dim);
-        let sp = StreamParams::count(r, k, w);
-        let mut det = StreamDetector::with_backend(space, sp, backend);
+        let query = Query::new(r, k).expect("calibrated stream query is valid");
+        let mut det = StreamDetector::open(space, query, WindowSpec::Count(w), backend)
+            .expect("valid stream parameters");
         let t0 = std::time::Instant::now();
         let mut disagreements = 0usize;
         for (i, p) in points.iter().enumerate() {

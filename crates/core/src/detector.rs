@@ -1,18 +1,25 @@
-//! A unified front door over every detection algorithm.
+//! The pre-[`Engine`](crate::Engine) unified front door, kept for one
+//! release as a thin shim.
 //!
-//! The paper's evaluation (and any user comparing algorithms) wants to run
-//! "the same query through N detectors". [`Detector`] erases the per-
-//! algorithm construction differences behind one `detect` call while
-//! keeping the indexes explicit — building them is the offline phase and
-//! stays under caller control.
+//! [`Detector`] erased the per-algorithm construction differences behind
+//! one `detect` call. [`Engine`](crate::Engine) replaces it for the
+//! indexed algorithms (graphs, VP-tree, nested loop); the per-query-index
+//! baselines SNIF and DOLPHIN remain available as the free functions
+//! [`crate::snif::detect`] and [`crate::dolphin::detect`].
+
+#![allow(deprecated)]
 
 use crate::graph_dod::GraphDod;
-use crate::params::{DodParams, DodResult};
+use crate::params::{DodParams, OutlierReport};
 use crate::vptree_dod::VpTreeDod;
 use crate::{dolphin, nested_loop, snif};
 use dod_metrics::Dataset;
 
 /// Any of the workspace's exact DOD algorithms, ready to answer queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "use dod_core::Engine; SNIF/DOLPHIN remain as free functions"
+)]
 pub enum Detector<'g> {
     /// Randomized nested loop (no index).
     NestedLoop {
@@ -49,17 +56,13 @@ impl Detector<'_> {
 
     /// Runs the query. Every variant returns the identical exact outlier
     /// set (enforced by the cross-algorithm test suite).
-    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> DodResult {
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> OutlierReport {
         match self {
             Detector::NestedLoop { seed } => nested_loop::detect(data, params, *seed),
             Detector::Snif { seed } => snif::detect(data, params, *seed),
             Detector::Dolphin { seed } => dolphin::detect(data, params, *seed),
             Detector::VpTree(vp) => vp.detect(data, params),
-            Detector::Graph(g) => {
-                let report = g.detect(data, params);
-                let total = report.total_secs();
-                DodResult::new(report.outliers, total)
-            }
+            Detector::Graph(g) => g.detect(data, params),
         }
     }
 }

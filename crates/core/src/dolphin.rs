@@ -15,7 +15,7 @@
 //! behavior the paper's Table 5 reports.
 
 use crate::parallel::par_map_strided;
-use crate::params::{DodParams, DodResult};
+use crate::params::{assert_valid, DodParams, OutlierReport};
 use dod_metrics::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,7 +27,7 @@ use std::time::Instant;
 const KEEP_PROB: f64 = 0.05;
 
 /// Runs DOLPHIN. Exact for any metric.
-pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> DodResult {
+pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> OutlierReport {
     detect_with_stats(data, params, seed).0
 }
 
@@ -37,13 +37,16 @@ pub fn detect_with_stats<D: Dataset + ?Sized>(
     data: &D,
     params: &DodParams,
     seed: u64,
-) -> (DodResult, usize) {
-    params.validate();
+) -> (OutlierReport, usize) {
+    assert_valid(params);
     let n = data.len();
     let (r, k) = (params.r, params.k);
     let t = Instant::now();
     if n == 0 || k == 0 {
-        return (DodResult::new(Vec::new(), t.elapsed().as_secs_f64()), 0);
+        return (
+            OutlierReport::from_outliers(Vec::new(), t.elapsed().as_secs_f64()),
+            0,
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -129,7 +132,7 @@ pub fn detect_with_stats<D: Dataset + ?Sized>(
         .map(|(id, _)| id)
         .collect();
     (
-        DodResult::new(outliers, t.elapsed().as_secs_f64()),
+        OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64()),
         peak_index * std::mem::size_of::<Entry>(),
     )
 }

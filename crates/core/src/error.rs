@@ -1,0 +1,159 @@
+//! [`DodError`] — the workspace-wide error type.
+//!
+//! Every fallible operation on the public query path (building an
+//! [`Engine`](crate::Engine), validating a [`Query`](crate::Query),
+//! loading a persisted index, converting an
+//! `AnyDataset` to a typed set) surfaces one of these variants instead of
+//! panicking. The pre-`Engine` entry points that documented panics keep
+//! them — as deprecated shims — by panicking with the corresponding
+//! variant's `Display` text, so their historical panic messages are
+//! unchanged.
+
+use dod_graph::serialize::DecodeError;
+use std::io;
+
+/// Any error the detection stack can surface to a caller.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DodError {
+    /// The query radius is negative or not finite (Definition 2 requires
+    /// a distance threshold `r >= 0`).
+    InvalidRadius {
+        /// The offending radius.
+        r: f64,
+    },
+    /// A sliding-window specification is unusable (zero-capacity count
+    /// window, non-positive or non-finite time horizon).
+    InvalidWindow {
+        /// What was wrong, in words.
+        reason: String,
+    },
+    /// An [`IndexSpec`](crate::IndexSpec) cannot produce a working index
+    /// (e.g. a zero graph degree).
+    InvalidSpec {
+        /// What was wrong, in words.
+        reason: String,
+    },
+    /// An index was built (or loaded) over a different number of objects
+    /// than the dataset it is being queried with.
+    SizeMismatch {
+        /// Objects the index covers.
+        index: usize,
+        /// Objects in the dataset.
+        data: usize,
+    },
+    /// A typed-dataset request hit a dataset of a different metric space
+    /// (absorbed from `dod_datasets::FamilyMismatch`).
+    FamilyMismatch {
+        /// The space the caller asked for.
+        expected: &'static str,
+        /// The space the dataset actually is.
+        found: &'static str,
+    },
+    /// A persisted index failed to deserialize: the payload is truncated
+    /// or structurally invalid at `offset`.
+    Corrupt {
+        /// Byte offset (from the start of the payload) where decoding
+        /// failed.
+        offset: usize,
+        /// What was wrong, in words.
+        reason: &'static str,
+    },
+    /// An underlying I/O failure while persisting or loading an index.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DodError::InvalidRadius { r } => {
+                write!(f, "r must be a finite non-negative number, got {r}")
+            }
+            DodError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
+            DodError::InvalidSpec { reason } => write!(f, "invalid index spec: {reason}"),
+            DodError::SizeMismatch { index, data } => write!(
+                f,
+                "index was built over {index} objects but the dataset has {data}"
+            ),
+            DodError::FamilyMismatch { expected, found } => {
+                write!(f, "expected a {expected} dataset, found a {found} dataset")
+            }
+            DodError::Corrupt { offset, reason } => {
+                write!(f, "corrupt index bytes at offset {offset}: {reason}")
+            }
+            DodError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DodError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DodError {
+    fn from(e: io::Error) -> Self {
+        DodError::Io(e)
+    }
+}
+
+impl From<DecodeError> for DodError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Corrupt { offset, reason } => DodError::Corrupt { offset, reason },
+            DecodeError::Io(e) => DodError::Io(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_the_historical_radius_message() {
+        // The deprecated panicking shims panic with this Display text; the
+        // long-standing `#[should_panic(expected = "finite non-negative")]`
+        // tests depend on the phrase surviving.
+        let e = DodError::InvalidRadius { r: -1.0 };
+        assert!(e.to_string().contains("finite non-negative"));
+    }
+
+    #[test]
+    fn corrupt_carries_the_failure_offset() {
+        let e = DodError::Corrupt {
+            offset: 17,
+            reason: "truncated adjacency list",
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 17"), "{s}");
+        assert!(s.contains("truncated adjacency list"), "{s}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_a_source() {
+        let e: DodError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DodError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn decode_errors_map_to_corrupt() {
+        let e: DodError = DecodeError::Corrupt {
+            offset: 4,
+            reason: "bad magic",
+        }
+        .into();
+        assert!(matches!(
+            e,
+            DodError::Corrupt {
+                offset: 4,
+                reason: "bad magic"
+            }
+        ));
+    }
+}

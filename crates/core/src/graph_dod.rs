@@ -1,12 +1,19 @@
 //! The paper's DOD algorithm (Algorithm 1): proximity-graph filtering plus
 //! exact verification, with the §5.5 exact-`K'` shortcut.
+//!
+//! The algorithm itself lives in a crate-internal `detect_on_graph`
+//! function shared by the [`Engine`](crate::Engine) front door (which adds
+//! buffer pooling, verification-engine caching and typed errors) and the
+//! deprecated [`GraphDod`] shim.
 
-use crate::greedy::{greedy_count, TraversalBuffer};
+use crate::error::DodError;
+use crate::greedy::{greedy_count, BufferPool, TraversalBuffer};
 use crate::parallel::par_map_strided;
-use crate::params::DodParams;
+use crate::params::{DodParams, OutlierReport};
 use crate::verify::{ExactCounter, VerifyStrategy};
 use dod_graph::ProximityGraph;
 use dod_metrics::Dataset;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Per-object outcome of the filtering phase.
@@ -23,163 +30,101 @@ enum FilterOutcome {
     ExactInlier,
 }
 
-/// Detection report: the outliers plus the phase decomposition the paper's
-/// Tables 7 and 8 evaluate.
-#[derive(Debug, Clone)]
-pub struct GraphDodReport {
-    /// Ids of all outliers, ascending.
-    pub outliers: Vec<u32>,
-    /// Objects whose greedy count stayed below `k` (`|P'|`, the
-    /// verification workload).
-    pub candidates: usize,
-    /// Candidates that verification re-classified as inliers — the paper's
-    /// `f` (Table 7). Lower is better; MRPG's whole design minimizes this.
-    pub false_positives: usize,
-    /// Outliers decided during filtering by the exact-`K'` shortcut
-    /// (0 unless the graph is a full MRPG).
-    pub decided_in_filter: usize,
-    /// Wall-clock seconds of the filtering phase.
-    pub filter_secs: f64,
-    /// Wall-clock seconds of the verification phase.
-    pub verify_secs: f64,
-}
-
-impl GraphDodReport {
-    /// Total detection time (Table 5's "running time").
-    pub fn total_secs(&self) -> f64 {
-        self.filter_secs + self.verify_secs
-    }
-}
-
-/// Algorithm 1 bound to a proximity graph.
+/// Runs Algorithm 1 over a prebuilt graph.
 ///
-/// The graph is built once offline ([`dod_graph::mrpg::build`] and friends)
-/// and reused for any number of `(r, k)` queries — the "general to any `r`
-/// and `k`" requirement the paper's introduction sets.
-pub struct GraphDod<'g> {
-    graph: &'g ProximityGraph,
+/// `pool` supplies reusable traversal buffers and `counter` caches the
+/// resolved verification engine across queries — both are per-engine state
+/// so repeated queries stop re-allocating; one-shot callers pass fresh
+/// ones.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn detect_on_graph<D: Dataset + ?Sized>(
+    g: &ProximityGraph,
+    data: &D,
+    r: f64,
+    k: usize,
+    threads: usize,
     verify: VerifyStrategy,
     seed: u64,
-}
-
-impl<'g> GraphDod<'g> {
-    /// Binds the algorithm to a graph with the paper's automatic
-    /// verification-strategy choice.
-    pub fn new(graph: &'g ProximityGraph) -> Self {
-        GraphDod {
-            graph,
-            verify: VerifyStrategy::Auto,
-            seed: 0,
-        }
+    pool: &BufferPool,
+    counter: &OnceLock<ExactCounter>,
+) -> Result<OutlierReport, DodError> {
+    DodParams::new(r, k).validate()?;
+    let n = data.len();
+    if g.node_count() != n {
+        return Err(DodError::SizeMismatch {
+            index: g.node_count(),
+            data: n,
+        });
+    }
+    if n == 0 || k == 0 {
+        // k = 0: no object can have "fewer than 0" neighbors.
+        return Ok(OutlierReport::from_outliers(Vec::new(), 0.0));
     }
 
-    /// Overrides the verification strategy (the paper fixes VP-tree for
-    /// HEPMASS, PAMAP2 and Words and linear scan elsewhere).
-    pub fn with_verify(mut self, strategy: VerifyStrategy) -> Self {
-        self.verify = strategy;
-        self
-    }
-
-    /// Seed for the verification engine's internals (VP-tree vantage
-    /// points); detection results do not depend on it.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// The bound graph.
-    pub fn graph(&self) -> &ProximityGraph {
-        self.graph
-    }
-
-    /// Runs Algorithm 1 and returns the full report.
-    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> GraphDodReport {
-        params.validate();
-        let g = self.graph;
-        let n = data.len();
-        assert_eq!(
-            g.node_count(),
-            n,
-            "graph was built over {} objects but the dataset has {n}",
-            g.node_count()
-        );
-        let (r, k) = (params.r, params.k);
-        if n == 0 || k == 0 {
-            // k = 0: no object can have "fewer than 0" neighbors.
-            return GraphDodReport {
-                outliers: Vec::new(),
-                candidates: 0,
-                false_positives: 0,
-                decided_in_filter: 0,
-                filter_secs: 0.0,
-                verify_secs: 0.0,
-            };
-        }
-
-        // ---- Filtering phase (parallel, strided for load balance) -------
-        let t = Instant::now();
-        let use_shortcut = g.use_exact_shortcut;
-        let outcomes: Vec<FilterOutcome> = if params.threads <= 1 {
-            let mut buf = TraversalBuffer::new(n);
-            (0..n)
-                .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
-                .collect()
-        } else {
-            // Each worker keeps its own traversal buffer via thread_local
-            // emulation: stride workers construct one buffer each.
-            par_map_strided_buffered(g, data, n, r, k, use_shortcut, params.threads)
-        };
-        let filter_secs = t.elapsed().as_secs_f64();
-
-        // ---- Verification phase ------------------------------------------
-        let t = Instant::now();
-        let candidates: Vec<u32> = outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| o == FilterOutcome::Candidate)
-            .map(|(p, _)| p as u32)
+    // ---- Filtering phase (parallel, strided for load balance) -------
+    let t = Instant::now();
+    let use_shortcut = g.use_exact_shortcut;
+    let outcomes: Vec<FilterOutcome> = if threads <= 1 {
+        let mut buf = pool.take(n);
+        let out = (0..n)
+            .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
             .collect();
-        let decided_in_filter = outcomes
-            .iter()
-            .filter(|&&o| o == FilterOutcome::ExactOutlier)
-            .count();
+        pool.put(buf);
+        out
+    } else {
+        par_filter_strided(g, data, n, r, k, use_shortcut, threads, pool)
+    };
+    let filter_secs = t.elapsed().as_secs_f64();
 
-        let mut outliers: Vec<u32> = outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| o == FilterOutcome::ExactOutlier)
-            .map(|(p, _)| p as u32)
-            .collect();
-        let mut false_positives = 0;
-        // Only stand up the exact-counting engine when filtering actually
-        // left candidates: resolving `Auto` samples the dataset and the
-        // VP-tree engine builds an index, both of which cost real distance
-        // evaluations that would be pure waste on an empty workload.
-        if !candidates.is_empty() {
-            let counter = ExactCounter::build(self.verify, data, self.seed);
-            let verdicts: Vec<bool> = par_map_strided(candidates.len(), params.threads, |ci| {
-                counter.count(data, candidates[ci] as usize, r, k) < k
-            });
-            for (ci, &is_outlier) in verdicts.iter().enumerate() {
-                if is_outlier {
-                    outliers.push(candidates[ci]);
-                } else {
-                    false_positives += 1;
-                }
+    // ---- Verification phase ------------------------------------------
+    let t = Instant::now();
+    let candidates: Vec<u32> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, &o)| o == FilterOutcome::Candidate)
+        .map(|(p, _)| p as u32)
+        .collect();
+    let decided_in_filter = outcomes
+        .iter()
+        .filter(|&&o| o == FilterOutcome::ExactOutlier)
+        .count();
+
+    let mut outliers: Vec<u32> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, &o)| o == FilterOutcome::ExactOutlier)
+        .map(|(p, _)| p as u32)
+        .collect();
+    let mut false_positives = 0;
+    // Only stand up the exact-counting engine when filtering actually
+    // left candidates: resolving `Auto` samples the dataset and the
+    // VP-tree engine builds an index, both of which cost real distance
+    // evaluations that would be pure waste on an empty workload. Once
+    // built it is cached on the engine for every later query.
+    if !candidates.is_empty() {
+        let counter = counter.get_or_init(|| ExactCounter::build(verify, data, seed));
+        let verdicts: Vec<bool> = par_map_strided(candidates.len(), threads, |ci| {
+            counter.count(data, candidates[ci] as usize, r, k) < k
+        });
+        for (ci, &is_outlier) in verdicts.iter().enumerate() {
+            if is_outlier {
+                outliers.push(candidates[ci]);
+            } else {
+                false_positives += 1;
             }
         }
-        outliers.sort_unstable();
-        let verify_secs = t.elapsed().as_secs_f64();
-
-        GraphDodReport {
-            outliers,
-            candidates: candidates.len(),
-            false_positives,
-            decided_in_filter,
-            filter_secs,
-            verify_secs,
-        }
     }
+    outliers.sort_unstable();
+    let verify_secs = t.elapsed().as_secs_f64();
+
+    Ok(OutlierReport {
+        outliers,
+        candidates: candidates.len(),
+        false_positives,
+        decided_in_filter,
+        filter_secs,
+        verify_secs,
+    })
 }
 
 /// Filter decision for one object (Algorithm 1 lines 3–5, with the §5.5
@@ -214,8 +159,10 @@ fn filter_one<D: Dataset + ?Sized>(
     }
 }
 
-/// Strided parallel filtering where every worker owns one traversal buffer.
-fn par_map_strided_buffered<D: Dataset + ?Sized>(
+/// Strided parallel filtering where every worker owns one pooled traversal
+/// buffer for the duration of the phase.
+#[allow(clippy::too_many_arguments)]
+fn par_filter_strided<D: Dataset + ?Sized>(
     g: &ProximityGraph,
     data: &D,
     n: usize,
@@ -223,22 +170,28 @@ fn par_map_strided_buffered<D: Dataset + ?Sized>(
     k: usize,
     use_shortcut: bool,
     threads: usize,
+    pool: &BufferPool,
 ) -> Vec<FilterOutcome> {
     let buckets: Vec<Vec<FilterOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
+                let mut buf = pool.take(n);
                 scope.spawn(move || {
-                    let mut buf = TraversalBuffer::new(n);
-                    (t..n)
+                    let bucket = (t..n)
                         .step_by(threads)
                         .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    (buf, bucket)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("filter worker panicked"))
+            .map(|h| {
+                let (buf, bucket) = h.join().expect("filter worker panicked");
+                pool.put(buf);
+                bucket
+            })
             .collect()
     });
     let mut out = vec![FilterOutcome::Inlier; n];
@@ -250,7 +203,87 @@ fn par_map_strided_buffered<D: Dataset + ?Sized>(
     out
 }
 
+/// Detection report of the deprecated [`GraphDod`] shim — now an alias of
+/// the unified [`OutlierReport`].
+#[deprecated(since = "0.2.0", note = "use OutlierReport")]
+pub type GraphDodReport = OutlierReport;
+
+/// Algorithm 1 bound to a borrowed proximity graph — the pre-`Engine`
+/// front door, kept for one release as a thin shim.
+///
+/// Prefer [`Engine`](crate::Engine): it owns its dataset and index, pools
+/// traversal buffers across queries, caches the verification engine, and
+/// returns errors instead of panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use dod_core::Engine (EngineBuilder::prebuilt_graph for an existing graph)"
+)]
+pub struct GraphDod<'g> {
+    graph: &'g ProximityGraph,
+    verify: VerifyStrategy,
+    seed: u64,
+}
+
+#[allow(deprecated)]
+impl<'g> GraphDod<'g> {
+    /// Binds the algorithm to a graph with the paper's automatic
+    /// verification-strategy choice.
+    pub fn new(graph: &'g ProximityGraph) -> Self {
+        GraphDod {
+            graph,
+            verify: VerifyStrategy::Auto,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the verification strategy (the paper fixes VP-tree for
+    /// HEPMASS, PAMAP2 and Words and linear scan elsewhere).
+    pub fn with_verify(mut self, strategy: VerifyStrategy) -> Self {
+        self.verify = strategy;
+        self
+    }
+
+    /// Seed for the verification engine's internals (VP-tree vantage
+    /// points); detection results do not depend on it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The bound graph.
+    pub fn graph(&self) -> &ProximityGraph {
+        self.graph
+    }
+
+    /// Runs Algorithm 1 and returns the full report.
+    ///
+    /// # Panics
+    /// Panics on an invalid radius or a graph/dataset size mismatch — the
+    /// historical contract of this entry point.
+    /// [`Engine::query`](crate::Engine::query) surfaces both as
+    /// [`DodError`] instead.
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> OutlierReport {
+        let pool = BufferPool::new();
+        let counter = OnceLock::new();
+        match detect_on_graph(
+            self.graph,
+            data,
+            params.r,
+            params.k,
+            params.threads,
+            self.verify,
+            self.seed,
+            &pool,
+            &counter,
+        ) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::nested_loop;
@@ -368,6 +401,14 @@ mod tests {
             GraphDod::new(&g).detect(&data, &DodParams::new(1.0, 2))
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn invalid_radius_panics_on_the_deprecated_shim() {
+        let data = clustered_with_outliers(30, 9);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
+        let _ = GraphDod::new(&g).detect(&data, &DodParams::new(f64::NAN, 2));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use dod_graph::ProximityGraph;
 use dod_metrics::Dataset;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Reusable traversal state: epoch-stamped visited marks plus the BFS
 /// queue. One buffer per worker thread avoids a fresh allocation per
@@ -60,6 +61,47 @@ impl TraversalBuffer {
             *slot = self.epoch;
             true
         }
+    }
+}
+
+/// A shared pool of [`TraversalBuffer`]s so repeated queries on one engine
+/// stop re-allocating the `O(n)` visited array per call.
+///
+/// All pooled buffers are sized for the same graph (an engine's vertex
+/// count never changes), so `take` can hand out any of them. `Sync` by
+/// construction: workers take a buffer before spawning and return it after
+/// joining, so the mutex is only touched outside the hot loop.
+pub(crate) struct BufferPool {
+    bufs: Mutex<Vec<TraversalBuffer>>,
+}
+
+impl BufferPool {
+    /// An empty pool; buffers are created on first use.
+    pub(crate) fn new() -> Self {
+        BufferPool {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A buffer for graphs of `n` vertices — pooled if available, fresh
+    /// otherwise.
+    pub(crate) fn take(&self, n: usize) -> TraversalBuffer {
+        let pooled = self.lock().pop();
+        match pooled {
+            Some(buf) if buf.visited.len() == n => buf,
+            _ => TraversalBuffer::new(n),
+        }
+    }
+
+    /// Returns a buffer to the pool for the next query.
+    pub(crate) fn put(&self, buf: TraversalBuffer) {
+        self.lock().push(buf);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraversalBuffer>> {
+        // A poisoned pool only means a worker panicked mid-query; the
+        // buffers themselves are always reusable.
+        self.bufs.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -297,6 +339,20 @@ mod tests {
         let mut out = Vec::new();
         greedy_collect(&g, &data, 0, 2.0, usize::MAX, &mut buf, &mut out);
         assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn buffer_pool_reuses_matching_sizes_only() {
+        let pool = BufferPool::new();
+        let mut b = pool.take(10);
+        b.begin();
+        assert!(b.mark(3));
+        pool.put(b);
+        let b2 = pool.take(10);
+        assert_eq!(b2.visited.len(), 10, "same-size buffer must be reused");
+        pool.put(b2);
+        let b3 = pool.take(5);
+        assert_eq!(b3.visited.len(), 5, "mismatched size must not be reused");
     }
 
     #[test]

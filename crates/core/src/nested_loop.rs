@@ -10,7 +10,7 @@
 //! practice" behavior on mostly-inlier datasets.
 
 use crate::parallel::par_map_strided;
-use crate::params::{DodParams, DodResult};
+use crate::params::{assert_valid, DodParams, OutlierReport};
 use dod_metrics::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,13 +18,13 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 /// Runs the randomized nested loop. Exact for any metric.
-pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> DodResult {
-    params.validate();
+pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> OutlierReport {
+    assert_valid(params);
     let n = data.len();
     let (r, k) = (params.r, params.k);
     let t = Instant::now();
     if n == 0 || k == 0 {
-        return DodResult::new(Vec::new(), t.elapsed().as_secs_f64());
+        return OutlierReport::from_outliers(Vec::new(), t.elapsed().as_secs_f64());
     }
     // One shared random scan order (the per-object offset de-correlates
     // objects without paying for n shuffles).
@@ -51,7 +51,7 @@ pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> D
         .filter(|(_, &f)| f)
         .map(|(p, _)| p as u32)
         .collect();
-    DodResult::new(outliers, t.elapsed().as_secs_f64())
+    OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64())
 }
 
 /// Brute-force neighbor count without early termination — test helper.

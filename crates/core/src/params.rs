@@ -1,6 +1,13 @@
-//! Shared parameter and result types for every DOD algorithm.
+//! Shared parameter, query and result types for every DOD algorithm.
+
+use crate::error::DodError;
 
 /// The `(r, k)` query of Definition 2 plus an execution thread count.
+///
+/// This is the plain parameter carrier the algorithm *functions*
+/// ([`crate::nested_loop`], [`crate::snif`], [`crate::dolphin`]) take; the
+/// [`Engine`](crate::Engine) front door takes the validated [`Query`]
+/// instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DodParams {
     /// Distance threshold: a neighbor of `p` is any `p' ≠ p` with
@@ -25,20 +32,150 @@ impl DodParams {
         self
     }
 
-    /// Validates the query against a dataset size.
-    ///
-    /// # Panics
-    /// Panics if `r` is negative or NaN.
-    pub fn validate(&self) {
-        assert!(
-            self.r >= 0.0 && self.r.is_finite(),
-            "r must be a finite non-negative number, got {}",
-            self.r
-        );
+    /// Validates the query, surfacing a negative or NaN radius as
+    /// [`DodError::InvalidRadius`] instead of panicking.
+    pub fn validate(&self) -> Result<(), DodError> {
+        if self.r >= 0.0 && self.r.is_finite() {
+            Ok(())
+        } else {
+            Err(DodError::InvalidRadius { r: self.r })
+        }
     }
 }
 
-/// The answer of a DOD query plus basic timing.
+/// Panics with the error's `Display` text — the pre-`Engine` entry points
+/// documented (and their `#[should_panic]` tests pin) this behavior.
+pub(crate) fn assert_valid(params: &DodParams) {
+    if let Err(e) = params.validate() {
+        panic!("{e}");
+    }
+}
+
+/// A validated `(r, k)` outlier query for [`Engine::query`](crate::Engine::query).
+///
+/// Construction is the validation boundary: a [`Query`] that exists is
+/// well-formed, so nothing downstream of it can panic on bad input.
+///
+/// ```
+/// use dod_core::Query;
+/// let q = Query::new(2.5, 10)?.with_threads(4);
+/// assert_eq!((q.r(), q.k(), q.threads()), (2.5, 10, Some(4)));
+/// assert!(Query::new(f64::NAN, 10).is_err());
+/// # Ok::<(), dod_core::DodError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    r: f64,
+    k: usize,
+    threads: Option<usize>,
+}
+
+impl Query {
+    /// A query with the engine's default thread count.
+    ///
+    /// Returns [`DodError::InvalidRadius`] when `r` is negative or not
+    /// finite.
+    pub fn new(r: f64, k: usize) -> Result<Self, DodError> {
+        DodParams::new(r, k).validate()?;
+        Ok(Query {
+            r,
+            k,
+            threads: None,
+        })
+    }
+
+    /// Overrides the engine's thread count for this query (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The distance threshold.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// The neighbor-count threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The per-query thread override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+}
+
+/// The unified answer of a DOD query — one result shape for every engine,
+/// batch or streaming.
+///
+/// Subsumes the former `DodResult` (outliers + total time) and
+/// `GraphDodReport` (outliers + the phase decomposition of the paper's
+/// Tables 7 and 8). Algorithms without a filtering phase (nested loop,
+/// SNIF, DOLPHIN, VP-tree range counting) report their whole cost as
+/// `verify_secs` and leave the filter accounting at zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierReport {
+    /// Ids of all outliers, ascending.
+    pub outliers: Vec<u32>,
+    /// Objects whose filter count stayed below `k` (`|P'|`, the
+    /// verification workload). Zero for filter-less algorithms.
+    pub candidates: usize,
+    /// Candidates that verification re-classified as inliers — the paper's
+    /// `f` (Table 7). Lower is better; MRPG's whole design minimizes this.
+    pub false_positives: usize,
+    /// Outliers decided during filtering by the exact-`K'` shortcut
+    /// (0 unless the index is a full MRPG).
+    pub decided_in_filter: usize,
+    /// Wall-clock seconds of the filtering phase.
+    pub filter_secs: f64,
+    /// Wall-clock seconds of the verification phase (the whole detection
+    /// for filter-less algorithms).
+    pub verify_secs: f64,
+}
+
+impl OutlierReport {
+    /// Builds a filter-less report from an unsorted outlier list: the
+    /// whole cost lands in `verify_secs`.
+    pub fn from_outliers(mut outliers: Vec<u32>, total_secs: f64) -> Self {
+        outliers.sort_unstable();
+        OutlierReport {
+            outliers,
+            candidates: 0,
+            false_positives: 0,
+            decided_in_filter: 0,
+            filter_secs: 0.0,
+            verify_secs: total_secs,
+        }
+    }
+
+    /// Total detection time (Table 5's "running time").
+    pub fn total_secs(&self) -> f64 {
+        self.filter_secs + self.verify_secs
+    }
+
+    /// Number of outliers found (`t` in the paper's analysis).
+    pub fn count(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Outlier ratio relative to a dataset of size `n`.
+    pub fn ratio(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.count() as f64 / n as f64
+        }
+    }
+}
+
+/// The pre-[`OutlierReport`] answer shape: outliers
+/// plus total time only.
+#[deprecated(
+    since = "0.2.0",
+    note = "use OutlierReport — every detector now returns the unified report"
+)]
 #[derive(Debug, Clone)]
 pub struct DodResult {
     /// Ids of all outliers, ascending.
@@ -47,6 +184,7 @@ pub struct DodResult {
     pub total_secs: f64,
 }
 
+#[allow(deprecated)]
 impl DodResult {
     /// Builds a result from an unsorted outlier list.
     pub fn new(mut outliers: Vec<u32>, total_secs: f64) -> Self {
@@ -72,20 +210,39 @@ impl DodResult {
     }
 }
 
+#[allow(deprecated)]
+impl From<OutlierReport> for DodResult {
+    fn from(r: OutlierReport) -> Self {
+        let total = r.total_secs();
+        DodResult {
+            outliers: r.outliers,
+            total_secs: total,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<DodResult> for OutlierReport {
+    fn from(r: DodResult) -> Self {
+        OutlierReport::from_outliers(r.outliers, r.total_secs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn result_sorts_outliers() {
-        let r = DodResult::new(vec![5, 1, 3], 0.1);
+    fn report_sorts_outliers() {
+        let r = OutlierReport::from_outliers(vec![5, 1, 3], 0.1);
         assert_eq!(r.outliers, vec![1, 3, 5]);
         assert_eq!(r.count(), 3);
+        assert_eq!(r.total_secs(), 0.1);
     }
 
     #[test]
     fn ratio_handles_empty_dataset() {
-        let r = DodResult::new(vec![], 0.0);
+        let r = OutlierReport::from_outliers(vec![], 0.0);
         assert_eq!(r.ratio(0), 0.0);
         assert_eq!(r.ratio(10), 0.0);
     }
@@ -97,14 +254,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite non-negative")]
     fn negative_r_is_rejected() {
-        DodParams::new(-1.0, 5).validate();
+        let err = DodParams::new(-1.0, 5).validate().unwrap_err();
+        assert!(matches!(err, DodError::InvalidRadius { .. }));
+        assert!(Query::new(-1.0, 5).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "finite non-negative")]
     fn nan_r_is_rejected() {
-        DodParams::new(f64::NAN, 5).validate();
+        assert!(DodParams::new(f64::NAN, 5).validate().is_err());
+        assert!(Query::new(f64::NAN, 5).is_err());
+        assert!(Query::new(f64::INFINITY, 5).is_err());
+    }
+
+    #[test]
+    fn valid_queries_construct() {
+        let q = Query::new(0.0, 0).expect("r = 0, k = 0 is a legal query");
+        assert_eq!(q.threads(), None);
+        assert_eq!(q.with_threads(0).threads(), Some(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn dod_result_round_trips_through_the_unified_report() {
+        let legacy = DodResult::new(vec![4, 2], 0.5);
+        let report: OutlierReport = legacy.into();
+        assert_eq!(report.outliers, vec![2, 4]);
+        assert_eq!(report.verify_secs, 0.5);
+        let back: DodResult = report.into();
+        assert_eq!(back.outliers, vec![2, 4]);
+        assert_eq!(back.total_secs, 0.5);
     }
 }

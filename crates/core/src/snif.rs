@@ -17,7 +17,7 @@
 //! paper's Table 5 exposes.
 
 use crate::parallel::par_map_strided;
-use crate::params::{DodParams, DodResult};
+use crate::params::{assert_valid, DodParams, OutlierReport};
 use dod_metrics::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 /// Runs SNIF. Exact for any metric.
-pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> DodResult {
+pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> OutlierReport {
     detect_with_stats(data, params, seed).0
 }
 
@@ -35,13 +35,16 @@ pub fn detect_with_stats<D: Dataset + ?Sized>(
     data: &D,
     params: &DodParams,
     seed: u64,
-) -> (DodResult, usize) {
-    params.validate();
+) -> (OutlierReport, usize) {
+    assert_valid(params);
     let n = data.len();
     let (r, k) = (params.r, params.k);
     let t = Instant::now();
     if n == 0 || k == 0 {
-        return (DodResult::new(Vec::new(), t.elapsed().as_secs_f64()), 0);
+        return (
+            OutlierReport::from_outliers(Vec::new(), t.elapsed().as_secs_f64()),
+            0,
+        );
     }
 
     // ---- Clustering pass: random-order first-fit with radius r/2 --------
@@ -120,7 +123,7 @@ pub fn detect_with_stats<D: Dataset + ?Sized>(
         + members.iter().map(|m| m.len() * 4 + 24).sum::<usize>()
         + cluster_of.len() * std::mem::size_of::<u32>();
     (
-        DodResult::new(outliers, t.elapsed().as_secs_f64()),
+        OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64()),
         index_bytes,
     )
 }

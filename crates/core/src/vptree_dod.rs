@@ -1,20 +1,52 @@
 //! VP-tree DOD baseline \[Yianilos, SODA'93\]: build the strongest metric
 //! range index offline, then answer one early-terminated range count per
 //! object (the paper's §3 "simple and practical solution").
+//!
+//! The detection loop lives in a crate-internal `detect_on_tree` function
+//! shared by the [`Engine`](crate::Engine) front door
+//! ([`IndexSpec::VpTree`](crate::IndexSpec::VpTree)) and the deprecated
+//! [`VpTreeDod`] shim.
 
 use crate::parallel::par_map_strided;
-use crate::params::{DodParams, DodResult};
+use crate::params::{assert_valid, DodParams, OutlierReport};
 use dod_metrics::Dataset;
 use dod_vptree::VpTree;
 use std::time::Instant;
 
-/// The offline-built index plus its detection entry point.
+/// One early-terminated range count per object over a prebuilt tree.
+/// The caller guarantees `tree.len() == data.len()`.
+pub(crate) fn detect_on_tree<D: Dataset + ?Sized>(
+    tree: &VpTree,
+    data: &D,
+    r: f64,
+    k: usize,
+    threads: usize,
+) -> OutlierReport {
+    let n = data.len();
+    let t = Instant::now();
+    if n == 0 || k == 0 {
+        return OutlierReport::from_outliers(Vec::new(), t.elapsed().as_secs_f64());
+    }
+    let flags: Vec<bool> = par_map_strided(n, threads, |p| tree.range_count(data, p, r, k) < k);
+    let outliers: Vec<u32> = flags
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f)
+        .map(|(p, _)| p as u32)
+        .collect();
+    OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64())
+}
+
+/// The offline-built VP-tree index plus its detection entry point — the
+/// pre-`Engine` front door, kept for one release as a thin shim.
+#[deprecated(since = "0.2.0", note = "use dod_core::Engine with IndexSpec::VpTree")]
 pub struct VpTreeDod {
     tree: VpTree,
     /// Wall-clock seconds of the offline build (paper §6.1 reports it).
     pub build_secs: f64,
 }
 
+#[allow(deprecated)]
 impl VpTreeDod {
     /// Builds the VP-tree over `data` (one-time pre-processing).
     pub fn build<D: Dataset + ?Sized>(data: &D, seed: u64) -> Self {
@@ -33,34 +65,27 @@ impl VpTreeDod {
 
     /// Detects all `(r, k)` outliers: one range count per object, stopped
     /// at `k`.
-    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> DodResult {
-        params.validate();
-        let n = data.len();
+    ///
+    /// # Panics
+    /// Panics on an invalid radius or a tree/dataset size mismatch — the
+    /// historical contract of this entry point.
+    /// [`Engine::query`](crate::Engine::query) surfaces both as
+    /// [`DodError`](crate::DodError) instead.
+    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> OutlierReport {
+        assert_valid(params);
         assert_eq!(
             self.tree.len(),
-            n,
-            "index was built over {} objects but the dataset has {n}",
-            self.tree.len()
+            data.len(),
+            "index was built over {} objects but the dataset has {}",
+            self.tree.len(),
+            data.len()
         );
-        let (r, k) = (params.r, params.k);
-        let t = Instant::now();
-        if n == 0 || k == 0 {
-            return DodResult::new(Vec::new(), t.elapsed().as_secs_f64());
-        }
-        let flags: Vec<bool> = par_map_strided(n, params.threads, |p| {
-            self.tree.range_count(data, p, r, k) < k
-        });
-        let outliers: Vec<u32> = flags
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f)
-            .map(|(p, _)| p as u32)
-            .collect();
-        DodResult::new(outliers, t.elapsed().as_secs_f64())
+        detect_on_tree(&self.tree, data, params.r, params.k, params.threads)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::nested_loop;
@@ -143,5 +168,12 @@ mod tests {
         let dod = VpTreeDod::build(&data, 0);
         assert!(dod.build_secs >= 0.0);
         assert!(dod.size_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn invalid_radius_panics_on_the_deprecated_shim() {
+        let data = random_blobs(30, 5);
+        let _ = VpTreeDod::build(&data, 0).detect(&data, &DodParams::new(-2.0, 1));
     }
 }

@@ -309,6 +309,18 @@ impl std::fmt::Display for FamilyMismatch {
 
 impl std::error::Error for FamilyMismatch {}
 
+/// A mismatch is absorbed into the workspace-wide error enum, so service
+/// code handling a typed-dataset request can `?` it straight into the same
+/// `Result<_, DodError>` its engine calls return.
+impl From<FamilyMismatch> for dod_core::DodError {
+    fn from(m: FamilyMismatch) -> Self {
+        dod_core::DodError::FamilyMismatch {
+            expected: m.expected,
+            found: m.found,
+        }
+    }
+}
+
 impl AnyDataset {
     /// The space this dataset lives in, as a short name.
     pub fn kind_name(&self) -> &'static str {
@@ -545,6 +557,26 @@ mod tests {
         assert!(words.data.as_l1().is_err());
         assert!(words.data.as_l4().is_err());
         assert_eq!(words.data.kind_name(), "string");
+    }
+
+    #[test]
+    fn mismatches_absorb_into_the_workspace_error() {
+        let glove = Family::Glove.generate(10, 1);
+        let err: dod_core::DodError = glove.data.as_l2().err().expect("glove is not L2").into();
+        assert!(matches!(
+            err,
+            dod_core::DodError::FamilyMismatch {
+                expected: "L2",
+                found: "angular"
+            }
+        ));
+        // `?` works against a DodError-returning service boundary.
+        fn typed(d: &AnyDataset) -> Result<usize, dod_core::DodError> {
+            Ok(d.as_strings()?.len())
+        }
+        assert!(typed(&glove.data).is_err());
+        let words = Family::Words.generate(10, 1);
+        assert_eq!(typed(&words.data).unwrap(), 10);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 
-/// Greedy ANN descent from `start` toward `query` (the algorithm of [26]):
+/// Greedy ANN descent from `start` toward `query` (the algorithm of \[26\]):
 /// repeatedly move to the neighbor closest to `query` while it improves,
 /// for at most `max_hops` moves. Returns `(best_id, best_dist)`.
 pub fn greedy_ann_search<D: Dataset + ?Sized>(

@@ -14,7 +14,7 @@
 //! ```
 
 use crate::graph::{ExactNn, GraphKind, ProximityGraph};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"DODG";
@@ -87,8 +87,14 @@ pub fn to_bytes(g: &ProximityGraph) -> Bytes {
 /// Error type for [`from_bytes`] / [`read_from`].
 #[derive(Debug)]
 pub enum DecodeError {
-    /// Missing or wrong magic / version / enum tag.
-    Corrupt(&'static str),
+    /// The payload is truncated or structurally invalid at `offset` bytes
+    /// from the start of the graph blob.
+    Corrupt {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// What was wrong, in words.
+        reason: &'static str,
+    },
     /// Underlying IO failure.
     Io(io::Error),
 }
@@ -96,7 +102,9 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::Corrupt(what) => write!(f, "corrupt graph file: {what}"),
+            DecodeError::Corrupt { offset, reason } => {
+                write!(f, "corrupt graph file at offset {offset}: {reason}")
+            }
             DecodeError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -110,66 +118,128 @@ impl From<io::Error> for DecodeError {
     }
 }
 
-/// Deserializes a graph from bytes produced by [`to_bytes`].
-pub fn from_bytes(mut data: &[u8]) -> Result<ProximityGraph, DecodeError> {
-    let need = |data: &[u8], n: usize, what: &'static str| -> Result<(), DecodeError> {
-        if data.len() < n {
-            Err(DecodeError::Corrupt(what))
+/// Bounds-checked little-endian cursor that remembers how far it got, so
+/// every decode failure can report the exact byte offset.
+struct Cursor<'a> {
+    data: &'a [u8],
+    total: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor {
+            data,
+            total: data.len(),
+        }
+    }
+
+    fn offset(&self) -> usize {
+        self.total - self.data.len()
+    }
+
+    fn corrupt<T>(&self, reason: &'static str) -> Result<T, DecodeError> {
+        Err(DecodeError::Corrupt {
+            offset: self.offset(),
+            reason,
+        })
+    }
+
+    fn need(&self, n: usize, what: &'static str) -> Result<(), DecodeError> {
+        if self.data.len() < n {
+            self.corrupt(what)
         } else {
             Ok(())
         }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        self.need(n, what)?;
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Deserializes a graph from bytes produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<ProximityGraph, DecodeError> {
+    let mut c = Cursor::new(data);
+    if c.take(4, "truncated magic")? != MAGIC {
+        // The magic starts at offset 0 no matter how far `take` advanced.
+        return Err(DecodeError::Corrupt {
+            offset: 0,
+            reason: "bad magic",
+        });
+    }
+    if c.u8("truncated version")? != VERSION {
+        return c.corrupt("unsupported version");
+    }
+    let kind = match kind_from_u8(c.u8("truncated graph kind")?) {
+        Some(kind) => kind,
+        None => return c.corrupt("bad graph kind"),
     };
-    need(data, 15, "truncated header")?;
-    if &data[..4] != MAGIC {
-        return Err(DecodeError::Corrupt("bad magic"));
+    let flags = c.u8("truncated flags")?;
+    let n = c.u64("truncated node count")? as usize;
+    // An adjacency list costs at least 4 bytes per node; reject absurd
+    // counts before allocating `n` vectors.
+    if n > c.data.len() / 4 + 1 {
+        return c.corrupt("node count exceeds payload size");
     }
-    data.advance(4);
-    if data.get_u8() != VERSION {
-        return Err(DecodeError::Corrupt("unsupported version"));
-    }
-    let kind = kind_from_u8(data.get_u8()).ok_or(DecodeError::Corrupt("bad graph kind"))?;
-    let flags = data.get_u8();
-    let n = data.get_u64_le() as usize;
 
     let mut g = ProximityGraph::new(n, kind);
     g.expand_pivots = flags & 1 != 0;
     g.use_exact_shortcut = flags & 2 != 0;
     for i in 0..n {
-        need(data, 4, "truncated adjacency length")?;
-        let len = data.get_u32_le() as usize;
-        need(data, len * 4, "truncated adjacency list")?;
+        let len = c.u32("truncated adjacency length")? as usize;
+        let bytes = c.take(len * 4, "truncated adjacency list")?;
         let mut l = Vec::with_capacity(len);
-        for _ in 0..len {
-            let v = data.get_u32_le();
+        for chunk in bytes.chunks_exact(4) {
+            let v = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             if v as usize >= n {
-                return Err(DecodeError::Corrupt("adjacency id out of bounds"));
+                return c.corrupt("adjacency id out of bounds");
             }
             l.push(v);
         }
         g.adj[i] = l;
     }
-    let pivot_bytes = n.div_ceil(8);
-    need(data, pivot_bytes, "truncated pivot bitset")?;
+    let pivots = c.take(n.div_ceil(8), "truncated pivot bitset")?;
     for i in 0..n {
-        g.pivot[i] = data[i / 8] & (1 << (i % 8)) != 0;
+        g.pivot[i] = pivots[i / 8] & (1 << (i % 8)) != 0;
     }
-    data.advance(pivot_bytes);
-    need(data, 8, "truncated exact count")?;
-    let exact_count = data.get_u64_le() as usize;
+    let exact_count = c.u64("truncated exact count")? as usize;
+    if exact_count > n {
+        return c.corrupt("exact entry count exceeds node count");
+    }
     for _ in 0..exact_count {
-        need(data, 8, "truncated exact entry header")?;
-        let id = data.get_u32_le();
+        let id = c.u32("truncated exact entry id")?;
         if id as usize >= n {
-            return Err(DecodeError::Corrupt("exact id out of bounds"));
+            return c.corrupt("exact id out of bounds");
         }
-        let len = data.get_u32_le() as usize;
-        need(data, len * 8, "truncated exact distances")?;
+        let len = c.u32("truncated exact entry length")? as usize;
         if len > g.adj[id as usize].len() {
-            return Err(DecodeError::Corrupt("exact prefix longer than adjacency"));
+            return c.corrupt("exact prefix longer than adjacency");
         }
         let mut dists = Vec::with_capacity(len);
         for _ in 0..len {
-            dists.push(data.get_f64_le());
+            dists.push(c.f64("truncated exact distances")?);
         }
         g.exact.insert(id, ExactNn { dists });
     }
@@ -249,17 +319,36 @@ mod tests {
     fn rejects_corruption() {
         let g = sample_graph();
         let bytes = to_bytes(&g).to_vec();
-        // Bad magic.
+        // Bad magic reports offset 0.
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(from_bytes(&bad).is_err());
-        // Bad version.
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(DecodeError::Corrupt {
+                offset: 0,
+                reason: "bad magic"
+            })
+        ));
+        // Bad version reports the byte after the 4-byte magic.
         let mut bad = bytes.clone();
         bad[4] = 99;
-        assert!(from_bytes(&bad).is_err());
-        // Truncations at every prefix length must error, not panic.
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(DecodeError::Corrupt {
+                offset: 5,
+                reason: "unsupported version"
+            })
+        ));
+        // Truncations at every prefix length must error, not panic, and
+        // the reported offset can never exceed the payload we handed in.
         for cut in [0, 3, 10, 20, bytes.len() / 2, bytes.len() - 1] {
-            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+            match from_bytes(&bytes[..cut]) {
+                Err(DecodeError::Corrupt { offset, .. }) => {
+                    assert!(offset <= cut, "offset {offset} beyond cut {cut}")
+                }
+                Err(e) => panic!("cut at {cut}: unexpected error kind {e}"),
+                Ok(_) => panic!("cut at {cut} accepted"),
+            }
         }
     }
 

@@ -1,0 +1,69 @@
+//! Fuzz-style property tests for the binary graph codec: arbitrary
+//! truncations and byte flips must surface as typed `Corrupt { offset }`
+//! errors (or, for benign flips, a decoded graph) — never a panic, an
+//! abort, or an out-of-payload offset.
+
+use dod_graph::serialize::{from_bytes, to_bytes, DecodeError};
+use dod_graph::{mrpg, MrpgParams};
+use dod_metrics::{VectorSet, L2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// One serialized MRPG (with exact prefixes and pivots, so every section
+/// of the format is present), built once for all cases.
+fn sample_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<Vec<f32>> = (0..120)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let data = VectorSet::from_rows(&rows, L2);
+        let mut p = MrpgParams::new(5);
+        p.exact_m = Some(12);
+        let (g, _) = mrpg::build(&data, &p);
+        to_bytes(&g).to_vec()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncation_always_errors_with_in_bounds_offset(frac in 0.0f64..1.0) {
+        let bytes = sample_bytes();
+        // frac < 1.0, so cut < len: a strict prefix, which can never be a
+        // complete graph blob.
+        let cut = (bytes.len() as f64 * frac) as usize;
+        match from_bytes(&bytes[..cut]) {
+            Err(DecodeError::Corrupt { offset, reason }) => {
+                prop_assert!(offset <= cut, "offset {} beyond cut {} ({})", offset, cut, reason);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {}", other),
+            Ok(_) => prop_assert!(false, "decoded a truncated payload (cut {})", cut),
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic(pos in 0usize..1 << 20, xor in 0u8..255) {
+        let mut bytes = sample_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor.wrapping_add(1); // never a no-op flip
+        // A flip may still decode (e.g. a pivot bit or a stored distance);
+        // what it must never do is panic or report an offset past the end.
+        if let Err(DecodeError::Corrupt { offset, .. }) = from_bytes(&bytes) {
+            prop_assert!(offset <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn tail_garbage_after_a_valid_blob_is_ignored(extra in 0usize..64) {
+        // The codec is length-driven: decoding consumes exactly one blob,
+        // so trailing bytes (as in a concatenated file) are not an error.
+        let mut bytes = sample_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert!(from_bytes(&bytes).is_ok());
+    }
+}

@@ -15,9 +15,10 @@ use crate::index::{ExhaustiveIndex, StreamIndex};
 use crate::space::Space;
 use crate::window::{WindowSpec, WindowStore, WindowView};
 use dod_core::verify::ExactCounter;
-use dod_core::VerifyStrategy;
+use dod_core::{DodError, OutlierReport, Query, VerifyStrategy};
 use dod_metrics::Dataset;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The streaming query: Definition 2's `(r, k)` plus the window bound.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,17 +51,29 @@ impl StreamParams {
         }
     }
 
-    /// Validates the query.
+    /// Binds a batch-vocabulary [`Query`] to a window — the same `(r, k)`
+    /// type [`dod_core::Engine::query`] takes. A `Query` is validated at
+    /// construction, so only the window needs checking afterwards.
     ///
-    /// # Panics
-    /// Panics on a negative/NaN radius or an invalid window spec.
-    pub fn validate(&self) {
-        assert!(
-            self.r >= 0.0 && self.r.is_finite(),
-            "r must be a finite non-negative number, got {}",
-            self.r
-        );
-        self.window.validate();
+    /// Only `r` and `k` carry over: a [`Query::with_threads`] override is
+    /// ignored, because the streaming engine is single-threaded by design
+    /// (parallel slides are a ROADMAP item).
+    pub fn from_query(query: Query, window: WindowSpec) -> Self {
+        StreamParams {
+            r: query.r(),
+            k: query.k(),
+            window,
+        }
+    }
+
+    /// Validates the query, surfacing a negative/NaN radius as
+    /// [`DodError::InvalidRadius`] and a bad window as
+    /// [`DodError::InvalidWindow`].
+    pub fn validate(&self) -> Result<(), DodError> {
+        if !(self.r >= 0.0 && self.r.is_finite()) {
+            return Err(DodError::InvalidRadius { r: self.r });
+        }
+        self.window.validate()
     }
 }
 
@@ -86,6 +99,39 @@ pub struct SlideReport {
     pub window_len: usize,
 }
 
+impl SlideReport {
+    /// Resolves the slide into the unified batch-vocabulary
+    /// [`OutlierReport`] — the same shape [`dod_core::Engine::query`]
+    /// returns, so batch and stream answers compare through one type.
+    /// Equivalent to [`StreamDetector::report`]; see there for the id
+    /// mapping (window positions, not seqs).
+    ///
+    /// The report always describes the detector's *current* window, so
+    /// call this on the `SlideReport` you were just handed, before any
+    /// further insert. A stale handle (the detector has slid past
+    /// `self.seq`) is rejected as `Err(self)` rather than silently
+    /// answering for a window this slide did not produce.
+    pub fn into_outlier_report<S: Space>(
+        self,
+        det: &mut StreamDetector<S>,
+    ) -> Result<OutlierReport, SlideReport> {
+        if self.seq + 1 != det.win.next_seq() {
+            return Err(self);
+        }
+        Ok(det.report())
+    }
+}
+
+/// Per-query filter/verify accounting collected by
+/// `outliers_instrumented`.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueryCounters {
+    candidates: usize,
+    false_positives: usize,
+    decided_in_filter: usize,
+    repair_secs: f64,
+}
+
 /// Lifetime counters (cheap, always on).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamStats {
@@ -105,11 +151,16 @@ pub struct StreamStats {
 /// A sliding-window exact distance-based outlier detector.
 ///
 /// ```
-/// use dod_stream::{Backend, StreamDetector, StreamParams, VectorSpace};
+/// use dod_core::Query;
+/// use dod_stream::{Backend, StreamDetector, VectorSpace, WindowSpec};
 /// use dod_metrics::L2;
 ///
-/// let params = StreamParams::count(1.5, 2, 64);
-/// let mut det = StreamDetector::new(VectorSpace::new(L2, 1), params);
+/// let mut det = StreamDetector::open(
+///     VectorSpace::new(L2, 1),
+///     Query::new(1.5, 2)?,
+///     WindowSpec::Count(64),
+///     Backend::Exhaustive,
+/// )?;
 /// for i in 0..64 {
 ///     det.insert(vec![(i % 8) as f32 * 0.5]);
 /// }
@@ -117,6 +168,7 @@ pub struct StreamStats {
 /// let out = det.outliers();
 /// assert_eq!(out, vec![64]);
 /// assert_eq!(out, det.audit()); // from-scratch cross-check agrees
+/// # Ok::<(), dod_core::DodError>(())
 /// ```
 pub struct StreamDetector<S: Space> {
     space: S,
@@ -129,22 +181,53 @@ pub struct StreamDetector<S: Space> {
 }
 
 impl<S: Space> StreamDetector<S> {
-    /// A detector on the [`Backend::Exhaustive`] backend.
+    /// Opens a detector in the batch vocabulary: the same [`Query`] type
+    /// [`dod_core::Engine::query`] takes, bound to a window, on the chosen
+    /// backend. Only the query's `r` and `k` apply — see
+    /// [`StreamParams::from_query`] for why a thread override is ignored.
     ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    pub fn new(space: S, params: StreamParams) -> Self
+    /// ```
+    /// use dod_core::Query;
+    /// use dod_stream::{Backend, StreamDetector, VectorSpace, WindowSpec};
+    /// use dod_metrics::L2;
+    ///
+    /// let mut det = StreamDetector::open(
+    ///     VectorSpace::new(L2, 1),
+    ///     Query::new(1.5, 2)?,
+    ///     WindowSpec::Count(64),
+    ///     Backend::Exhaustive,
+    /// )?;
+    /// det.insert(vec![0.0]);
+    /// # Ok::<(), dod_core::DodError>(())
+    /// ```
+    pub fn open(
+        space: S,
+        query: Query,
+        window: WindowSpec,
+        backend: Backend,
+    ) -> Result<Self, DodError>
     where
         S: 'static,
     {
-        Self::with_backend(space, params, Backend::Exhaustive)
+        Self::try_with_backend(space, StreamParams::from_query(query, window), backend)
     }
 
-    /// A detector on the chosen backend.
-    ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    pub fn with_backend(space: S, params: StreamParams, backend: Backend) -> Self
+    /// A detector on the [`Backend::Exhaustive`] backend, or a
+    /// [`DodError`] for invalid parameters.
+    pub fn try_new(space: S, params: StreamParams) -> Result<Self, DodError>
+    where
+        S: 'static,
+    {
+        Self::try_with_backend(space, params, Backend::Exhaustive)
+    }
+
+    /// A detector on the chosen backend, or a [`DodError`] for invalid
+    /// parameters.
+    pub fn try_with_backend(
+        space: S,
+        params: StreamParams,
+        backend: Backend,
+    ) -> Result<Self, DodError>
     where
         S: 'static,
     {
@@ -152,22 +235,66 @@ impl<S: Space> StreamDetector<S> {
             Backend::Exhaustive => Box::new(ExhaustiveIndex),
             Backend::Graph(gp) => Box::new(GraphIndex::new(gp, params.k)),
         };
-        Self::with_index(space, params, index)
+        Self::try_with_index(space, params, index)
     }
 
-    /// A detector on a custom [`StreamIndex`] implementation.
-    ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    pub fn with_index(space: S, params: StreamParams, index: Box<dyn StreamIndex<S>>) -> Self {
-        params.validate();
-        StreamDetector {
+    /// A detector on a custom [`StreamIndex`] implementation, or a
+    /// [`DodError`] for invalid parameters.
+    pub fn try_with_index(
+        space: S,
+        params: StreamParams,
+        index: Box<dyn StreamIndex<S>>,
+    ) -> Result<Self, DodError> {
+        params.validate()?;
+        Ok(StreamDetector {
             space,
             params,
             win: WindowStore::new(),
             states: HashMap::new(),
             index,
             stats: StreamStats::default(),
+        })
+    }
+
+    /// A detector on the [`Backend::Exhaustive`] backend.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    #[deprecated(since = "0.2.0", note = "use StreamDetector::open or try_new")]
+    pub fn new(space: S, params: StreamParams) -> Self
+    where
+        S: 'static,
+    {
+        match Self::try_new(space, params) {
+            Ok(det) => det,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A detector on the chosen backend.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    #[deprecated(since = "0.2.0", note = "use StreamDetector::open or try_with_backend")]
+    pub fn with_backend(space: S, params: StreamParams, backend: Backend) -> Self
+    where
+        S: 'static,
+    {
+        match Self::try_with_backend(space, params, backend) {
+            Ok(det) => det,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A detector on a custom [`StreamIndex`] implementation.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`StreamParams::validate`].
+    #[deprecated(since = "0.2.0", note = "use StreamDetector::try_with_index")]
+    pub fn with_index(space: S, params: StreamParams, index: Box<dyn StreamIndex<S>>) -> Self {
+        match Self::try_with_index(space, params, index) {
+            Ok(det) => det,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -250,10 +377,47 @@ impl<S: Space> StreamDetector<S> {
     /// backends: inexact candidates are repaired against the window before
     /// their verdict is trusted.
     pub fn outliers(&mut self) -> Vec<u64> {
+        self.outliers_instrumented().0
+    }
+
+    /// The current window's outliers as the unified batch-vocabulary
+    /// [`OutlierReport`] — the same shape [`dod_core::Engine::query`]
+    /// returns, so the bench harness, examples and tests compare batch
+    /// and stream answers through one type.
+    ///
+    /// Ids are **window positions** (`0..len()`, oldest first), i.e. ids
+    /// into [`window_view`](StreamDetector::window_view) — directly
+    /// comparable to a batch detector run over that view. Map a position
+    /// back to its seq with [`WindowView::seq_at`]. The filter/verify
+    /// accounting follows the batch report's vocabulary: `candidates` are
+    /// residents that needed an exact repair, `false_positives` the
+    /// repairs that came back inlier, `decided_in_filter` outliers decided
+    /// from already-exact maintained knowledge.
+    pub fn report(&mut self) -> OutlierReport {
+        let t = Instant::now();
+        let (seqs, counters) = self.outliers_instrumented();
+        let total = t.elapsed().as_secs_f64();
+        let front = self.win.front_seq();
+        let verify_secs = counters.repair_secs.min(total);
+        OutlierReport {
+            outliers: seqs.into_iter().map(|s| (s - front) as u32).collect(),
+            candidates: counters.candidates,
+            false_positives: counters.false_positives,
+            decided_in_filter: counters.decided_in_filter,
+            filter_secs: (total - verify_secs).max(0.0),
+            verify_secs,
+        }
+    }
+
+    /// Shared implementation of [`outliers`](StreamDetector::outliers) and
+    /// [`report`](StreamDetector::report): the answer plus the
+    /// filter/verify accounting of how it was reached.
+    fn outliers_instrumented(&mut self) -> (Vec<u64>, QueryCounters) {
         let k = self.params.k;
         let mut out = Vec::new();
+        let mut counters = QueryCounters::default();
         if k == 0 {
-            return out;
+            return (out, counters);
         }
         let front = self.win.front_seq();
         let next = self.win.next_seq();
@@ -267,14 +431,25 @@ impl<S: Space> StreamDetector<S> {
                 continue; // certified inlier (counts are lower bounds)
             }
             if !trusted && !st.is_exact(next) {
+                // Below k on a lower bound only: a candidate, verified by
+                // an exact (incremental) repair against the window.
+                counters.candidates += 1;
+                let t = Instant::now();
                 repair(win, space, seq, st, r, stats);
+                counters.repair_secs += t.elapsed().as_secs_f64();
                 if st.succ_count() >= k {
                     promoted.push(seq);
+                    counters.false_positives += 1;
                     continue;
                 }
                 if st.live_count(front) >= k {
+                    counters.false_positives += 1;
                     continue;
                 }
+            } else {
+                // The maintained knowledge is already exact: decided
+                // without verification, like the batch K' shortcut.
+                counters.decided_in_filter += 1;
             }
             out.push(seq);
         }
@@ -283,7 +458,7 @@ impl<S: Space> StreamDetector<S> {
             self.stats.safe_promotions += 1;
         }
         out.sort_unstable();
-        out
+        (out, counters)
     }
 
     /// Recomputes the outlier set from scratch over the current window
@@ -410,11 +585,12 @@ mod tests {
     use dod_metrics::L2;
 
     fn det(r: f64, k: usize, w: usize, backend: Backend) -> StreamDetector<VectorSpace<L2>> {
-        StreamDetector::with_backend(
+        StreamDetector::try_with_backend(
             VectorSpace::new(L2, 1),
             StreamParams::count(r, k, w),
             backend,
         )
+        .expect("valid params")
     }
 
     fn both() -> [Backend; 2] {
@@ -498,7 +674,8 @@ mod tests {
     #[test]
     fn timed_window_expires_by_horizon() {
         let space = VectorSpace::new(L2, 1);
-        let mut d = StreamDetector::new(space, StreamParams::timed(1.0, 1, 10.0));
+        let mut d =
+            StreamDetector::try_new(space, StreamParams::timed(1.0, 1, 10.0)).expect("valid");
         d.insert_at(vec![0.0], 0.0);
         d.insert_at(vec![0.2], 5.0);
         d.insert_at(vec![0.3], 9.0);
@@ -525,8 +702,77 @@ mod tests {
     }
 
     #[test]
+    fn invalid_params_surface_as_typed_errors() {
+        let bad_r =
+            StreamDetector::try_new(VectorSpace::new(L2, 1), StreamParams::count(f64::NAN, 1, 4));
+        assert!(matches!(bad_r, Err(DodError::InvalidRadius { .. })));
+        let bad_w =
+            StreamDetector::try_new(VectorSpace::new(L2, 1), StreamParams::count(1.0, 1, 0));
+        assert!(matches!(bad_w, Err(DodError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "finite non-negative")]
-    fn invalid_radius_is_rejected_at_construction() {
-        let _ = det(f64::NAN, 1, 4, Backend::Exhaustive);
+    fn invalid_radius_panics_on_the_deprecated_constructor() {
+        let _ = StreamDetector::with_backend(
+            VectorSpace::new(L2, 1),
+            StreamParams::count(f64::NAN, 1, 4),
+            Backend::Exhaustive,
+        );
+    }
+
+    #[test]
+    fn open_uses_the_batch_query_vocabulary() {
+        let mut d = StreamDetector::open(
+            VectorSpace::new(L2, 1),
+            Query::new(1.0, 2).expect("valid query"),
+            WindowSpec::Count(4),
+            Backend::Exhaustive,
+        )
+        .expect("open");
+        for x in [0.0f32, 0.3, 0.6, 50.0] {
+            d.insert(vec![x]);
+        }
+        assert_eq!(d.outliers(), vec![3]);
+        assert!(Query::new(-1.0, 2).is_err(), "bad radius dies at Query");
+    }
+
+    #[test]
+    fn report_matches_a_batch_engine_over_the_window_view() {
+        for backend in both() {
+            let mut d = det(0.5, 2, 16, backend);
+            let mut last = None;
+            for i in 0..40 {
+                let slide = d.insert(vec![(i % 7) as f32 * 0.3]);
+                last = Some(slide);
+            }
+            let name = d.backend_name();
+            let report = last
+                .expect("slid")
+                .into_outlier_report(&mut d)
+                .expect("handle from the latest slide is fresh");
+            // Same result shape, same answer as a batch engine over the
+            // window snapshot.
+            let view = d.window_view();
+            let batch = dod_core::nested_loop::detect(&view, &dod_core::DodParams::new(0.5, 2), 0);
+            assert_eq!(report.outliers, batch.outliers, "{name}");
+            // Accounting obeys the batch invariant.
+            assert_eq!(
+                report.candidates,
+                report.outliers.len() - report.decided_in_filter + report.false_positives,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_slide_handles_are_rejected() {
+        let mut d = det(0.5, 1, 4, Backend::Exhaustive);
+        let stale = d.insert(vec![0.0]);
+        d.insert(vec![10.0]); // the window has slid past `stale`
+        let back = d.insert(vec![20.0]);
+        assert!(stale.into_outlier_report(&mut d).is_err());
+        assert!(back.into_outlier_report(&mut d).is_ok());
     }
 }

@@ -36,23 +36,28 @@
 //! snapshot after every slide.
 //!
 //! ```
-//! use dod_stream::{Backend, GraphParams, StreamDetector, StreamParams, VectorSpace};
+//! use dod_core::Query;
+//! use dod_stream::{Backend, GraphParams, StreamDetector, VectorSpace, WindowSpec};
 //! use dod_metrics::L2;
 //!
 //! // Keep the 128 most recent readings; flag points with < 3 neighbors
-//! // within 0.8.
-//! let params = StreamParams::count(0.8, 3, 128);
-//! let mut det = StreamDetector::with_backend(
+//! // within 0.8 — the same (r, k) Query type the batch Engine takes.
+//! let mut det = StreamDetector::open(
 //!     VectorSpace::new(L2, 2),
-//!     params,
+//!     Query::new(0.8, 3)?,
+//!     WindowSpec::Count(128),
 //!     Backend::Graph(GraphParams::default()),
-//! );
+//! )?;
 //! for i in 0..200u32 {
 //!     let phase = (i % 16) as f32 / 16.0;
 //!     det.insert(vec![phase.sin(), phase.cos()]);
 //! }
 //! det.insert(vec![40.0, 40.0]); // a reading far off the manifold
 //! assert_eq!(det.outliers(), vec![200]);
+//! // Or in the unified batch result shape: ids become window positions,
+//! // and seq 200 is the window's last resident (position 127 of 128).
+//! assert_eq!(det.report().outliers, vec![127]);
+//! # Ok::<(), dod_core::DodError>(())
 //! ```
 
 mod counts;

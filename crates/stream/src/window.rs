@@ -9,6 +9,7 @@
 //! can never expire before the object it was counted for).
 
 use crate::space::Space;
+use dod_core::DodError;
 use dod_metrics::Dataset;
 use std::collections::VecDeque;
 
@@ -23,18 +24,18 @@ pub enum WindowSpec {
 }
 
 impl WindowSpec {
-    /// Validates the specification.
-    ///
-    /// # Panics
-    /// Panics on a zero-capacity count window or a non-positive/non-finite
-    /// horizon.
-    pub fn validate(&self) {
+    /// Validates the specification: a zero-capacity count window or a
+    /// non-positive/non-finite horizon surfaces as
+    /// [`DodError::InvalidWindow`].
+    pub fn validate(&self) -> Result<(), DodError> {
         match *self {
-            WindowSpec::Count(w) => assert!(w >= 1, "count window needs capacity >= 1"),
-            WindowSpec::Time(h) => assert!(
-                h > 0.0 && h.is_finite(),
-                "time window needs a positive finite horizon, got {h}"
-            ),
+            WindowSpec::Count(w) if w < 1 => Err(DodError::InvalidWindow {
+                reason: "count window needs capacity >= 1".into(),
+            }),
+            WindowSpec::Time(h) if !(h > 0.0 && h.is_finite()) => Err(DodError::InvalidWindow {
+                reason: format!("time window needs a positive finite horizon, got {h}"),
+            }),
+            _ => Ok(()),
         }
     }
 }
@@ -285,11 +286,18 @@ mod tests {
 
     #[test]
     fn spec_validation() {
-        WindowSpec::Count(1).validate();
-        WindowSpec::Time(0.5).validate();
-        for bad in [WindowSpec::Count(0), WindowSpec::Time(0.0)] {
-            let r = std::panic::catch_unwind(move || bad.validate());
-            assert!(r.is_err(), "{bad:?} accepted");
+        assert!(WindowSpec::Count(1).validate().is_ok());
+        assert!(WindowSpec::Time(0.5).validate().is_ok());
+        for bad in [
+            WindowSpec::Count(0),
+            WindowSpec::Time(0.0),
+            WindowSpec::Time(f64::NAN),
+            WindowSpec::Time(f64::INFINITY),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(DodError::InvalidWindow { .. })),
+                "{bad:?} accepted"
+            );
         }
     }
 }

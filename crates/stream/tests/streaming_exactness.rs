@@ -44,7 +44,8 @@ fn batch_outliers(det: &StreamDetector<VectorSpace<L2>>, r: f64, k: usize) -> Ve
 
 fn check_backend(backend: Backend, r: f64, k: usize, w: usize, seed: u64) {
     let params = StreamParams::count(r, k, w);
-    let mut det = StreamDetector::with_backend(VectorSpace::new(L2, 2), params, backend);
+    let mut det = StreamDetector::try_with_backend(VectorSpace::new(L2, 2), params, backend)
+        .expect("valid params");
     for p in stream_points(90, seed) {
         det.insert(p);
         let got = det.outliers();
@@ -101,12 +102,15 @@ proptest! {
 #[test]
 fn backends_agree_with_each_other_throughout() {
     let params = StreamParams::count(1.0, 3, 64);
-    let mut a = StreamDetector::with_backend(VectorSpace::new(L2, 2), params, Backend::Exhaustive);
-    let mut b = StreamDetector::with_backend(
+    let mut a =
+        StreamDetector::try_with_backend(VectorSpace::new(L2, 2), params, Backend::Exhaustive)
+            .expect("valid params");
+    let mut b = StreamDetector::try_with_backend(
         VectorSpace::new(L2, 2),
         params,
         Backend::Graph(GraphParams::default()),
-    );
+    )
+    .expect("valid params");
     for p in stream_points(300, 42) {
         a.insert(p.clone());
         b.insert(p);

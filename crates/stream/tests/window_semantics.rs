@@ -14,7 +14,8 @@ fn both() -> [Backend; 2] {
 fn expiry_is_strictly_fifo() {
     for backend in both() {
         let params = StreamParams::count(1.0, 1, 5);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         let mut expired_log = Vec::new();
         for i in 0..20 {
             let report = d.insert(vec![i as f32]);
@@ -36,7 +37,8 @@ fn duplicate_points_count_each_other() {
         // Window full of identical points: everyone has W−1 neighbors at
         // distance zero, so nothing is an outlier even at r = 0.
         let params = StreamParams::count(0.0, 3, 8);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         for _ in 0..12 {
             d.insert(vec![7.0]);
         }
@@ -50,7 +52,8 @@ fn window_smaller_than_k_flags_everything() {
     for backend in both() {
         // W = 4 but k = 10: nobody can ever reach 10 neighbors.
         let params = StreamParams::count(100.0, 10, 4);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         for i in 0..9 {
             d.insert(vec![i as f32 * 0.01]);
         }
@@ -63,7 +66,8 @@ fn window_smaller_than_k_flags_everything() {
 fn empty_window_has_no_outliers() {
     for backend in both() {
         let params = StreamParams::timed(1.0, 2, 5.0);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         assert!(d.is_empty());
         assert!(d.outliers().is_empty());
         assert!(d.audit().is_empty());
@@ -85,7 +89,8 @@ fn empty_window_has_no_outliers() {
 fn time_window_keeps_exactly_the_horizon() {
     for backend in both() {
         let params = StreamParams::timed(0.5, 1, 10.0);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         // One point every 4 time units; horizon 10 keeps at most 3 alive.
         for i in 0..8u64 {
             let report = d.insert_at(vec![(i % 2) as f32], 4.0 * i as f64);
@@ -102,7 +107,8 @@ fn boundary_distance_counts_as_neighbor() {
     for backend in both() {
         // dist == r must count (Definition 1 uses <=), streaming included.
         let params = StreamParams::count(1.0, 1, 4);
-        let mut d = StreamDetector::with_backend(VectorSpace::new(L2, 1), params, backend);
+        let mut d = StreamDetector::try_with_backend(VectorSpace::new(L2, 1), params, backend)
+            .expect("valid params");
         d.insert(vec![0.0]);
         d.insert(vec![1.0]);
         assert!(d.outliers().is_empty(), "{}", d.backend_name());
@@ -112,7 +118,7 @@ fn boundary_distance_counts_as_neighbor() {
 #[test]
 fn string_space_streams_work() {
     let params = StreamParams::count(1.0, 1, 6);
-    let mut d = StreamDetector::new(StringSpace, params);
+    let mut d = StreamDetector::try_new(StringSpace, params).expect("valid params");
     for w in ["cat", "bat", "hat", "rat", "zzzzzzzzzz"] {
         d.insert(w.to_string());
     }
@@ -123,7 +129,7 @@ fn string_space_streams_work() {
 #[test]
 fn window_view_matches_window_contents() {
     let params = StreamParams::count(1.0, 1, 3);
-    let mut d = StreamDetector::new(VectorSpace::new(L2, 1), params);
+    let mut d = StreamDetector::try_new(VectorSpace::new(L2, 1), params).expect("valid params");
     for x in [1.0f32, 2.0, 3.0, 4.0] {
         d.insert(vec![x]);
     }
@@ -138,18 +144,20 @@ fn window_view_matches_window_contents() {
 #[should_panic(expected = "non-decreasing")]
 fn out_of_order_timestamps_are_rejected() {
     let params = StreamParams::timed(1.0, 1, 5.0);
-    let mut d = StreamDetector::new(VectorSpace::new(L2, 1), params);
+    let mut d = StreamDetector::try_new(VectorSpace::new(L2, 1), params).expect("valid params");
     d.insert_at(vec![0.0], 10.0);
     d.insert_at(vec![1.0], 9.0);
 }
 
 #[test]
-#[should_panic(expected = "capacity >= 1")]
 fn zero_capacity_window_is_rejected() {
     let params = StreamParams {
         r: 1.0,
         k: 1,
         window: WindowSpec::Count(0),
     };
-    let _ = StreamDetector::new(VectorSpace::new(L2, 1), params);
+    let err = StreamDetector::try_new(VectorSpace::new(L2, 1), params)
+        .err()
+        .expect("zero-capacity window must be rejected");
+    assert!(err.to_string().contains("capacity >= 1"), "{err}");
 }

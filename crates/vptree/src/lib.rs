@@ -2,7 +2,7 @@
 //!
 //! The paper uses the VP-tree [Yianilos, SODA'93] in three roles:
 //!
-//! 1. as the strongest tree baseline for the DOD problem (per [13], the
+//! 1. as the strongest tree baseline for the DOD problem (per \[13\], the
 //!    most efficient metric range-search index),
 //! 2. as the `Exact-Counting` engine of Algorithm 1's verification phase on
 //!    data with low intrinsic dimensionality,

@@ -15,7 +15,7 @@
 use dod::datasets::{calibrate_r, Family};
 use dod::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     // --- 1. A SIFT-like training set with planted noise -------------------
     let n = 4000;
     let gen = Family::Sift.generate(n, 42);
@@ -35,14 +35,16 @@ fn main() {
     // --- 3. Detect and remove outliers ------------------------------------
     let mut mrpg_params = MrpgParams::new(Family::Sift.graph_degree());
     mrpg_params.threads = 2;
-    let (graph, timing) = dod::graph::mrpg::build(data, &mrpg_params);
-    let report = GraphDod::new(&graph)
-        .with_verify(VerifyStrategy::Linear)
-        .detect(data, &DodParams::new(r, k).with_threads(2));
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(mrpg_params))
+        .verify(VerifyStrategy::Linear)
+        .threads(2)
+        .build()?;
+    let report = engine.query(Query::new(r, k)?)?;
     println!(
-        "MRPG: built in {:.2} s, detected {} outliers in {:.3} s \
+        "MRPG engine: built in {:.2} s, detected {} outliers in {:.3} s \
          ({} decided without verification)",
-        timing.total_secs(),
+        engine.build_secs(),
         report.outliers.len(),
         report.total_secs(),
         report.decided_in_filter,
@@ -82,4 +84,5 @@ fn main() {
         s_after <= s_before,
         "removing distance-based outliers must not loosen the training set"
     );
+    Ok(())
 }

@@ -14,7 +14,7 @@
 use dod::datasets::Family;
 use dod::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     let n = 5000;
     let gen = Family::Hepmass.generate(n, 33);
     let data = &gen.data;
@@ -22,15 +22,18 @@ fn main() {
     let r0 = dod::datasets::calibrate_r(data, k0, 0.0065, 500, 7);
     println!("hepmass-like: n={n}, 27-d L1; calibrated defaults r={r0:.1}, k={k0}\n");
 
-    // One graph, built once.
+    // One engine, built once.
     let mut params = MrpgParams::new(Family::Hepmass.graph_degree());
     params.threads = 2;
-    let (graph, timing) = dod::graph::mrpg::build(data, &params);
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(params))
+        .verify(VerifyStrategy::VpTree)
+        .threads(2)
+        .build()?;
     println!(
-        "MRPG built once in {:.2} s — reused for every query below\n",
-        timing.total_secs()
+        "MRPG engine built once in {:.2} s — reused for every query below\n",
+        engine.build_secs()
     );
-    let dod_algo = GraphDod::new(&graph).with_verify(VerifyStrategy::VpTree);
 
     println!("vary r (k = {k0}):");
     println!(
@@ -40,7 +43,7 @@ fn main() {
     let mut last = usize::MAX;
     for mult in [0.85, 0.95, 1.0, 1.05, 1.15] {
         let r = r0 * mult;
-        let report = dod_algo.detect(data, &DodParams::new(r, k0).with_threads(2));
+        let report = engine.query(Query::new(r, k0)?)?;
         println!(
             "{:>10.1} {:>10} {:>11.2}% {:>12.1}",
             r,
@@ -62,7 +65,7 @@ fn main() {
     );
     let mut last = 0usize;
     for k in [k0 / 2, k0 - 10, k0, k0 + 10, k0 * 2] {
-        let report = dod_algo.detect(data, &DodParams::new(r0, k).with_threads(2));
+        let report = engine.query(Query::new(r0, k)?)?;
         println!(
             "{:>10} {:>10} {:>11.2}% {:>12.1}",
             k,
@@ -74,4 +77,5 @@ fn main() {
         last = report.outliers.len();
     }
     println!("\n(monotonicity asserted on every step — the library's property tests prove it in general)");
+    Ok(())
 }

@@ -1,4 +1,4 @@
-//! Index persistence: build the MRPG once, save it, reload in a "new
+//! Index persistence: build the engine once, save it, reload in a "new
 //! process", and serve queries — the deployment shape the paper's offline /
 //! online split implies (Table 3 builds are hours at paper scale; you do
 //! not want them on the query path).
@@ -10,11 +10,10 @@
 
 use dod::core::nested_loop;
 use dod::datasets::Family;
-use dod::graph::serialize;
 use dod::prelude::*;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     let gen = Family::Glove.generate(4000, 77);
     let data = &gen.data;
     let k = Family::Glove.default_k();
@@ -23,14 +22,17 @@ fn main() {
     // --- offline: build and persist -----------------------------------
     let mut params = MrpgParams::new(Family::Glove.graph_degree());
     params.threads = 2;
-    let t = Instant::now();
-    let (graph, _) = dod::graph::mrpg::build(data, &params);
-    println!("built MRPG in {:.2} s", t.elapsed().as_secs_f64());
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(params))
+        .verify(VerifyStrategy::Linear)
+        .threads(2)
+        .build()?;
+    println!("built MRPG engine in {:.2} s", engine.build_secs());
 
-    let path = std::env::temp_dir().join("dod_quickstart.mrpg");
+    let path = std::env::temp_dir().join("dod_quickstart.engine");
     let t = Instant::now();
-    serialize::write_to(&graph, std::fs::File::create(&path).expect("create")).expect("serialize");
-    let bytes = std::fs::metadata(&path).expect("stat").len();
+    engine.save(std::fs::File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
     println!(
         "saved to {} ({:.2} MB) in {:.1} ms",
         path.display(),
@@ -39,29 +41,41 @@ fn main() {
     );
 
     // --- "new process": load and query --------------------------------
-    let t = Instant::now();
-    let loaded =
-        serialize::read_from(std::fs::File::open(&path).expect("open")).expect("deserialize");
-    println!("loaded in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    let loaded = Engine::load(data, std::fs::File::open(&path)?)?;
+    println!(
+        "loaded warm engine ({} index, verify={:?}) in {:.1} ms",
+        loaded.index_name(),
+        loaded.verify(),
+        loaded.build_secs() * 1e3
+    );
 
-    let report = GraphDod::new(&loaded)
-        .with_verify(VerifyStrategy::Linear)
-        .detect(data, &DodParams::new(r, k).with_threads(2));
+    let query = Query::new(r, k)?;
+    let report = loaded.query(query)?;
     println!(
         "query (r={r:.3}, k={k}): {} outliers in {:.1} ms",
         report.outliers.len(),
         report.total_secs() * 1e3
     );
 
-    // The loaded index answers identically to a fresh build and to brute
-    // force.
-    let fresh = GraphDod::new(&graph)
-        .with_verify(VerifyStrategy::Linear)
-        .detect(data, &DodParams::new(r, k));
+    // The loaded engine answers identically to the fresh build and to
+    // brute force.
+    let fresh = engine.query(query)?;
     assert_eq!(report.outliers, fresh.outliers);
     let truth = nested_loop::detect(data, &DodParams::new(r, k), 0);
     assert_eq!(report.outliers, truth.outliers);
-    println!("verified: loaded index = fresh index = brute force");
+    println!("verified: loaded engine = fresh engine = brute force");
+
+    // A damaged file is a typed error, not a crash.
+    let mut corrupt = std::fs::read(&path)?;
+    corrupt.truncate(corrupt.len() / 2);
+    match Engine::load(data, &corrupt[..]) {
+        Err(DodError::Corrupt { offset, reason }) => {
+            println!("corrupt file rejected cleanly: {reason} at byte {offset}")
+        }
+        Err(e) => panic!("expected a Corrupt error, got {e}"),
+        Ok(_) => panic!("a truncated engine file was accepted"),
+    }
 
     let _ = std::fs::remove_file(&path);
+    Ok(())
 }

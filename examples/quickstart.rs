@@ -5,14 +5,15 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Demonstrates the whole workflow: build the MRPG index once (offline),
-//! then answer `(r, k)` outlier queries (online), and cross-check the
-//! result against the brute-force nested loop.
+//! Demonstrates the whole workflow through the `Engine` front door: build
+//! the MRPG index once (offline), answer `(r, k)` outlier queries
+//! (online), and cross-check the result against the brute-force nested
+//! loop.
 
 use dod::core::nested_loop;
 use dod::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     // --- 1. Data: three dense blobs + three isolated points --------------
     let mut rows: Vec<Vec<f32>> = Vec::new();
     for i in 0..600 {
@@ -28,24 +29,28 @@ fn main() {
     let data = VectorSet::from_rows(&rows, L2);
     println!("dataset: {} points in 2-d (L2)", data.len());
 
-    // --- 2. Offline: build the MRPG proximity graph ----------------------
-    let (graph, timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(10));
+    // --- 2. Offline: one engine owning data + MRPG index -----------------
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(MrpgParams::new(10)))
+        .build()?;
+    let graph = engine.graph().expect("MRPG engines are graph-backed");
     println!(
-        "MRPG built in {:.1} ms ({} nodes, {} links, {} pivots)",
-        timing.total_secs() * 1e3,
+        "engine built in {:.1} ms ({} nodes, {} links, {} pivots, {:.1} KiB index)",
+        engine.build_secs() * 1e3,
         graph.node_count(),
         graph.link_count(),
         graph.pivot_ids().len(),
+        engine.index_bytes() as f64 / 1024.0,
     );
 
     // --- 3. Online: answer an (r, k) query --------------------------------
-    let params = DodParams::new(2.0, 8);
-    let report = GraphDod::new(&graph).detect(&data, &params);
+    let query = Query::new(2.0, 8)?;
+    let report = engine.query(query)?;
     println!(
         "query (r = {}, k = {}): {} outliers, {} candidates after filtering, \
          {} false positives, filter {:.2} ms + verify {:.2} ms",
-        params.r,
-        params.k,
+        query.r(),
+        query.k(),
         report.outliers.len(),
         report.candidates,
         report.false_positives,
@@ -53,15 +58,19 @@ fn main() {
         report.verify_secs * 1e3,
     );
     for &o in &report.outliers {
-        let row = data.row(o as usize);
+        let row = engine.data().row(o as usize);
         println!("  outlier #{o}: ({:.1}, {:.1})", row[0], row[1]);
     }
 
     // --- 4. Exactness check ------------------------------------------------
-    let truth = nested_loop::detect(&data, &params, 0);
+    let truth = nested_loop::detect(engine.data(), &DodParams::new(2.0, 8), 0);
     assert_eq!(
         report.outliers, truth.outliers,
         "graph-based result must equal the brute-force ground truth"
     );
     println!("verified: result identical to brute-force nested loop");
+
+    // Bad input never panics — it comes back as a typed error.
+    assert!(Query::new(f64::NAN, 8).is_err());
+    Ok(())
 }

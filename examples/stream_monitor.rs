@@ -14,7 +14,7 @@
 use dod::datasets::StreamScenario;
 use dod::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     // --- 1. The stream: drifting clusters, a burst every 400 events ------
     let scenario = StreamScenario::new(4);
     let events = scenario.events(3000, 7);
@@ -22,17 +22,20 @@ fn main() {
     // --- 2. The monitor: 512-point window, flag points with < 4 neighbors
     //        within r. r is chosen from the scenario's geometry: clusters
     //        have std 1.0, so 3.0 comfortably covers in-cluster spacing
-    //        while tail points (≥ 80 away) stay far outside.
-    let params = StreamParams::count(3.0, 4, 512);
-    let mut monitor = StreamDetector::with_backend(
+    //        while tail points (≥ 80 away) stay far outside. The stream
+    //        takes the same validated Query type the batch Engine does.
+    let query = Query::new(3.0, 4)?;
+    let mut monitor = StreamDetector::open(
         VectorSpace::new(L2, 4),
-        params,
+        query,
+        WindowSpec::Count(512),
         Backend::Graph(GraphParams::default()),
-    );
+    )?;
 
     println!(
         "monitoring a drift/burst/churn stream: window=512, r={}, k={}\n",
-        params.r, params.k
+        query.r(),
+        query.k()
     );
     let mut planted = 0usize;
     let mut flagged_planted = 0usize;
@@ -76,4 +79,18 @@ fn main() {
     );
     assert_eq!(monitor.outliers(), monitor.audit());
     println!("verified: final incremental answer equals the from-scratch recount");
+
+    // The unified report compares the stream against a batch engine over
+    // the same window snapshot — one result shape for both worlds.
+    let report = monitor.report();
+    let batch = Engine::builder(monitor.window_view())
+        .index(IndexSpec::None)
+        .build()?
+        .query(query)?;
+    assert_eq!(report.outliers, batch.outliers);
+    println!(
+        "cross-checked against a batch engine over the window: {} outliers either way",
+        report.outliers.len()
+    );
+    Ok(())
 }

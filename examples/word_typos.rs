@@ -16,42 +16,43 @@ use dod::core::nested_loop;
 use dod::prelude::*;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), DodError> {
     // --- 1. Vocabulary with planted junk ----------------------------------
     let gen = dod::datasets::Family::Words.generate(3000, 11);
-    let data = match &gen.data {
-        dod::datasets::AnyDataset::Strings(s) => s,
-        _ => unreachable!("words family generates strings"),
-    };
+    // Typed access: a mismatch would surface as DodError::FamilyMismatch.
+    let data = gen.data.as_strings().map_err(DodError::from)?;
     println!("vocabulary: {} strings (edit distance)", data.len());
 
     // r = 3, k = 4: a legitimate entry has at least 4 variants within 3
     // edits; junk does not.
-    let params = DodParams::new(3.0, 4).with_threads(2);
+    let query = Query::new(3.0, 4)?;
 
     // --- 2. MRPG-based detection ------------------------------------------
     let mut mp = MrpgParams::new(15);
     mp.threads = 2;
-    let t = Instant::now();
-    let (graph, _) = dod::graph::mrpg::build(data, &mp);
-    let build_secs = t.elapsed().as_secs_f64();
-    let report = GraphDod::new(&graph)
-        .with_verify(VerifyStrategy::VpTree) // paper's choice for Words
-        .detect(data, &params);
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(mp))
+        .verify(VerifyStrategy::VpTree) // paper's choice for Words
+        .threads(2)
+        .build()?;
+    let report = engine.query(query)?;
     println!(
-        "MRPG: {:.2} s build, {:.3} s detection, {} suspicious entries",
-        build_secs,
+        "MRPG engine: {:.2} s build, {:.3} s detection, {} suspicious entries",
+        engine.build_secs(),
         report.total_secs(),
         report.outliers.len()
     );
 
     // --- 3. VP-tree baseline (same answer, different speed) ---------------
-    let vp = VpTreeDod::build(data, 0);
+    let vp = Engine::builder(data)
+        .index(IndexSpec::VpTree)
+        .threads(2)
+        .build()?;
     let t = Instant::now();
-    let vp_result = vp.detect(data, &params);
+    let vp_result = vp.query(query)?;
     println!(
         "VP-tree baseline: {:.2} s build, {:.3} s detection",
-        vp.build_secs,
+        vp.build_secs(),
         t.elapsed().as_secs_f64()
     );
     assert_eq!(report.outliers, vp_result.outliers, "both are exact");
@@ -64,7 +65,7 @@ fn main() {
 
     // Junk is planted at the tail of the id space by the generator; check
     // the detector found mostly tail entries.
-    let truth = nested_loop::detect(data, &params, 0);
+    let truth = nested_loop::detect(data, &DodParams::new(3.0, 4).with_threads(2), 0);
     assert_eq!(report.outliers, truth.outliers);
     let tail_start = (data.len() as f64 * 0.97) as u32;
     let tail_hits = report.outliers.iter().filter(|&&o| o >= tail_start).count();
@@ -73,4 +74,5 @@ fn main() {
         tail_hits,
         report.outliers.len()
     );
+    Ok(())
 }

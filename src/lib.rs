@@ -7,12 +7,16 @@
 //! Given a set `P` of objects in any metric space, a radius `r` and a
 //! count threshold `k`, an object is a **distance-based outlier** iff
 //! fewer than `k` objects lie within distance `r` of it. This crate finds
-//! *exactly* those objects, fast, by:
+//! *exactly* those objects, fast.
 //!
-//! 1. building **MRPG** — a proximity graph purpose-built for outlier
-//!    detection — once, offline ([`graph::mrpg::build`]);
-//! 2. answering any `(r, k)` query with graph-bounded counting plus exact
-//!    verification ([`core::GraphDod`]).
+//! ## The front door: [`Engine`](core::Engine)
+//!
+//! The paper's operational model — build an index once offline, answer
+//! any `(r, k)` query online — is one owned value: an `Engine` holds the
+//! dataset, the index ([`IndexSpec`](core::IndexSpec) picks MRPG, NSW,
+//! KGraph, a VP-tree, or no index at all), and per-session query state.
+//! Invalid input surfaces as [`DodError`](core::DodError) instead of
+//! panicking.
 //!
 //! ```
 //! use dod::prelude::*;
@@ -28,13 +32,55 @@
 //! rows.push(vec![-400.0, 300.0]);
 //! let data = VectorSet::from_rows(&rows, L2);
 //!
-//! // Offline: build the MRPG once.
-//! let (graph, _timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(8));
+//! // Offline: build the engine (MRPG index) once.
+//! let engine = Engine::builder(data)
+//!     .index(IndexSpec::Mrpg(MrpgParams::new(8)))
+//!     .build()?;
 //!
-//! // Online: any (r, k) query.
-//! let report = GraphDod::new(&graph).detect(&data, &DodParams::new(2.0, 5));
+//! // Online: any (r, k) query, through one validated type.
+//! let report = engine.query(Query::new(2.0, 5)?)?;
 //! assert_eq!(report.outliers, vec![300, 301]);
+//! # Ok::<(), DodError>(())
 //! ```
+//!
+//! ## Serving from `Arc<Engine>`
+//!
+//! An `Engine` is `Send + Sync` and immutable after build, so a service
+//! shares one behind an [`std::sync::Arc`] across request handlers; its
+//! traversal buffers and verification engine are pooled internally, so
+//! concurrent queries do not re-allocate:
+//!
+//! ```
+//! use dod::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 10) as f32, (i / 10) as f32]).collect();
+//! # let data = VectorSet::from_rows(&rows, L2);
+//! let engine = Arc::new(
+//!     Engine::builder(data)
+//!         .index(IndexSpec::Mrpg(MrpgParams::new(8)))
+//!         .threads(2)
+//!         .build()?,
+//! );
+//! let handlers: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let engine = Arc::clone(&engine);
+//!         std::thread::spawn(move || {
+//!             // Each "request" runs its own (r, k) query.
+//!             let q = Query::new(1.5, 2 + i)?;
+//!             engine.query(q).map(|rep| rep.outliers.len())
+//!         })
+//!     })
+//!     .collect();
+//! for h in handlers {
+//!     h.join().expect("handler panicked")?;
+//! }
+//! # Ok::<(), DodError>(())
+//! ```
+//!
+//! `Engine::save`/`Engine::load` persist the index and parameters, so a
+//! restarted service skips the offline build (see
+//! `examples/persist_index.rs`).
 //!
 //! ## Crate map
 //!
@@ -46,25 +92,38 @@
 //! * [`graph`] — proximity graphs: KGraph (NNDescent), NSW, and MRPG with
 //!   its full §5 pipeline (NNDescent+, Connect-SubGraphs, Remove-Detours,
 //!   Remove-Links).
-//! * [`core`] — the DOD algorithms: Algorithm 1 plus the nested-loop,
-//!   SNIF, DOLPHIN and VP-tree baselines.
+//! * [`core`] — [`core::Engine`] plus the DOD algorithms behind it:
+//!   Algorithm 1 and the nested-loop, SNIF, DOLPHIN and VP-tree
+//!   baselines, all exact and all pinned to the same ground truth.
 //! * [`stream`] — sliding-window streaming detection: ingest points one at
 //!   a time, maintain neighbor counts incrementally, answer "current
 //!   outliers" exactly after every slide.
 //!
 //! ## Streaming
 //!
+//! The streaming side speaks the same vocabulary: construction takes the
+//! same [`Query`](core::Query) (and fails with the same
+//! [`DodError`](core::DodError)), and
+//! [`StreamDetector::report`](stream::StreamDetector::report) answers in
+//! the same [`OutlierReport`](core::OutlierReport) shape as
+//! `Engine::query`, so batch and stream results compare directly.
+//!
 //! ```
 //! use dod::prelude::*;
 //!
 //! // Flag points with < 2 neighbors within 1.5 among the 32 most recent.
-//! let params = StreamParams::count(1.5, 2, 32);
-//! let mut det = StreamDetector::new(VectorSpace::new(L2, 1), params);
+//! let mut det = StreamDetector::open(
+//!     VectorSpace::new(L2, 1),
+//!     Query::new(1.5, 2)?,
+//!     WindowSpec::Count(32),
+//!     Backend::Exhaustive,
+//! )?;
 //! for i in 0..32 {
 //!     det.insert(vec![(i % 4) as f32]);
 //! }
 //! det.insert(vec![500.0]);
 //! assert_eq!(det.outliers(), vec![32]);
+//! # Ok::<(), DodError>(())
 //! ```
 //!
 //! The `dod-bench` crate (workspace-internal) regenerates every table and
@@ -79,7 +138,11 @@ pub use dod_vptree as vptree;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use dod_core::{DodParams, DodResult, GraphDod, VerifyStrategy, VpTreeDod};
+    pub use dod_core::{
+        DodError, DodParams, Engine, EngineBuilder, IndexSpec, OutlierReport, Query, VerifyStrategy,
+    };
+    #[allow(deprecated)]
+    pub use dod_core::{DodResult, GraphDod, VpTreeDod};
     pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
     pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
     pub use dod_stream::{

@@ -1,8 +1,9 @@
 //! End-to-end exactness: every algorithm must return the identical outlier
 //! set on every dataset family of the paper's evaluation (Table 1), with
-//! the nested loop as ground truth.
+//! the nested loop as ground truth. Everything indexed runs through the
+//! `Engine` front door.
 
-use dod::core::{dolphin, nested_loop, snif, DodParams, GraphDod, VerifyStrategy, VpTreeDod};
+use dod::core::{dolphin, nested_loop, snif, DodParams, Engine, IndexSpec, Query, VerifyStrategy};
 use dod::datasets::{calibrate_r, Family};
 use dod::graph::MrpgParams;
 use dod::metrics::Dataset;
@@ -23,6 +24,9 @@ fn check_family(family: Family) {
     let k = family.default_k().min(n / 10);
     let r = calibrate_r(data, k, family.target_outlier_ratio().max(0.01), 200, 5);
     let params = DodParams::new(r, k).with_threads(2);
+    let q = Query::new(r, k)
+        .expect("calibrated query is valid")
+        .with_threads(2);
 
     let truth = nested_loop::detect(data, &params, 0).outliers;
     assert!(
@@ -46,48 +50,47 @@ fn check_family(family: Family) {
         truth,
         "{family}: DOLPHIN disagrees"
     );
-    let vp = VpTreeDod::build(data, 1);
-    assert_eq!(
-        vp.detect(data, &params).outliers,
-        truth,
-        "{family}: VP-tree disagrees"
-    );
 
-    // Proximity-graph algorithms, all four graphs.
+    // Every Engine index spec, one loop.
     let degree = 10;
-    let nsw = dod::graph::mrpg::build_nsw(data, degree, 1);
-    assert_eq!(
-        GraphDod::new(&nsw).detect(data, &params).outliers,
-        truth,
-        "{family}: NSW disagrees"
-    );
-    let kg = dod::graph::mrpg::build_kgraph(data, degree, 2, 1);
-    assert_eq!(
-        GraphDod::new(&kg).detect(data, &params).outliers,
-        truth,
-        "{family}: KGraph disagrees"
-    );
-    let mut bp = MrpgParams::basic(degree);
-    bp.threads = 2;
-    let (basic, _) = dod::graph::mrpg::build(data, &bp);
-    assert_eq!(
-        GraphDod::new(&basic).detect(data, &params).outliers,
-        truth,
-        "{family}: MRPG-basic disagrees"
-    );
+    let mut basic = MrpgParams::basic(degree);
+    basic.threads = 2;
+    let specs: Vec<IndexSpec> = vec![
+        IndexSpec::None,
+        IndexSpec::VpTree,
+        IndexSpec::Nsw { degree },
+        IndexSpec::KGraph { degree },
+        IndexSpec::Mrpg(basic),
+    ];
+    for spec in specs {
+        let name = format!("{spec:?}");
+        let engine = Engine::builder(data)
+            .index(spec)
+            .seed(1)
+            .build()
+            .unwrap_or_else(|e| panic!("{family}: {name} failed to build: {e}"));
+        assert_eq!(
+            engine.query(q).expect("query").outliers,
+            truth,
+            "{family}: {name} disagrees"
+        );
+    }
+
+    // Full MRPG across every verification strategy.
     let mut fp = MrpgParams::new(degree);
     fp.threads = 2;
-    let (mrpg, _) = dod::graph::mrpg::build(data, &fp);
     for verify in [
         VerifyStrategy::Auto,
         VerifyStrategy::Linear,
         VerifyStrategy::VpTree,
     ] {
+        let engine = Engine::builder(data)
+            .index(IndexSpec::Mrpg(fp.clone()))
+            .verify(verify)
+            .build()
+            .expect("mrpg engine");
         assert_eq!(
-            GraphDod::new(&mrpg)
-                .with_verify(verify)
-                .detect(data, &params)
-                .outliers,
+            engine.query(q).expect("query").outliers,
             truth,
             "{family}: MRPG with {verify:?} verification disagrees"
         );
@@ -138,20 +141,22 @@ fn filtering_has_no_false_negatives() {
     let k = 10;
     let r = calibrate_r(data, k, 0.02, 200, 1);
     let params = DodParams::new(r, k);
+    let q = Query::new(r, k).expect("valid query");
     let truth = nested_loop::detect(data, &params, 0).outliers;
 
-    for g in [
-        dod::graph::mrpg::build_nsw(data, 8, 0),
-        dod::graph::mrpg::build_kgraph(data, 8, 1, 0),
-        dod::graph::mrpg::build(data, &MrpgParams::new(8)).0,
+    for spec in [
+        IndexSpec::Nsw { degree: 8 },
+        IndexSpec::KGraph { degree: 8 },
+        IndexSpec::Mrpg(MrpgParams::new(8)),
     ] {
-        let report = GraphDod::new(&g).detect(data, &params);
-        assert_eq!(report.outliers, truth, "{} missed outliers", g.kind);
+        let engine = Engine::builder(data).index(spec).build().expect("engine");
+        let report = engine.query(q).expect("query");
+        let name = engine.index_name();
+        assert_eq!(report.outliers, truth, "{name} missed outliers");
         // Every outlier is either verified (a candidate) or shortcut-decided.
         assert!(
             report.candidates + report.decided_in_filter >= truth.len(),
-            "{}: candidates cannot cover the outliers",
-            g.kind
+            "{name}: candidates cannot cover the outliers"
         );
     }
 }
@@ -166,6 +171,14 @@ fn subset_views_detect_like_materialized_subsets() {
     assert_eq!(view.len(), 200);
     let params = DodParams::new(5.0, 3);
     let a = nested_loop::detect(&view, &params, 0).outliers;
-    let vp = VpTreeDod::build(&view, 0);
-    assert_eq!(vp.detect(&view, &params).outliers, a);
+    let vp = Engine::builder(&view)
+        .index(IndexSpec::VpTree)
+        .build()
+        .expect("engine");
+    assert_eq!(
+        vp.query(Query::new(5.0, 3).expect("valid"))
+            .expect("query")
+            .outliers,
+        a
+    );
 }

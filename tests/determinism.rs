@@ -2,7 +2,7 @@
 //! and results, regardless of thread count. The experiment harness (and
 //! anyone debugging a production incident) depends on this.
 
-use dod::core::{DodParams, GraphDod};
+use dod::core::{Engine, Query};
 use dod::datasets::Family;
 use dod::graph::MrpgParams;
 use dod::metrics::Dataset;
@@ -47,10 +47,13 @@ fn mrpg_build_is_reproducible_across_thread_counts() {
 fn detection_reports_are_reproducible() {
     let gen = Family::Sift.generate(400, 8);
     let (g, _) = dod::graph::mrpg::build(&gen.data, &MrpgParams::new(8));
-    let dod = GraphDod::new(&g);
-    let params = DodParams::new(300.0, 10);
-    let a = dod.detect(&gen.data, &params);
-    let b = dod.detect(&gen.data, &params);
+    let engine = Engine::builder(&gen.data)
+        .prebuilt_graph(g)
+        .build()
+        .expect("engine");
+    let q = Query::new(300.0, 10).expect("valid query");
+    let a = engine.query(q).expect("query");
+    let b = engine.query(q).expect("query");
     assert_eq!(a.outliers, b.outliers);
     assert_eq!(a.candidates, b.candidates);
     assert_eq!(a.false_positives, b.false_positives);
@@ -70,8 +73,17 @@ fn different_seeds_build_different_graphs() {
     let b = build(2);
     assert_ne!(a.adj, b.adj, "seeds 1 and 2 built identical graphs");
     // ... but both must give the same (exact) detection result.
-    let params = DodParams::new(10.0, 8);
-    let ra = GraphDod::new(&a).detect(&gen.data, &params);
-    let rb = GraphDod::new(&b).detect(&gen.data, &params);
-    assert_eq!(ra.outliers, rb.outliers);
+    let q = Query::new(10.0, 8).expect("valid query");
+    let ea = Engine::builder(&gen.data)
+        .prebuilt_graph(a)
+        .build()
+        .expect("engine");
+    let eb = Engine::builder(&gen.data)
+        .prebuilt_graph(b)
+        .build()
+        .expect("engine");
+    assert_eq!(
+        ea.query(q).expect("query").outliers,
+        eb.query(q).expect("query").outliers
+    );
 }

@@ -2,18 +2,26 @@
 //! empty datasets, singletons, k = 0, k > n, r = 0, r = ∞-ish, duplicate
 //! objects. Exactness must hold everywhere the problem is well-defined.
 
-use dod::core::{dolphin, nested_loop, snif, DodParams, GraphDod, VpTreeDod};
-use dod::graph::MrpgParams;
+use dod::core::{dolphin, nested_loop, snif, DodParams};
 use dod::prelude::*;
 
 fn all_outlier_sets(data: &(impl Dataset + ?Sized), params: &DodParams) -> Vec<Vec<u32>> {
-    let (g, _) = dod::graph::mrpg::build(data, &MrpgParams::new(4));
+    let q = Query::new(params.r, params.k).expect("valid query");
+    let mrpg = Engine::builder(&data)
+        .index(IndexSpec::Mrpg(MrpgParams::new(4)))
+        .build()
+        .expect("mrpg engine");
+    let vp = Engine::builder(&data)
+        .index(IndexSpec::VpTree)
+        .seed(3)
+        .build()
+        .expect("vptree engine");
     vec![
         nested_loop::detect(data, params, 0).outliers,
         snif::detect(data, params, 1).outliers,
         dolphin::detect(data, params, 2).outliers,
-        VpTreeDod::build(data, 3).detect(data, params).outliers,
-        GraphDod::new(&g).detect(data, params).outliers,
+        vp.query(q).expect("vptree query").outliers,
+        mrpg.query(q).expect("mrpg query").outliers,
     ]
 }
 
@@ -91,11 +99,18 @@ fn string_edge_cases() {
 }
 
 #[test]
-fn negative_r_panics_consistently() {
+fn negative_r_panics_on_the_legacy_entry_and_errors_on_the_engine() {
     let data = VectorSet::from_rows(&[vec![0.0], vec![1.0]], L2);
+    // Legacy free function: documented panic.
     let params = DodParams::new(-1.0, 1);
     let r = std::panic::catch_unwind(|| nested_loop::detect(&data, &params, 0));
     assert!(r.is_err());
+    // Engine path: the same input never reaches a panic — construction of
+    // the Query is the validation boundary.
+    assert!(matches!(
+        Query::new(-1.0, 1),
+        Err(DodError::InvalidRadius { .. })
+    ));
 }
 
 #[test]
@@ -108,8 +123,12 @@ fn huge_k_on_small_graph_degree() {
     let data = VectorSet::from_rows(&rows, L2);
     let params = DodParams::new(0.05, 50);
     let truth = nested_loop::detect(&data, &params, 0).outliers;
-    let (g, _) = dod::graph::mrpg::build(&data, &MrpgParams::new(4));
-    assert_eq!(GraphDod::new(&g).detect(&data, &params).outliers, truth);
+    let engine = Engine::builder(&data)
+        .index(IndexSpec::Mrpg(MrpgParams::new(4)))
+        .build()
+        .expect("engine");
+    let q = Query::new(0.05, 50).expect("valid query");
+    assert_eq!(engine.query(q).expect("query").outliers, truth);
 }
 
 #[test]
@@ -117,4 +136,11 @@ fn detection_with_threads_beyond_object_count() {
     let data = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![50.0]], L2);
     let params = DodParams::new(2.0, 1).with_threads(16);
     assert_all_equal(&data, &params, &[2]);
+    // The engine honors a per-query override beyond n just as gracefully.
+    let engine = Engine::builder(&data)
+        .index(IndexSpec::None)
+        .build()
+        .expect("engine");
+    let q = Query::new(2.0, 1).expect("valid").with_threads(16);
+    assert_eq!(engine.query(q).expect("query").outliers, vec![2]);
 }

@@ -2,7 +2,7 @@
 //! every algorithm agrees with the brute-force definition, and the
 //! filtering phase never produces false negatives (Lemma 1).
 
-use dod::core::{dolphin, nested_loop, snif, DodParams, GraphDod, VpTreeDod};
+use dod::core::{dolphin, nested_loop, snif, DodParams, Engine, IndexSpec, Query};
 use dod::core::{greedy_count, TraversalBuffer};
 use dod::graph::MrpgParams;
 use dod::prelude::*;
@@ -37,15 +37,19 @@ proptest! {
             .collect();
 
         let params = DodParams::new(r, k);
+        let q = Query::new(r, k).expect("valid query");
         prop_assert_eq!(&nested_loop::detect(&data, &params, seed).outliers, &truth);
         prop_assert_eq!(&snif::detect(&data, &params, seed).outliers, &truth);
         prop_assert_eq!(&dolphin::detect(&data, &params, seed).outliers, &truth);
-        prop_assert_eq!(&VpTreeDod::build(&data, seed).detect(&data, &params).outliers, &truth);
 
-        let (mrpg, _) = dod::graph::mrpg::build(&data, &MrpgParams::new(5));
-        prop_assert_eq!(&GraphDod::new(&mrpg).detect(&data, &params).outliers, &truth);
-        let kg = dod::graph::mrpg::build_kgraph(&data, 5, 1, seed);
-        prop_assert_eq!(&GraphDod::new(&kg).detect(&data, &params).outliers, &truth);
+        for spec in [
+            IndexSpec::VpTree,
+            IndexSpec::Mrpg(MrpgParams::new(5)),
+            IndexSpec::KGraph { degree: 5 },
+        ] {
+            let engine = Engine::builder(&data).index(spec).seed(seed).build().expect("engine");
+            prop_assert_eq!(&engine.query(q).expect("query").outliers, &truth);
+        }
     }
 
     #[test]
@@ -74,10 +78,13 @@ proptest! {
         k in 1usize..6,
     ) {
         let data = VectorSet::from_rows(&rows, L2);
-        let (g, _) = dod::graph::mrpg::build(&data, &MrpgParams::new(4));
-        let dod = GraphDod::new(&g);
-        let seq = dod.detect(&data, &DodParams::new(r, k));
-        let par = dod.detect(&data, &DodParams::new(r, k).with_threads(4));
+        let engine = Engine::builder(&data)
+            .index(IndexSpec::Mrpg(MrpgParams::new(4)))
+            .build()
+            .expect("engine");
+        let q = Query::new(r, k).expect("valid query");
+        let seq = engine.query(q).expect("query");
+        let par = engine.query(q.with_threads(4)).expect("query");
         prop_assert_eq!(seq.outliers, par.outliers);
         prop_assert_eq!(seq.candidates, par.candidates);
     }
@@ -123,7 +130,10 @@ proptest! {
         let params = DodParams::new(r, k);
         prop_assert_eq!(&nested_loop::detect(&data, &params, 0).outliers, &truth);
         prop_assert_eq!(&snif::detect(&data, &params, 0).outliers, &truth);
-        let (g, _) = dod::graph::mrpg::build(&data, &MrpgParams::new(4));
-        prop_assert_eq!(&GraphDod::new(&g).detect(&data, &params).outliers, &truth);
+        let engine = Engine::builder(&data)
+            .index(IndexSpec::Mrpg(MrpgParams::new(4)))
+            .build()
+            .expect("engine");
+        prop_assert_eq!(&engine.query(Query::new(r, k).expect("valid")).expect("query").outliers, &truth);
     }
 }

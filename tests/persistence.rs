@@ -1,8 +1,9 @@
-//! Cross-crate persistence test: a serialized-then-reloaded MRPG must
-//! answer every query identically to the in-memory original, across
-//! dataset families and graph kinds.
+//! Cross-crate persistence: a serialized-then-reloaded index must answer
+//! every query identically to the in-memory original, across dataset
+//! families and graph kinds — at both layers: the raw graph codec and the
+//! `Engine::save`/`Engine::load` session format above it.
 
-use dod::core::{DodParams, GraphDod};
+use dod::core::{Engine, Query};
 use dod::datasets::{calibrate_r, Family};
 use dod::graph::{mrpg, serialize, MrpgParams};
 
@@ -13,7 +14,7 @@ fn reloaded_graphs_answer_identically() {
         let data = &gen.data;
         let k = 8;
         let r = calibrate_r(data, k, 0.02, 300, 1);
-        let params = DodParams::new(r, k);
+        let q = Query::new(r, k).expect("valid query");
 
         for graph in [
             mrpg::build(data, &MrpgParams::new(8)).0,
@@ -21,18 +22,56 @@ fn reloaded_graphs_answer_identically() {
             mrpg::build_kgraph(data, 8, 1, 0),
             mrpg::build_nsw(data, 8, 0),
         ] {
+            let kind = graph.kind;
             let bytes = serialize::to_bytes(&graph);
             let loaded = serialize::from_bytes(&bytes).expect("round trip");
-            let a = GraphDod::new(&graph).detect(data, &params);
-            let b = GraphDod::new(&loaded).detect(data, &params);
-            assert_eq!(a.outliers, b.outliers, "{family}/{}", graph.kind);
-            assert_eq!(a.candidates, b.candidates, "{family}/{}", graph.kind);
+            let fresh = Engine::builder(data)
+                .prebuilt_graph(graph)
+                .build()
+                .expect("engine");
+            let warm = Engine::builder(data)
+                .prebuilt_graph(loaded)
+                .build()
+                .expect("engine");
+            let a = fresh.query(q).expect("query");
+            let b = warm.query(q).expect("query");
+            assert_eq!(a.outliers, b.outliers, "{family}/{kind}");
+            assert_eq!(a.candidates, b.candidates, "{family}/{kind}");
             assert_eq!(
                 a.decided_in_filter, b.decided_in_filter,
-                "{family}/{}: the exact-K' shortcut state must survive",
-                graph.kind
+                "{family}/{kind}: the exact-K' shortcut state must survive"
             );
         }
+    }
+}
+
+#[test]
+fn engine_round_trip_preserves_answers_across_families() {
+    // One level above the raw codec: the whole engine session (index +
+    // verify strategy + thread default + seed) survives save/load.
+    for family in [Family::Glove, Family::Words] {
+        let gen = family.generate(600, 4);
+        let data = &gen.data;
+        let k = 8;
+        let r = calibrate_r(data, k, 0.02, 300, 1);
+        let q = Query::new(r, k).expect("valid query");
+
+        let engine = Engine::builder(data)
+            .index(dod::core::IndexSpec::Mrpg(MrpgParams::new(8)))
+            .threads(2)
+            .seed(5)
+            .build()
+            .expect("engine");
+        let want = engine.query(q).expect("query");
+
+        let mut bytes = Vec::new();
+        engine.save(&mut bytes).expect("save");
+        let loaded = Engine::load(data, &bytes[..]).expect("load");
+        let got = loaded.query(q).expect("query");
+        assert_eq!(got.outliers, want.outliers, "{family}");
+        assert_eq!(got.candidates, want.candidates, "{family}");
+        assert_eq!(loaded.threads(), 2, "{family}");
+        assert_eq!(loaded.seed(), 5, "{family}");
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Everything here goes through the facade crate's public API the way the
 //! crate-level docs tell a new user to — generate a small Gaussian blob
-//! set, build the MRPG offline, answer one `(r, k)` query online, and
+//! set, build an `Engine` offline, answer one `(r, k)` query online, and
 //! check the answer against the brute-force definition. If this fails,
 //! the README quickstart is broken no matter what the inner crates say.
 
@@ -22,23 +22,27 @@ fn prelude_quickstart_agrees_with_nested_loop() {
     let data = VectorSet::from_flat(gen.generate(7), 4, L2);
     assert_eq!(data.len(), 400);
 
-    // Offline: build the MRPG once.
-    let (graph, _timing) = dod::graph::mrpg::build(&data, &MrpgParams::new(8));
-    assert_eq!(graph.node_count(), data.len());
+    // Offline: build the engine (MRPG index) once.
+    let engine = Engine::builder(data)
+        .index(IndexSpec::Mrpg(MrpgParams::new(8)))
+        .build()
+        .expect("engine build");
+    let graph = engine.graph().expect("MRPG engines are graph-backed");
+    assert_eq!(graph.node_count(), engine.len());
     assert_eq!(graph.connected_components(), 1);
 
     // Online: one (r, k) query through the prelude types.
-    let params = DodParams::new(1.5, 10);
-    let report = GraphDod::new(&graph).detect(&data, &params);
+    let query = Query::new(1.5, 10).expect("valid query");
+    let report: OutlierReport = engine.query(query).expect("query");
 
     // Exactness: agreement with the nested-loop ground truth.
-    let truth = nested_loop::detect(&data, &params, 0);
+    let truth = nested_loop::detect(engine.data(), &DodParams::new(1.5, 10), 0);
     assert_eq!(report.outliers, truth.outliers);
 
     // The planted sparse tail should make the query non-degenerate: some
     // outliers exist, and not everything is an outlier.
     assert!(!report.outliers.is_empty(), "query found no outliers");
-    assert!(report.outliers.len() < data.len() / 2, "query degenerate");
+    assert!(report.outliers.len() < engine.len() / 2, "query degenerate");
 }
 
 #[test]
@@ -55,9 +59,24 @@ fn prelude_exposes_every_documented_entry_point() {
     // r below the edit distance of 1: both strings are neighborless, so
     // with k = 1 both are outliers.
     let params = DodParams::new(0.5, 1).with_threads(2);
-    let result: DodResult = nested_loop::detect(&strings, &params, 0);
+    let result: OutlierReport = nested_loop::detect(&strings, &params, 0);
     assert_eq!(result.outliers.len(), 2);
+
+    // The engine path reaches the same answer through the typed query.
+    let engine = Engine::builder(&strings)
+        .index(IndexSpec::None)
+        .build()
+        .expect("engine");
+    let report = engine
+        .query(Query::new(0.5, 1).expect("valid"))
+        .expect("query");
+    assert_eq!(report.outliers.len(), 2);
+
+    // Errors are one enum, whatever layer raised them.
+    let err: DodError = Query::new(f64::NAN, 1).unwrap_err();
+    assert!(matches!(err, DodError::InvalidRadius { .. }));
 
     let _kind: GraphKind = GraphKind::Mrpg;
     let _strategy: VerifyStrategy = VerifyStrategy::Auto;
+    let _spec: WindowSpec = WindowSpec::Count(8);
 }

@@ -3,7 +3,7 @@
 //! baselines. These tests pin that claim with the `DistanceCounter`
 //! instrumentation rather than wall-clock (which is noisy in CI).
 
-use dod::core::{nested_loop, DodParams, GraphDod};
+use dod::core::{nested_loop, DodParams, Engine, Query};
 use dod::datasets::{calibrate_r, Family};
 use dod::graph::MrpgParams;
 use dod::metrics::DistanceCounter;
@@ -29,7 +29,13 @@ fn graph_filtering_beats_nested_loop_on_distance_calls() {
     let nl = nested_loop::detect(&counted, &params, 0);
     let nl_calls = counted.calls();
     counted.reset();
-    let graph_report = GraphDod::new(&graph).detect(&counted, &params);
+    let engine = Engine::builder(&counted)
+        .prebuilt_graph(graph)
+        .build()
+        .expect("engine");
+    let graph_report = engine
+        .query(Query::new(params.r, params.k).expect("valid"))
+        .expect("query");
     let graph_calls = counted.calls();
 
     assert_eq!(nl.outliers, graph_report.outliers);
@@ -53,7 +59,13 @@ fn inlier_filtering_is_independent_of_n() {
         let r = calibrate_r(data, k, 0.01, 300, 1);
         let (graph, _) = dod::graph::mrpg::build(data, &MrpgParams::new(12));
         let counted = DistanceCounter::new(data);
-        let _ = GraphDod::new(&graph).detect(&counted, &DodParams::new(r, k));
+        let engine = Engine::builder(&counted)
+            .prebuilt_graph(graph)
+            .build()
+            .expect("engine");
+        let _ = engine
+            .query(Query::new(r, k).expect("valid"))
+            .expect("query");
         per_object.push(counted.calls() as f64 / n as f64);
     }
     let growth = per_object[1] / per_object[0];
@@ -83,11 +95,22 @@ fn exact_shortcut_eliminates_outlier_verification_calls() {
     basic.exact_m = Some(150);
     let (g_basic, _) = dod::graph::mrpg::build(data, &basic);
 
+    let q = Query::new(params.r, params.k).expect("valid");
     let counted = DistanceCounter::new(data);
-    let rep_full = GraphDod::new(&g_full).detect(&counted, &params);
+    let rep_full = Engine::builder(&counted)
+        .prebuilt_graph(g_full)
+        .build()
+        .expect("engine")
+        .query(q)
+        .expect("query");
     let full_calls = counted.calls();
     counted.reset();
-    let rep_basic = GraphDod::new(&g_basic).detect(&counted, &params);
+    let rep_basic = Engine::builder(&counted)
+        .prebuilt_graph(g_basic)
+        .build()
+        .expect("engine")
+        .query(q)
+        .expect("query");
     let basic_calls = counted.calls();
 
     assert_eq!(rep_full.outliers, rep_basic.outliers);

@@ -3,7 +3,7 @@
 //! fewer filtering false positives (Table 7). Both ends are measured here
 //! on the same data.
 
-use dod::core::{DodParams, GraphDod};
+use dod::core::{Engine, Query};
 use dod::datasets::{calibrate_r, Family};
 use dod::graph::stats::neighbor_reachability;
 use dod::graph::{mrpg, MrpgParams};
@@ -50,7 +50,12 @@ fn deficient_reachability_upper_bounds_false_positives() {
 
     let kgraph = mrpg::build_kgraph(data, 8, 2, 0);
     let reach = neighbor_reachability(&kgraph, data, r, 1200); // every object
-    let report = GraphDod::new(&kgraph).detect(data, &DodParams::new(r, k));
+    let report = Engine::builder(data)
+        .prebuilt_graph(kgraph)
+        .build()
+        .expect("engine")
+        .query(Query::new(r, k).expect("valid"))
+        .expect("query");
     assert!(
         reach.deficient_objects >= report.false_positives,
         "{} deficient objects cannot explain {} false positives",
