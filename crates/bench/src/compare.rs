@@ -1,0 +1,461 @@
+//! `experiments compare a.json b.json` — the perf-trajectory ritual.
+//!
+//! Diffs two machine-readable `BENCH_*.json` artifacts (as written by
+//! `--json`), matching rows by their identity fields and reporting the
+//! per-row change of every timing metric. With `--threshold t`, any
+//! metric that regressed by more than `t` (fractional, e.g. `0.25` =
+//! 25 %) makes the run fail, so CI can diff the current PR's artifact
+//! against the previous one and flag slowdowns automatically.
+//!
+//! The vendored `serde` stand-in has no deserializer, so this module
+//! carries a tiny recursive-descent parser for the exact JSON dialect
+//! `report::JsonReport` emits (objects, arrays, strings, numbers,
+//! null — no booleans are ever written, but they parse anyway).
+
+use crate::report::Table;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only what the artifacts need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// Any number (artifacts write integers and floats).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `null` (non-finite measurements are written as null).
+    Null,
+    /// `true`/`false` (never emitted, accepted for robustness).
+    Bool(bool),
+    /// An array.
+    Arr(Vec<JVal>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JVal)>),
+}
+
+/// Parses a complete JSON document; trailing content is an error.
+pub fn parse_json(s: &str) -> Result<JVal, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}",
+            c as char,
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(JVal::Str(parse_string(b, pos)?)),
+        Some(b'n') => parse_lit(b, pos, "null", JVal::Null),
+        Some(b't') => parse_lit(b, pos, "true", JVal::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JVal::Bool(false)),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JVal) -> Result<JVal, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JVal::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // The artifacts are ASCII-escaped, but pass UTF-8 through.
+                let s = &b[*pos..];
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(
+                    std::str::from_utf8(&s[..ch_len.min(s.len())]).map_err(|_| "bad utf8")?,
+                );
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JVal::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JVal::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JVal::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JVal::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// The timing metrics a row can carry, with their improvement direction.
+/// Everything else in a row is identity, except [`INFORMATIONAL`].
+const METRICS: &[(&str, Direction)] = &[
+    ("detect_secs", Direction::LowerIsBetter),
+    ("build_secs", Direction::LowerIsBetter),
+    ("total_secs", Direction::LowerIsBetter),
+    ("slide_us", Direction::LowerIsBetter),
+    ("speedup_vs_batch", Direction::HigherIsBetter),
+    ("slides_per_sec", Direction::HigherIsBetter),
+];
+
+/// Fields that are neither identity nor gated metrics: run-dependent
+/// observations (ghost replica counts, false-positive tallies). Folding
+/// them into the identity key would make rows unmatchable across runs —
+/// the exact failure mode a regression gate must not have.
+const INFORMATIONAL: &[&str] = &["ghosts", "false_positives"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// One artifact's rows, keyed by their identity fields.
+fn rows_by_key(doc: &JVal) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let JVal::Obj(fields) = doc else {
+        return Err("artifact root must be an object".into());
+    };
+    let rows = fields
+        .iter()
+        .find(|(k, _)| k == "rows")
+        .map(|(_, v)| v)
+        .ok_or("artifact has no \"rows\" array")?;
+    let JVal::Arr(rows) = rows else {
+        return Err("\"rows\" must be an array".into());
+    };
+    let is_metric = |k: &str| METRICS.iter().any(|&(m, _)| m == k);
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let JVal::Obj(fields) = row else {
+            return Err("row must be an object".into());
+        };
+        let mut key = String::new();
+        let mut metrics = BTreeMap::new();
+        for (k, v) in fields {
+            if INFORMATIONAL.contains(&k.as_str()) {
+                continue;
+            }
+            match v {
+                JVal::Num(x) if is_metric(k) => {
+                    metrics.insert(k.clone(), *x);
+                }
+                JVal::Null if is_metric(k) => {}
+                JVal::Num(x) => {
+                    let _ = write!(key, "{k}={x} ");
+                }
+                JVal::Str(s) => {
+                    let _ = write!(key, "{k}={s} ");
+                }
+                _ => {}
+            }
+        }
+        out.insert(key.trim_end().to_string(), metrics);
+    }
+    Ok(out)
+}
+
+/// Outcome of a comparison: the rendered report plus the regressions
+/// found above the threshold.
+pub struct Comparison {
+    /// The Markdown report.
+    pub rendered: String,
+    /// `(row key, metric)` pairs that regressed beyond the threshold.
+    pub regressions: Vec<(String, String)>,
+}
+
+/// Diffs two artifacts (`a` = baseline, `b` = candidate). `threshold` is
+/// the tolerated fractional regression per metric.
+pub fn compare(a_src: &str, b_src: &str, threshold: f64) -> Result<Comparison, String> {
+    let a = rows_by_key(&parse_json(a_src).map_err(|e| format!("baseline: {e}"))?)?;
+    let b = rows_by_key(&parse_json(b_src).map_err(|e| format!("candidate: {e}"))?)?;
+
+    let mut rendered = String::new();
+    let mut regressions = Vec::new();
+    let mut t = Table::new([
+        "row",
+        "metric",
+        "baseline",
+        "candidate",
+        "change",
+        "verdict",
+    ]);
+    let mut compared = 0usize;
+    for (key, am) in &a {
+        let Some(bm) = b.get(key) else {
+            let _ = writeln!(rendered, "- row dropped from candidate: `{key}`");
+            continue;
+        };
+        for &(metric, dir) in METRICS {
+            let (Some(&av), Some(&bv)) = (am.get(metric), bm.get(metric)) else {
+                continue;
+            };
+            if !(av.is_finite() && bv.is_finite()) || av <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            // Fractional regression: positive = got worse.
+            let regression = match dir {
+                Direction::LowerIsBetter => bv / av - 1.0,
+                Direction::HigherIsBetter => av / bv - 1.0,
+            };
+            let verdict = if regression > threshold {
+                regressions.push((key.clone(), metric.to_string()));
+                "REGRESSED"
+            } else if regression < -threshold {
+                "improved"
+            } else {
+                "~"
+            };
+            t.row([
+                key.clone(),
+                metric.to_string(),
+                format!("{av:.6}"),
+                format!("{bv:.6}"),
+                format!("{:+.1}%", regression * 100.0),
+                verdict.to_string(),
+            ]);
+        }
+    }
+    for key in b.keys() {
+        if !a.contains_key(key) {
+            let _ = writeln!(rendered, "- new row in candidate: `{key}`");
+        }
+    }
+    let _ = writeln!(
+        rendered,
+        "\ncompared {compared} metrics across {} matched rows \
+         (threshold {:.0}%):\n\n{}",
+        a.iter().filter(|(k, _)| b.contains_key(*k)).count(),
+        threshold * 100.0,
+        t.render()
+    );
+    if regressions.is_empty() {
+        let _ = writeln!(rendered, "no regressions beyond the threshold.");
+    } else {
+        let _ = writeln!(
+            rendered,
+            "{} metric(s) REGRESSED beyond the threshold.",
+            regressions.len()
+        );
+    }
+    Ok(Comparison {
+        rendered,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{JsonReport, JsonVal};
+
+    fn artifact(slide_us: f64, speedup: f64) -> String {
+        let mut j = JsonReport::new();
+        j.meta("scale", 0.25);
+        j.row([
+            ("experiment", JsonVal::from("stream")),
+            ("engine", JsonVal::from("stream graph")),
+            ("n", JsonVal::from(1000usize)),
+            ("slide_us", JsonVal::from(slide_us)),
+            ("speedup_vs_batch", JsonVal::from(speedup)),
+        ]);
+        j.render()
+    }
+
+    #[test]
+    fn round_trips_our_own_artifacts() {
+        let doc = parse_json(&artifact(12.5, 8.0)).expect("parse");
+        let rows = rows_by_key(&doc).expect("rows");
+        assert_eq!(rows.len(), 1);
+        let (key, metrics) = rows.iter().next().unwrap();
+        assert!(
+            key.contains("engine=stream graph") && key.contains("n=1000"),
+            "{key}"
+        );
+        assert_eq!(metrics["slide_us"], 12.5);
+        assert_eq!(metrics["speedup_vs_batch"], 8.0);
+    }
+
+    #[test]
+    fn parser_handles_escapes_null_and_nesting() {
+        let v =
+            parse_json(r#"{"a": "q\"\\\nA", "b": [1, null, -2.5e-1], "c": true}"#).expect("parse");
+        let JVal::Obj(fields) = v else { panic!() };
+        assert_eq!(fields[0].1, JVal::Str("q\"\\\nA".into()));
+        assert_eq!(
+            fields[1].1,
+            JVal::Arr(vec![JVal::Num(1.0), JVal::Null, JVal::Num(-0.25)])
+        );
+        assert_eq!(fields[2].1, JVal::Bool(true));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{").is_err());
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_regressions() {
+        let a = artifact(10.0, 8.0);
+        let cmp = compare(&a, &a, 0.2).expect("compare");
+        assert!(cmp.regressions.is_empty(), "{}", cmp.rendered);
+    }
+
+    #[test]
+    fn slowdowns_and_speedup_drops_both_regress() {
+        // 50% slower slides and a halved speedup: two regressions.
+        let cmp = compare(&artifact(10.0, 8.0), &artifact(15.0, 4.0), 0.2).expect("compare");
+        assert_eq!(cmp.regressions.len(), 2, "{}", cmp.rendered);
+        assert!(cmp.rendered.contains("REGRESSED"));
+        // Improvements never trip the threshold.
+        let cmp = compare(&artifact(10.0, 8.0), &artifact(5.0, 16.0), 0.2).expect("compare");
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.rendered.contains("improved"));
+    }
+
+    #[test]
+    fn informational_fields_never_enter_the_identity_key() {
+        // Two runs of the same config with different ghost counts must
+        // still match rows — otherwise the gate compares nothing and
+        // silently passes on a real regression.
+        let with_ghosts = |ghosts: usize, slide_us: f64| {
+            let mut j = JsonReport::new();
+            j.row([
+                ("experiment", JsonVal::from("stream_sharded")),
+                ("shards", JsonVal::from(4usize)),
+                ("ghosts", JsonVal::from(ghosts)),
+                ("slide_us", JsonVal::from(slide_us)),
+            ]);
+            j.render()
+        };
+        let cmp = compare(&with_ghosts(100, 10.0), &with_ghosts(9000, 30.0), 0.2).expect("compare");
+        assert_eq!(
+            cmp.regressions.len(),
+            1,
+            "rows must match despite ghost drift:\n{}",
+            cmp.rendered
+        );
+    }
+
+    #[test]
+    fn unmatched_rows_are_noted_not_fatal() {
+        let mut j = JsonReport::new();
+        j.row([
+            ("experiment", JsonVal::from("stream")),
+            ("engine", JsonVal::from("other")),
+            ("slide_us", JsonVal::from(1.0)),
+        ]);
+        let cmp = compare(&artifact(10.0, 8.0), &j.render(), 0.2).expect("compare");
+        assert!(cmp.rendered.contains("row dropped from candidate"));
+        assert!(cmp.rendered.contains("new row in candidate"));
+        assert!(cmp.regressions.is_empty());
+    }
+}

@@ -14,12 +14,18 @@
 //! ```
 //!
 //! Common flags: `--scale <f64>` (dataset size multiplier), `--seed`,
-//! `--threads`, `--families deep,glove,...`.
+//! `--threads`, `--families deep,glove,...`; the `stream` experiment adds
+//! `--shards 1,2,4` for the sharded-pipeline throughput grid.
+//!
+//! `experiments compare a.json b.json [--threshold 0.25]` diffs two
+//! `--json` artifacts and exits nonzero on regressions beyond the
+//! threshold (the perf-trajectory ritual; see [`compare`]).
 //!
 //! Cardinalities default to [`dod_datasets::Family::default_n`] — scaled
 //! down from the paper's millions to laptop scale; EXPERIMENTS.md records
 //! the shape comparisons against the paper's numbers.
 
+pub mod compare;
 pub mod experiments;
 pub mod graphs;
 pub mod paper;

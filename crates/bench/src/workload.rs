@@ -22,6 +22,9 @@ pub struct Config {
     pub calib_samples: usize,
     /// Write machine-readable results to this path (`--json`).
     pub json: Option<String>,
+    /// Shard counts for the stream experiment's sharded-pipeline grid
+    /// (`--shards 1,2,4`); empty = skip the grid.
+    pub shards: Vec<usize>,
 }
 
 impl Default for Config {
@@ -35,6 +38,7 @@ impl Default for Config {
             families: Family::ALL.to_vec(),
             calib_samples: 800,
             json: None,
+            shards: Vec::new(),
         }
     }
 }
@@ -73,6 +77,20 @@ impl Config {
                         .map_err(|e| format!("--build-threads: {e}"))?
                 }
                 "--json" => cfg.json = Some(next("--json")?),
+                "--shards" => {
+                    let list = next("--shards")?;
+                    cfg.shards = list
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .map_err(|e| format!("--shards {s:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if cfg.shards.contains(&0) {
+                        return Err("--shards entries must be >= 1".into());
+                    }
+                }
                 "--families" => {
                     let list = next("--families")?;
                     cfg.families = list

@@ -337,6 +337,10 @@ impl<D: Dataset> Engine<D> {
         head.push(verify_to_u8(self.verify));
         head.extend_from_slice(&(self.threads as u32).to_le_bytes());
         head.extend_from_slice(&self.seed.to_le_bytes());
+        // Dataset fingerprint (FNV-1a over the point bytes for the
+        // concrete object stores): `load` refuses to marry this index to
+        // any other dataset, before even comparing cardinalities.
+        head.extend_from_slice(&self.data.content_digest().to_le_bytes());
         head.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
         w.write_all(&head)?;
         if let Some(g) = payload {
@@ -350,9 +354,13 @@ impl<D: Dataset> Engine<D> {
     /// Restores an engine persisted by [`Engine::save`] over the same
     /// dataset.
     ///
-    /// Fails with [`DodError::SizeMismatch`] when `data` does not have the
-    /// cardinality the engine was saved with, and [`DodError::Corrupt`]
-    /// (with the byte offset) on a damaged payload.
+    /// Fails with [`DodError::Corrupt`] (with the byte offset) on a
+    /// damaged payload **or** when `data`'s
+    /// [`content_digest`](Dataset::content_digest) differs from the one
+    /// the engine was saved with — the checksum is compared before the
+    /// cardinality, so the wrong dataset file is rejected even when its
+    /// size happens to match. A right-digest/wrong-cardinality payload
+    /// (hand-edited) still surfaces as [`DodError::SizeMismatch`].
     pub fn load<R: Read>(data: D, mut r: R) -> Result<Self, DodError> {
         let t = Instant::now();
         let mut buf = Vec::new();
@@ -371,7 +379,16 @@ impl<D: Dataset> Engine<D> {
         let verify = verify_from_u8(buf[6]).ok_or(corrupt(6, "bad verify strategy"))?;
         let threads = u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")) as usize;
         let seed = u64::from_le_bytes(buf[11..19].try_into().expect("8 bytes"));
-        let n = u64::from_le_bytes(buf[19..27].try_into().expect("8 bytes")) as usize;
+        let digest = u64::from_le_bytes(buf[19..27].try_into().expect("8 bytes"));
+        // Checked before the size comparison: a wrong dataset of the right
+        // cardinality would pass a size check and silently serve garbage.
+        if digest != data.content_digest() {
+            return Err(corrupt(
+                19,
+                "dataset checksum mismatch: engine was saved over different points",
+            ));
+        }
+        let n = u64::from_le_bytes(buf[27..35].try_into().expect("8 bytes")) as usize;
         if n != data.len() {
             return Err(DodError::SizeMismatch {
                 index: n,
@@ -385,7 +402,7 @@ impl<D: Dataset> Engine<D> {
                 if buf.len() < HEADER_LEN + 8 {
                     return Err(corrupt(buf.len(), "truncated graph payload length"));
                 }
-                let len = u64::from_le_bytes(buf[27..35].try_into().expect("8 bytes")) as usize;
+                let len = u64::from_le_bytes(buf[35..43].try_into().expect("8 bytes")) as usize;
                 let start = HEADER_LEN + 8;
                 // `len` is attacker-controlled: compare against the bytes
                 // actually present (start <= buf.len() was checked above)
@@ -432,9 +449,12 @@ impl<D: Dataset> Engine<D> {
 }
 
 const ENGINE_MAGIC: &[u8; 4] = b"DODE";
-const ENGINE_VERSION: u8 = 1;
-/// magic + version + index tag + verify + threads u32 + seed u64 + n u64.
-const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 4 + 8 + 8;
+/// Version 2 added the dataset digest (version-1 payloads are refused —
+/// they carry no checksum, which is the guarantee this format exists for).
+const ENGINE_VERSION: u8 = 2;
+/// magic + version + index tag + verify + threads u32 + seed u64 +
+/// dataset digest u64 + n u64.
+const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 4 + 8 + 8 + 8;
 const TAG_NONE: u8 = 0;
 const TAG_VPTREE: u8 = 1;
 const TAG_GRAPH: u8 = 2;
@@ -633,14 +653,18 @@ mod tests {
         let mut bytes = Vec::new();
         engine.save(&mut bytes).expect("save");
 
-        // Wrong dataset cardinality.
+        // Wrong dataset: the checksum rejects it before any size check —
+        // both at a different cardinality and at the *same* cardinality
+        // with different points, where a size check alone would pass.
         let other = blobs(60, 8);
         assert!(matches!(
             Engine::load(&other, &bytes[..]),
-            Err(DodError::SizeMismatch {
-                index: 120,
-                data: 60
-            })
+            Err(DodError::Corrupt { offset: 19, .. })
+        ));
+        let same_n = blobs(120, 99);
+        assert!(matches!(
+            Engine::load(&same_n, &bytes[..]),
+            Err(DodError::Corrupt { offset: 19, .. })
         ));
 
         // Bad magic.

@@ -4,10 +4,9 @@
 //! [`Engine`](crate::Engine), validating a [`Query`](crate::Query),
 //! loading a persisted index, converting an
 //! `AnyDataset` to a typed set) surfaces one of these variants instead of
-//! panicking. The pre-`Engine` entry points that documented panics keep
-//! them — as deprecated shims — by panicking with the corresponding
-//! variant's `Display` text, so their historical panic messages are
-//! unchanged.
+//! panicking. The free-function baselines (`nested_loop`, `snif`,
+//! `dolphin`) keep their documented panic contract by panicking with the
+//! corresponding variant's `Display` text.
 
 use dod_graph::serialize::DecodeError;
 use std::io;
@@ -31,6 +30,12 @@ pub enum DodError {
     /// An [`IndexSpec`](crate::IndexSpec) cannot produce a working index
     /// (e.g. a zero graph degree).
     InvalidSpec {
+        /// What was wrong, in words.
+        reason: String,
+    },
+    /// A sharded-stream specification is unusable (zero shards, an empty
+    /// warm-up prefix, …). Surfaced by `dod_shard::ShardSpec::validate`.
+    InvalidShardSpec {
         /// What was wrong, in words.
         reason: String,
     },
@@ -71,6 +76,7 @@ impl std::fmt::Display for DodError {
             }
             DodError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
             DodError::InvalidSpec { reason } => write!(f, "invalid index spec: {reason}"),
+            DodError::InvalidShardSpec { reason } => write!(f, "invalid shard spec: {reason}"),
             DodError::SizeMismatch { index, data } => write!(
                 f,
                 "index was built over {index} objects but the dataset has {data}"
@@ -116,9 +122,9 @@ mod tests {
 
     #[test]
     fn display_keeps_the_historical_radius_message() {
-        // The deprecated panicking shims panic with this Display text; the
-        // long-standing `#[should_panic(expected = "finite non-negative")]`
-        // tests depend on the phrase surviving.
+        // The panicking free-function baselines use this Display text; the
+        // `#[should_panic(expected = "finite non-negative")]` tests depend
+        // on the phrase surviving.
         let e = DodError::InvalidRadius { r: -1.0 };
         assert!(e.to_string().contains("finite non-negative"));
     }

@@ -2,9 +2,8 @@
 //! exact verification, with the §5.5 exact-`K'` shortcut.
 //!
 //! The algorithm itself lives in a crate-internal `detect_on_graph`
-//! function shared by the [`Engine`](crate::Engine) front door (which adds
-//! buffer pooling, verification-engine caching and typed errors) and the
-//! deprecated [`GraphDod`] shim.
+//! function served through the [`Engine`](crate::Engine) front door, which
+//! adds buffer pooling, verification-engine caching and typed errors.
 
 use crate::error::DodError;
 use crate::greedy::{greedy_count, BufferPool, TraversalBuffer};
@@ -203,94 +202,31 @@ fn par_filter_strided<D: Dataset + ?Sized>(
     out
 }
 
-/// Detection report of the deprecated [`GraphDod`] shim — now an alias of
-/// the unified [`OutlierReport`].
-#[deprecated(since = "0.2.0", note = "use OutlierReport")]
-pub type GraphDodReport = OutlierReport;
-
-/// Algorithm 1 bound to a borrowed proximity graph — the pre-`Engine`
-/// front door, kept for one release as a thin shim.
-///
-/// Prefer [`Engine`](crate::Engine): it owns its dataset and index, pools
-/// traversal buffers across queries, caches the verification engine, and
-/// returns errors instead of panicking.
-#[deprecated(
-    since = "0.2.0",
-    note = "use dod_core::Engine (EngineBuilder::prebuilt_graph for an existing graph)"
-)]
-pub struct GraphDod<'g> {
-    graph: &'g ProximityGraph,
-    verify: VerifyStrategy,
-    seed: u64,
-}
-
-#[allow(deprecated)]
-impl<'g> GraphDod<'g> {
-    /// Binds the algorithm to a graph with the paper's automatic
-    /// verification-strategy choice.
-    pub fn new(graph: &'g ProximityGraph) -> Self {
-        GraphDod {
-            graph,
-            verify: VerifyStrategy::Auto,
-            seed: 0,
-        }
-    }
-
-    /// Overrides the verification strategy (the paper fixes VP-tree for
-    /// HEPMASS, PAMAP2 and Words and linear scan elsewhere).
-    pub fn with_verify(mut self, strategy: VerifyStrategy) -> Self {
-        self.verify = strategy;
-        self
-    }
-
-    /// Seed for the verification engine's internals (VP-tree vantage
-    /// points); detection results do not depend on it.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// The bound graph.
-    pub fn graph(&self) -> &ProximityGraph {
-        self.graph
-    }
-
-    /// Runs Algorithm 1 and returns the full report.
-    ///
-    /// # Panics
-    /// Panics on an invalid radius or a graph/dataset size mismatch — the
-    /// historical contract of this entry point.
-    /// [`Engine::query`](crate::Engine::query) surfaces both as
-    /// [`DodError`] instead.
-    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> OutlierReport {
-        let pool = BufferPool::new();
-        let counter = OnceLock::new();
-        match detect_on_graph(
-            self.graph,
-            data,
-            params.r,
-            params.k,
-            params.threads,
-            self.verify,
-            self.seed,
-            &pool,
-            &counter,
-        ) {
-            Ok(report) => report,
-            Err(e) => panic!("{e}"),
-        }
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::nested_loop;
-    use dod_graph::{GraphKind, MrpgParams};
+    use dod_graph::MrpgParams;
     use dod_metrics::{VectorSet, L2};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// Algorithm 1 over a prebuilt graph, through the `Engine` front door
+    /// (the only entry point since the deprecated `GraphDod` shim was
+    /// removed).
+    fn detect(g: ProximityGraph, data: &VectorSet<L2>, params: &DodParams) -> OutlierReport {
+        Engine::builder(data)
+            .prebuilt_graph(g)
+            .build()
+            .expect("graph covers the dataset")
+            .query(
+                crate::Query::new(params.r, params.k)
+                    .expect("valid query")
+                    .with_threads(params.threads),
+            )
+            .expect("query")
+    }
 
     fn clustered_with_outliers(n: usize, seed: u64) -> VectorSet<L2> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -316,7 +252,7 @@ mod tests {
         let data = clustered_with_outliers(500, 1);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
         let params = DodParams::new(2.0, 6);
-        let report = GraphDod::new(&g).detect(&data, &params);
+        let report = detect(g, &data, &params);
         let truth = nested_loop::detect(&data, &params, 0);
         assert_eq!(report.outliers, truth.outliers);
     }
@@ -327,24 +263,22 @@ mod tests {
         let params = DodParams::new(2.0, 5);
         let truth = nested_loop::detect(&data, &params, 0);
         let kg = dod_graph::mrpg::build_kgraph(&data, 8, 1, 0);
-        assert_eq!(
-            GraphDod::new(&kg).detect(&data, &params).outliers,
-            truth.outliers
-        );
+        assert_eq!(detect(kg, &data, &params).outliers, truth.outliers);
         let nsw = dod_graph::mrpg::build_nsw(&data, 8, 0);
-        assert_eq!(
-            GraphDod::new(&nsw).detect(&data, &params).outliers,
-            truth.outliers
-        );
+        assert_eq!(detect(nsw, &data, &params).outliers, truth.outliers);
     }
 
     #[test]
     fn parallel_equals_sequential() {
         let data = clustered_with_outliers(400, 3);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
-        let dod = GraphDod::new(&g);
-        let seq = dod.detect(&data, &DodParams::new(2.0, 6));
-        let par = dod.detect(&data, &DodParams::new(2.0, 6).with_threads(4));
+        let engine = Engine::builder(&data)
+            .prebuilt_graph(g)
+            .build()
+            .expect("build");
+        let q = crate::Query::new(2.0, 6).expect("valid");
+        let seq = engine.query(q).expect("query");
+        let par = engine.query(q.with_threads(4)).expect("query");
         assert_eq!(seq.outliers, par.outliers);
         assert_eq!(seq.candidates, par.candidates);
         assert_eq!(seq.false_positives, par.false_positives);
@@ -356,7 +290,7 @@ mod tests {
         let mut p = MrpgParams::new(8);
         p.exact_m = Some(64); // cover the 30 planted outliers
         let (g, _) = dod_graph::mrpg::build(&data, &p);
-        let report = GraphDod::new(&g).detect(&data, &DodParams::new(2.0, 6));
+        let report = detect(g, &data, &DodParams::new(2.0, 6));
         assert!(
             report.decided_in_filter > 0,
             "no outlier decided by the K' shortcut"
@@ -370,7 +304,7 @@ mod tests {
     fn k_zero_returns_no_outliers() {
         let data = clustered_with_outliers(100, 5);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(5));
-        let report = GraphDod::new(&g).detect(&data, &DodParams::new(1.0, 0));
+        let report = detect(g, &data, &DodParams::new(1.0, 0));
         assert!(report.outliers.is_empty());
     }
 
@@ -378,7 +312,7 @@ mod tests {
     fn k_larger_than_n_makes_everything_an_outlier() {
         let data = clustered_with_outliers(50, 6);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(5));
-        let report = GraphDod::new(&g).detect(&data, &DodParams::new(1e9, 50));
+        let report = detect(g, &data, &DodParams::new(1e9, 50));
         assert_eq!(report.outliers.len(), 50);
     }
 
@@ -389,33 +323,15 @@ mod tests {
         rows.push(vec![50.0, 50.0]); // singleton
         let data = VectorSet::from_rows(&rows, L2);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
-        let report = GraphDod::new(&g).detect(&data, &DodParams::new(0.0, 1));
+        let report = detect(g, &data, &DodParams::new(0.0, 1));
         assert_eq!(report.outliers, vec![30]);
-    }
-
-    #[test]
-    fn mismatched_graph_size_panics() {
-        let data = clustered_with_outliers(50, 7);
-        let g = dod_graph::ProximityGraph::new(10, GraphKind::KGraph);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            GraphDod::new(&g).detect(&data, &DodParams::new(1.0, 2))
-        }));
-        assert!(r.is_err());
-    }
-
-    #[test]
-    #[should_panic(expected = "finite non-negative")]
-    fn invalid_radius_panics_on_the_deprecated_shim() {
-        let data = clustered_with_outliers(30, 9);
-        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(4));
-        let _ = GraphDod::new(&g).detect(&data, &DodParams::new(f64::NAN, 2));
     }
 
     #[test]
     fn report_accounting_is_consistent() {
         let data = clustered_with_outliers(400, 8);
         let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
-        let report = GraphDod::new(&g).detect(&data, &DodParams::new(2.0, 6));
+        let report = detect(g, &data, &DodParams::new(2.0, 6));
         // candidates = verified outliers + false positives.
         let verified_outliers = report.outliers.len() - report.decided_in_filter;
         assert_eq!(

@@ -24,7 +24,6 @@
 //! to the nested-loop ground truth. Errors — invalid radii, size
 //! mismatches, corrupt persisted indexes — surface as [`DodError`].
 
-pub mod detector;
 pub mod dolphin;
 pub mod engine;
 pub mod error;
@@ -37,16 +36,8 @@ pub mod snif;
 pub mod verify;
 pub mod vptree_dod;
 
-#[allow(deprecated)]
-pub use detector::Detector;
 pub use engine::{Engine, EngineBuilder, IndexSpec};
 pub use error::DodError;
-#[allow(deprecated)]
-pub use graph_dod::{GraphDod, GraphDodReport};
 pub use greedy::{greedy_collect, greedy_count, TraversalBuffer};
-#[allow(deprecated)]
-pub use params::DodResult;
 pub use params::{DodParams, OutlierReport, Query};
 pub use verify::VerifyStrategy;
-#[allow(deprecated)]
-pub use vptree_dod::VpTreeDod;

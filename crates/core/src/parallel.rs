@@ -42,6 +42,40 @@ where
     out
 }
 
+/// Runs `f(i, &mut items[i])` for every item with `threads` workers, each
+/// worker owning a contiguous chunk. The mutations are independent per
+/// item, so the result is deterministic for any thread count.
+///
+/// This is the in-place companion of [`par_map_strided`] for state that
+/// cannot be rebuilt from a return value — the sharded streaming engine
+/// fans per-shard slide work (insert/expire/repair) over its shard array
+/// with it.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, slab) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, item) in slab.iter_mut().enumerate() {
+                    f(c * chunk + off, item);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +102,26 @@ mod tests {
     fn preserves_index_order() {
         let out = par_map_strided(37, 5, |i| i as u64);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for threads in [1, 3, 8, 64] {
+            let mut items: Vec<usize> = (0..23).collect();
+            par_for_each_mut(&mut items, threads, |i, v| {
+                assert_eq!(i, *v, "index passed to f matches the slot");
+                *v += 100;
+            });
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i + 100));
+        }
+    }
+
+    #[test]
+    fn for_each_mut_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut empty, 4, |_, _| unreachable!());
+        let mut one = vec![7u8];
+        par_for_each_mut(&mut one, 4, |_, v| *v = 9);
+        assert_eq!(one, vec![9]);
     }
 }

@@ -43,8 +43,10 @@ impl DodParams {
     }
 }
 
-/// Panics with the error's `Display` text — the pre-`Engine` entry points
-/// documented (and their `#[should_panic]` tests pin) this behavior.
+/// Panics with the error's `Display` text — the free-function baselines
+/// (`nested_loop`, `snif`, `dolphin`) keep this documented panic contract;
+/// the [`Engine`](crate::Engine) path validates at [`Query`] construction
+/// instead.
 pub(crate) fn assert_valid(params: &DodParams) {
     if let Err(e) = params.validate() {
         panic!("{e}");
@@ -170,64 +172,6 @@ impl OutlierReport {
     }
 }
 
-/// The pre-[`OutlierReport`] answer shape: outliers
-/// plus total time only.
-#[deprecated(
-    since = "0.2.0",
-    note = "use OutlierReport — every detector now returns the unified report"
-)]
-#[derive(Debug, Clone)]
-pub struct DodResult {
-    /// Ids of all outliers, ascending.
-    pub outliers: Vec<u32>,
-    /// Total detection wall-clock seconds.
-    pub total_secs: f64,
-}
-
-#[allow(deprecated)]
-impl DodResult {
-    /// Builds a result from an unsorted outlier list.
-    pub fn new(mut outliers: Vec<u32>, total_secs: f64) -> Self {
-        outliers.sort_unstable();
-        DodResult {
-            outliers,
-            total_secs,
-        }
-    }
-
-    /// Number of outliers found (`t` in the paper's analysis).
-    pub fn count(&self) -> usize {
-        self.outliers.len()
-    }
-
-    /// Outlier ratio relative to a dataset of size `n`.
-    pub fn ratio(&self, n: usize) -> f64 {
-        if n == 0 {
-            0.0
-        } else {
-            self.count() as f64 / n as f64
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<OutlierReport> for DodResult {
-    fn from(r: OutlierReport) -> Self {
-        let total = r.total_secs();
-        DodResult {
-            outliers: r.outliers,
-            total_secs: total,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<DodResult> for OutlierReport {
-    fn from(r: DodResult) -> Self {
-        OutlierReport::from_outliers(r.outliers, r.total_secs)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,17 +216,5 @@ mod tests {
         let q = Query::new(0.0, 0).expect("r = 0, k = 0 is a legal query");
         assert_eq!(q.threads(), None);
         assert_eq!(q.with_threads(0).threads(), Some(1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn dod_result_round_trips_through_the_unified_report() {
-        let legacy = DodResult::new(vec![4, 2], 0.5);
-        let report: OutlierReport = legacy.into();
-        assert_eq!(report.outliers, vec![2, 4]);
-        assert_eq!(report.verify_secs, 0.5);
-        let back: DodResult = report.into();
-        assert_eq!(back.outliers, vec![2, 4]);
-        assert_eq!(back.total_secs, 0.5);
     }
 }

@@ -3,12 +3,11 @@
 //! object (the paper's §3 "simple and practical solution").
 //!
 //! The detection loop lives in a crate-internal `detect_on_tree` function
-//! shared by the [`Engine`](crate::Engine) front door
-//! ([`IndexSpec::VpTree`](crate::IndexSpec::VpTree)) and the deprecated
-//! [`VpTreeDod`] shim.
+//! served through the [`Engine`](crate::Engine) front door
+//! ([`IndexSpec::VpTree`](crate::IndexSpec::VpTree)).
 
 use crate::parallel::par_map_strided;
-use crate::params::{assert_valid, DodParams, OutlierReport};
+use crate::params::OutlierReport;
 use dod_metrics::Dataset;
 use dod_vptree::VpTree;
 use std::time::Instant;
@@ -37,61 +36,31 @@ pub(crate) fn detect_on_tree<D: Dataset + ?Sized>(
     OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64())
 }
 
-/// The offline-built VP-tree index plus its detection entry point — the
-/// pre-`Engine` front door, kept for one release as a thin shim.
-#[deprecated(since = "0.2.0", note = "use dod_core::Engine with IndexSpec::VpTree")]
-pub struct VpTreeDod {
-    tree: VpTree,
-    /// Wall-clock seconds of the offline build (paper §6.1 reports it).
-    pub build_secs: f64,
-}
-
-#[allow(deprecated)]
-impl VpTreeDod {
-    /// Builds the VP-tree over `data` (one-time pre-processing).
-    pub fn build<D: Dataset + ?Sized>(data: &D, seed: u64) -> Self {
-        let t = Instant::now();
-        let tree = VpTree::build(data, seed);
-        VpTreeDod {
-            tree,
-            build_secs: t.elapsed().as_secs_f64(),
-        }
-    }
-
-    /// Index footprint in bytes (paper Table 6).
-    pub fn size_bytes(&self) -> usize {
-        self.tree.size_bytes()
-    }
-
-    /// Detects all `(r, k)` outliers: one range count per object, stopped
-    /// at `k`.
-    ///
-    /// # Panics
-    /// Panics on an invalid radius or a tree/dataset size mismatch — the
-    /// historical contract of this entry point.
-    /// [`Engine::query`](crate::Engine::query) surfaces both as
-    /// [`DodError`](crate::DodError) instead.
-    pub fn detect<D: Dataset + ?Sized>(&self, data: &D, params: &DodParams) -> OutlierReport {
-        assert_valid(params);
-        assert_eq!(
-            self.tree.len(),
-            data.len(),
-            "index was built over {} objects but the dataset has {}",
-            self.tree.len(),
-            data.len()
-        );
-        detect_on_tree(&self.tree, data, params.r, params.k, params.threads)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, IndexSpec};
     use crate::nested_loop;
+    use crate::params::DodParams;
+    use crate::Query;
     use dod_metrics::{StringSet, VectorSet, L2};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// A VP-tree engine over `data` — the only VP-tree detection entry
+    /// point since the deprecated `VpTreeDod` shim was removed.
+    fn vp_engine<D: Dataset>(data: D) -> Engine<D> {
+        Engine::builder(data)
+            .index(IndexSpec::VpTree)
+            .build()
+            .expect("VP-tree engines build for any dataset")
+    }
+
+    fn query(p: &DodParams) -> Query {
+        Query::new(p.r, p.k)
+            .expect("valid query")
+            .with_threads(p.threads)
+    }
 
     fn random_blobs(n: usize, seed: u64) -> VectorSet<L2> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -111,11 +80,11 @@ mod tests {
     #[test]
     fn matches_nested_loop() {
         let data = random_blobs(500, 1);
-        let dod = VpTreeDod::build(&data, 0);
+        let engine = vp_engine(&data);
         for (r, k) in [(1.5, 4), (2.5, 9), (0.6, 1)] {
             let p = DodParams::new(r, k);
             assert_eq!(
-                dod.detect(&data, &p).outliers,
+                engine.query(query(&p)).expect("query").outliers,
                 nested_loop::detect(&data, &p, 0).outliers,
                 "r={r} k={k}"
             );
@@ -125,9 +94,9 @@ mod tests {
     #[test]
     fn reusable_across_queries() {
         let data = random_blobs(200, 2);
-        let dod = VpTreeDod::build(&data, 1);
-        let a = dod.detect(&data, &DodParams::new(1.0, 3));
-        let b = dod.detect(&data, &DodParams::new(2.0, 3));
+        let engine = vp_engine(&data);
+        let a = engine.query(query(&DodParams::new(1.0, 3))).expect("query");
+        let b = engine.query(query(&DodParams::new(2.0, 3))).expect("query");
         // Larger r can only shrink the outlier set.
         assert!(b.outliers.len() <= a.outliers.len());
         assert!(b.outliers.iter().all(|o| a.outliers.contains(o)));
@@ -136,44 +105,42 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let data = random_blobs(300, 3);
-        let dod = VpTreeDod::build(&data, 2);
+        let engine = vp_engine(&data);
         let p = DodParams::new(1.5, 5);
         assert_eq!(
-            dod.detect(&data, &p).outliers,
-            dod.detect(&data, &p.with_threads(4)).outliers
+            engine.query(query(&p)).expect("query").outliers,
+            engine
+                .query(query(&p.with_threads(4)))
+                .expect("query")
+                .outliers
         );
     }
 
     #[test]
     fn works_on_strings() {
         let data = StringSet::new(["cat", "bat", "hat", "rat", "qqqqqqqqqqqq"]);
-        let dod = VpTreeDod::build(&data, 0);
-        let res = dod.detect(&data, &DodParams::new(1.0, 2));
+        let engine = vp_engine(&data);
+        let res = engine.query(query(&DodParams::new(1.0, 2))).expect("query");
         assert_eq!(res.outliers, vec![4]);
     }
 
     #[test]
     fn empty_dataset() {
         let data = VectorSet::from_rows(&[], L2);
-        let dod = VpTreeDod::build(&data, 0);
-        assert!(dod
-            .detect(&data, &DodParams::new(1.0, 2))
+        let engine = vp_engine(&data);
+        assert!(engine
+            .query(query(&DodParams::new(1.0, 2)))
+            .expect("query")
             .outliers
             .is_empty());
     }
 
     #[test]
-    fn build_time_is_recorded() {
+    fn build_time_and_size_are_recorded() {
         let data = random_blobs(100, 4);
-        let dod = VpTreeDod::build(&data, 0);
-        assert!(dod.build_secs >= 0.0);
-        assert!(dod.size_bytes() > 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "finite non-negative")]
-    fn invalid_radius_panics_on_the_deprecated_shim() {
-        let data = random_blobs(30, 5);
-        let _ = VpTreeDod::build(&data, 0).detect(&data, &DodParams::new(-2.0, 1));
+        let engine = vp_engine(&data);
+        assert!(engine.build_secs() >= 0.0);
+        assert!(engine.index_bytes() > 0);
+        assert_eq!(engine.index_name(), "VP-tree");
     }
 }

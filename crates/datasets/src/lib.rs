@@ -16,15 +16,19 @@
 //! * [`StreamScenario`] — arrival-ordered streams with concentration
 //!   drift, outlier bursts and cluster churn, for the sliding-window
 //!   engine.
+//! * [`farthest_first`] — greedy k-center pivot sampling, used by the
+//!   sharded streaming engine to partition a metric stream.
 
 pub mod calibrate;
 pub mod families;
 pub mod gaussian;
+pub mod pivots;
 pub mod stream;
 pub mod words;
 
 pub use calibrate::{calibrate_r, exact_knn_distance, sample_knn_distances};
 pub use families::{AnyDataset, Family, FamilyMismatch, Generated};
 pub use gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
+pub use pivots::farthest_first;
 pub use stream::{StreamEvent, StreamScenario};
 pub use words::WordGenerator;

@@ -25,7 +25,7 @@ pub mod string;
 pub mod util;
 pub mod vector;
 
-pub use dataset::{Dataset, DistanceCounter, Subset};
+pub use dataset::{Dataset, DistanceCounter, Fnv1a, Subset};
 pub use string::{edit_distance, StringSet};
 pub use util::OrdF64;
 pub use vector::{Angular, Chebyshev, Minkowski, VectorMetric, VectorSet, L1, L2, L4};

@@ -86,6 +86,17 @@ impl Dataset for StringSet {
     fn dist(&self, i: usize, j: usize) -> f64 {
         edit_distance(self.get(i), self.get(j)) as f64
     }
+
+    /// FNV-1a over every string's bytes with length framing, so moving a
+    /// boundary between adjacent strings changes the digest.
+    fn content_digest(&self) -> u64 {
+        let mut h = crate::Fnv1a::new();
+        for i in 0..self.len() {
+            h.write_u64(self.str_len(i) as u64);
+            h.write(self.get(i));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

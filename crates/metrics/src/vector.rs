@@ -9,7 +9,7 @@ use crate::dataset::Dataset;
 /// inequality). `preprocess` runs once per dataset at construction and may
 /// normalize the stored rows (the angular metric uses it to pre-normalize to
 /// unit length so each distance evaluation is a single dot product).
-pub trait VectorMetric: Sync {
+pub trait VectorMetric: Send + Sync {
     /// Exact distance between `a` and `b` (same length).
     fn dist(&self, a: &[f32], b: &[f32]) -> f64;
 
@@ -253,6 +253,17 @@ impl<M: VectorMetric> Dataset for VectorSet<M> {
             return 0.0;
         }
         self.metric.dist(self.row(i), self.row(j))
+    }
+
+    /// FNV-1a over the stored (preprocessed) point bytes plus the
+    /// dimensionality — any changed coordinate changes the digest.
+    fn content_digest(&self) -> u64 {
+        let mut h = crate::Fnv1a::new();
+        h.write_u64(self.dim as u64);
+        for v in &self.data {
+            h.write(&v.to_le_bytes());
+        }
+        h.finish()
     }
 }
 

@@ -1,0 +1,440 @@
+//! Asynchronous ingestion: a bounded-queue [`IngestHandle`] feeding a
+//! single-writer pump thread per shard.
+//!
+//! Topology (all channels are bounded `std::sync::mpsc::sync_channel`s,
+//! so a slow consumer backpressures producers instead of buffering
+//! without limit):
+//!
+//! ```text
+//! IngestHandle ─┐
+//! IngestHandle ─┼─▶ router thread ──▶ pump 0 (owns Shard 0)
+//! IngestPipeline┘      (routes)   ├─▶ pump 1 (owns Shard 1)
+//!                                 └─▶ …
+//! ```
+//!
+//! The router thread owns the routing core (pivot selection, warm-up
+//! replay, the global occupancy record); each pump thread owns one shard
+//! and is its only writer. Commands are processed strictly in arrival
+//! order on every channel, which is what makes
+//! [`IngestPipeline::report`] **snapshot-consistent**: the report command
+//! reaches each pump *after* every insert enqueued before it, so the
+//! merged answer describes exactly the slide boundary at which the
+//! report was requested.
+
+use crate::detector::{merge_answers, ShardedStreamDetector};
+use crate::router::{Router, ShardOp};
+use crate::shard::{Shard, ShardAnswer};
+use dod_core::{DodError, OutlierReport};
+use dod_stream::{Backend, Space, StreamStats};
+use std::io;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+enum RouterCmd<P> {
+    /// Insert at the next unit-spaced tick.
+    Insert(P),
+    /// Insert a run of points at consecutive unit-spaced ticks — one
+    /// queue handoff for the whole run (the high-throughput producer
+    /// path).
+    InsertMany(Vec<P>),
+    /// Insert at an explicit timestamp.
+    InsertAt(P, f64),
+    /// Advance the clock without inserting.
+    Advance(f64),
+    /// Collect a snapshot-consistent merged report; replies with the
+    /// global window front and the merged report.
+    Report(Sender<(u64, OutlierReport)>),
+    /// Collect summed per-shard lifetime counters.
+    Stats(Sender<StreamStats>),
+    /// Tear down: drain, stop pumps, return state to `finish`.
+    Stop,
+}
+
+enum PumpCmd<P> {
+    /// Apply a batch of ops in order. The router groups everything it
+    /// drained in one scheduling round into one message per shard, so
+    /// channel synchronization amortizes over the batch.
+    Apply(Vec<ShardOp<P>>),
+    /// Advance to the slide boundary and report; replies with the shard
+    /// index and its answer.
+    Collect(Option<f64>, Sender<(usize, ShardAnswer)>),
+    Stats(Sender<StreamStats>),
+}
+
+fn closed() -> DodError {
+    DodError::Io(io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        "ingest pipeline is shut down (a worker panicked or finish() ran)",
+    ))
+}
+
+/// A cloneable, bounded-queue producer handle onto an
+/// [`IngestPipeline`]. `insert` blocks when the queue is full — that is
+/// the backpressure contract — and fails only when the pipeline is gone.
+pub struct IngestHandle<P> {
+    tx: SyncSender<RouterCmd<P>>,
+}
+
+impl<P> Clone for IngestHandle<P> {
+    fn clone(&self) -> Self {
+        IngestHandle {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<P> IngestHandle<P> {
+    /// Enqueues a point for the next unit-spaced tick.
+    pub fn insert(&self, point: P) -> Result<(), DodError> {
+        self.tx.send(RouterCmd::Insert(point)).map_err(|_| closed())
+    }
+
+    /// Enqueues a run of points for consecutive unit-spaced ticks with a
+    /// single queue handoff — the path for producers whose throughput
+    /// would otherwise be bounded by per-point queue synchronization.
+    pub fn insert_many(&self, points: Vec<P>) -> Result<(), DodError> {
+        self.tx
+            .send(RouterCmd::InsertMany(points))
+            .map_err(|_| closed())
+    }
+
+    /// Enqueues a point at an explicit timestamp. Timestamps must be
+    /// non-decreasing *in queue order*: with several handles racing, the
+    /// arrival order at the router is the order that counts.
+    pub fn insert_at(&self, point: P, time: f64) -> Result<(), DodError> {
+        self.tx
+            .send(RouterCmd::InsertAt(point, time))
+            .map_err(|_| closed())
+    }
+
+    /// Enqueues a clock advance (time-based windows).
+    pub fn advance_to(&self, time: f64) -> Result<(), DodError> {
+        self.tx.send(RouterCmd::Advance(time)).map_err(|_| closed())
+    }
+}
+
+/// The running asynchronous engine: a router thread plus one pump thread
+/// per shard, all fed through bounded queues. Created by
+/// [`ShardedStreamDetector::into_pipeline`]; dissolved back into the
+/// synchronous detector by [`finish`](IngestPipeline::finish).
+pub struct IngestPipeline<S: Space + Clone + 'static> {
+    tx: SyncSender<RouterCmd<S::Point>>,
+    router_thread: Option<JoinHandle<Router<S>>>,
+    pump_threads: Vec<JoinHandle<Shard<S>>>,
+    backend: Backend,
+}
+
+impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
+    /// Moves the detector onto threads: each shard gets a single-writer
+    /// pump, routing gets its own thread, and the caller keeps a bounded
+    /// queue of `queue` pending commands (clamped to ≥ 1).
+    ///
+    /// The detector may already hold window state — the threads simply
+    /// continue from it.
+    pub fn into_pipeline(self, queue: usize) -> IngestPipeline<S> {
+        let queue = queue.max(1);
+        let (router, shards, backend) = self.into_parts();
+        let (tx, rx) = sync_channel::<RouterCmd<S::Point>>(queue);
+        let mut pump_txs = Vec::new();
+        let mut pump_threads = Vec::new();
+        for (idx, mut shard) in shards.into_iter().enumerate() {
+            let (ptx, prx) = sync_channel::<PumpCmd<S::Point>>(queue);
+            pump_txs.push(ptx);
+            pump_threads.push(std::thread::spawn(move || {
+                pump_loop(idx, &mut shard, prx);
+                shard
+            }));
+        }
+        let router_thread = std::thread::spawn(move || {
+            let mut router = router;
+            router_loop(&mut router, rx, pump_txs);
+            router
+        });
+        IngestPipeline {
+            tx,
+            router_thread: Some(router_thread),
+            pump_threads,
+            backend,
+        }
+    }
+}
+
+impl<S: Space + Clone + 'static> IngestPipeline<S> {
+    /// A cloneable producer handle sharing this pipeline's bounded queue.
+    pub fn handle(&self) -> IngestHandle<S::Point> {
+        IngestHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Enqueues a point for the next unit-spaced tick (blocking when the
+    /// queue is full).
+    pub fn insert(&self, point: S::Point) -> Result<(), DodError> {
+        self.tx.send(RouterCmd::Insert(point)).map_err(|_| closed())
+    }
+
+    /// Enqueues a run of points for consecutive unit-spaced ticks with a
+    /// single queue handoff (see [`IngestHandle::insert_many`]).
+    pub fn insert_many(&self, points: Vec<S::Point>) -> Result<(), DodError> {
+        self.tx
+            .send(RouterCmd::InsertMany(points))
+            .map_err(|_| closed())
+    }
+
+    /// Enqueues a point at an explicit timestamp.
+    pub fn insert_at(&self, point: S::Point, time: f64) -> Result<(), DodError> {
+        self.tx
+            .send(RouterCmd::InsertAt(point, time))
+            .map_err(|_| closed())
+    }
+
+    /// Enqueues a clock advance (time-based windows).
+    pub fn advance_to(&self, time: f64) -> Result<(), DodError> {
+        self.tx.send(RouterCmd::Advance(time)).map_err(|_| closed())
+    }
+
+    /// A snapshot-consistent merged [`OutlierReport`] at the current
+    /// slide boundary: every insert enqueued before this call is
+    /// reflected, none enqueued after it is. Blocks until the queues
+    /// have drained up to the request.
+    pub fn report(&self) -> Result<OutlierReport, DodError> {
+        Ok(self.collect()?.1)
+    }
+
+    /// The current outliers as global seqs, ascending (the
+    /// [`StreamDetector::outliers`](dod_stream::StreamDetector::outliers)
+    /// shape), snapshot-consistent like [`report`](Self::report).
+    pub fn outliers(&self) -> Result<Vec<u64>, DodError> {
+        let (front, report) = self.collect()?;
+        Ok(report
+            .outliers
+            .iter()
+            .map(|&pos| front + u64::from(pos))
+            .collect())
+    }
+
+    fn collect(&self) -> Result<(u64, OutlierReport), DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(RouterCmd::Report(reply_tx))
+            .map_err(|_| closed())?;
+        reply_rx.recv().map_err(|_| closed())
+    }
+
+    /// Summed lifetime counters across shards, snapshot-consistent.
+    pub fn stats(&self) -> Result<StreamStats, DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(RouterCmd::Stats(reply_tx))
+            .map_err(|_| closed())?;
+        reply_rx.recv().map_err(|_| closed())
+    }
+
+    /// Drains the queues, stops every thread and reassembles the
+    /// synchronous [`ShardedStreamDetector`] with all its window state —
+    /// ready for `audit()`, further synchronous use, or a later
+    /// `into_pipeline` again.
+    pub fn finish(mut self) -> Result<ShardedStreamDetector<S>, DodError> {
+        let _ = self.tx.send(RouterCmd::Stop);
+        let router = self
+            .router_thread
+            .take()
+            .expect("finish runs once")
+            .join()
+            .map_err(|_| closed())?;
+        let mut shards = Vec::with_capacity(self.pump_threads.len());
+        for t in self.pump_threads.drain(..) {
+            shards.push(t.join().map_err(|_| closed())?);
+        }
+        Ok(ShardedStreamDetector::from_parts(
+            router,
+            shards,
+            self.backend.clone(),
+        ))
+    }
+}
+
+impl<S: Space + Clone + 'static> Drop for IngestPipeline<S> {
+    fn drop(&mut self) {
+        // finish() already detached the threads; otherwise stop and join
+        // so no detached worker outlives the pipeline.
+        let _ = self.tx.send(RouterCmd::Stop);
+        if let Some(t) = self.router_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.pump_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Cap on ops batched into one scheduling round, bounding both the
+/// router's memory and the latency before pumps see work.
+const MAX_BATCH_OPS: usize = 4096;
+
+/// The router thread: applies commands in arrival order, forwarding
+/// per-shard work to the pumps. Data commands are drained greedily and
+/// forwarded as one batch per shard per round, so queue synchronization
+/// amortizes when producers run hot; control commands (report, stats,
+/// stop) act as barriers — the batch in flight is flushed first, which
+/// preserves snapshot consistency. Ends on `Stop` or when every sender
+/// is gone; dropping the pump senders ends the pumps in turn.
+fn router_loop<S: Space>(
+    router: &mut Router<S>,
+    rx: Receiver<RouterCmd<S::Point>>,
+    pump_txs: Vec<SyncSender<PumpCmd<S::Point>>>,
+) {
+    let mut batches: Vec<Vec<ShardOp<S::Point>>> =
+        (0..pump_txs.len()).map(|_| Vec::new()).collect();
+    let batch_up = |router: &mut Router<S>,
+                    batches: &mut Vec<Vec<ShardOp<S::Point>>>,
+                    cmd: RouterCmd<S::Point>|
+     -> Option<RouterCmd<S::Point>> {
+        // Data commands accumulate into the per-shard batches; control
+        // commands bounce back to the main loop.
+        match cmd {
+            RouterCmd::Insert(p) => {
+                let t = router.next_tick();
+                for (s, op) in router.ingest(p, t).ops {
+                    batches[s].push(op);
+                }
+                None
+            }
+            RouterCmd::InsertMany(points) => {
+                for p in points {
+                    let t = router.next_tick();
+                    for (s, op) in router.ingest(p, t).ops {
+                        batches[s].push(op);
+                    }
+                }
+                None
+            }
+            RouterCmd::InsertAt(p, t) => {
+                for (s, op) in router.ingest(p, t).ops {
+                    batches[s].push(op);
+                }
+                None
+            }
+            RouterCmd::Advance(t) => {
+                router.advance(t);
+                None
+            }
+            ctrl => Some(ctrl),
+        }
+    };
+    let flush = |batches: &mut Vec<Vec<ShardOp<S::Point>>>| {
+        for (s, batch) in batches.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                // A dead pump means a pump panicked; the router keeps
+                // going so finish() can still harvest healthy shards.
+                let _ = pump_txs[s].send(PumpCmd::Apply(std::mem::take(batch)));
+            }
+        }
+    };
+
+    'outer: while let Ok(cmd) = rx.recv() {
+        let mut ctrl = batch_up(router, &mut batches, cmd);
+        // Greedy drain: keep batching while more data is instantly
+        // available and no control command is pending.
+        while ctrl.is_none() {
+            if batches.iter().map(Vec::len).sum::<usize>() >= MAX_BATCH_OPS {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(cmd) => ctrl = batch_up(router, &mut batches, cmd),
+                Err(_) => break,
+            }
+        }
+        flush(&mut batches);
+        match ctrl {
+            None => {}
+            Some(RouterCmd::Report(reply)) => {
+                if let Some(seqs) = router.warmup_outliers() {
+                    // Pre-partition: answered straight from the warm-up
+                    // buffer, no shard involvement.
+                    let front = router.front_seq();
+                    let merged = OutlierReport::from_outliers(
+                        seqs.into_iter().map(|s| (s - front) as u32).collect(),
+                        0.0,
+                    );
+                    let _ = reply.send((front, merged));
+                    continue;
+                }
+                let (ans_tx, ans_rx) = std::sync::mpsc::channel();
+                let now = router.shard_now();
+                let mut sent = 0;
+                for ptx in &pump_txs {
+                    if ptx.send(PumpCmd::Collect(now, ans_tx.clone())).is_ok() {
+                        sent += 1;
+                    }
+                }
+                drop(ans_tx);
+                let mut answers: Vec<(usize, ShardAnswer)> = ans_rx.iter().collect();
+                // A missing answer means a pump died (panicked): its
+                // shard's outliers are gone, so a merged report would be
+                // silently wrong. Dropping `reply` unanswered surfaces
+                // the failure to the caller as a pipeline error instead.
+                if sent < pump_txs.len() || answers.len() < sent {
+                    continue;
+                }
+                answers.sort_by_key(|&(idx, _)| idx);
+                let front = router.front_seq();
+                let merged = merge_answers(answers.into_iter().map(|(_, a)| a).collect(), front);
+                let _ = reply.send((front, merged));
+            }
+            Some(RouterCmd::Stats(reply)) => {
+                let (ans_tx, ans_rx) = std::sync::mpsc::channel();
+                let mut sent = 0;
+                for ptx in &pump_txs {
+                    if ptx.send(PumpCmd::Stats(ans_tx.clone())).is_ok() {
+                        sent += 1;
+                    }
+                }
+                drop(ans_tx);
+                let mut total = StreamStats::default();
+                let mut got = 0;
+                for st in ans_rx.iter() {
+                    total.absorb(&st);
+                    got += 1;
+                }
+                // As for reports: partial stats from dead pumps are not
+                // answered, they error out at the caller.
+                if sent < pump_txs.len() || got < sent {
+                    continue;
+                }
+                let _ = reply.send(total);
+            }
+            Some(RouterCmd::Stop) => break 'outer,
+            Some(_) => unreachable!("data commands never bounce"),
+        }
+    }
+    // Dropping the pump senders closes the pump channels; the pumps
+    // finish their queues and return their shards.
+}
+
+/// One shard's single-writer pump: applies its queue in order, answers
+/// collects at slide boundaries.
+fn pump_loop<S: Space + 'static>(
+    idx: usize,
+    shard: &mut Shard<S>,
+    rx: Receiver<PumpCmd<S::Point>>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            PumpCmd::Apply(ops) => {
+                for op in ops {
+                    shard.apply(op);
+                }
+            }
+            PumpCmd::Collect(now, reply) => {
+                if let Some(now) = now {
+                    shard.advance(now);
+                }
+                let _ = reply.send((idx, shard.collect()));
+            }
+            PumpCmd::Stats(reply) => {
+                let _ = reply.send(shard.stats());
+            }
+        }
+    }
+}

@@ -12,12 +12,12 @@
 use crate::counts::NeighborState;
 use crate::graph::{GraphIndex, GraphParams};
 use crate::index::{ExhaustiveIndex, StreamIndex};
+use crate::seqmap::SeqMap;
 use crate::space::Space;
 use crate::window::{WindowSpec, WindowStore, WindowView};
 use dod_core::verify::ExactCounter;
 use dod_core::{DodError, OutlierReport, Query, VerifyStrategy};
 use dod_metrics::Dataset;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// The streaming query: Definition 2's `(r, k)` plus the window bound.
@@ -56,8 +56,9 @@ impl StreamParams {
     /// construction, so only the window needs checking afterwards.
     ///
     /// Only `r` and `k` carry over: a [`Query::with_threads`] override is
-    /// ignored, because the streaming engine is single-threaded by design
-    /// (parallel slides are a ROADMAP item).
+    /// ignored, because one window is single-threaded by design —
+    /// parallelism comes from partitioning the stream across windows
+    /// (`dod_shard`'s sharded detector), not from threading one window.
     pub fn from_query(query: Query, window: WindowSpec) -> Self {
         StreamParams {
             r: query.r(),
@@ -135,8 +136,12 @@ struct QueryCounters {
 /// Lifetime counters (cheap, always on).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamStats {
-    /// Points ingested.
+    /// Points ingested (owned and ghost alike).
     pub inserts: u64,
+    /// Ghost points ingested via
+    /// [`insert_ghost_at`](StreamDetector::insert_ghost_at) — replicas
+    /// that feed neighbor counts but are never reported.
+    pub ghost_inserts: u64,
     /// Points expired.
     pub expirations: u64,
     /// Objects promoted to safe inliers (≥ `k` succeeding neighbors —
@@ -146,6 +151,28 @@ pub struct StreamStats {
     pub full_repairs: u64,
     /// Suffix-only exact repairs performed by queries.
     pub incremental_repairs: u64,
+}
+
+impl StreamStats {
+    /// Folds another detector's counters into this one — the one place
+    /// multi-detector aggregation (the sharded engine) sums stats, so a
+    /// new counter field cannot be forgotten in one of the call sites.
+    pub fn absorb(&mut self, other: &StreamStats) {
+        let StreamStats {
+            inserts,
+            ghost_inserts,
+            expirations,
+            safe_promotions,
+            full_repairs,
+            incremental_repairs,
+        } = other;
+        self.inserts += inserts;
+        self.ghost_inserts += ghost_inserts;
+        self.expirations += expirations;
+        self.safe_promotions += safe_promotions;
+        self.full_repairs += full_repairs;
+        self.incremental_repairs += incremental_repairs;
+    }
 }
 
 /// A sliding-window exact distance-based outlier detector.
@@ -175,8 +202,8 @@ pub struct StreamDetector<S: Space> {
     params: StreamParams,
     win: WindowStore<S::Point>,
     /// Neighbor knowledge for live, non-safe residents.
-    states: HashMap<u64, NeighborState>,
-    index: Box<dyn StreamIndex<S>>,
+    states: SeqMap<NeighborState>,
+    index: Box<dyn StreamIndex<S> + Send>,
     stats: StreamStats,
 }
 
@@ -231,7 +258,7 @@ impl<S: Space> StreamDetector<S> {
     where
         S: 'static,
     {
-        let index: Box<dyn StreamIndex<S>> = match backend {
+        let index: Box<dyn StreamIndex<S> + Send> = match backend {
             Backend::Exhaustive => Box::new(ExhaustiveIndex),
             Backend::Graph(gp) => Box::new(GraphIndex::new(gp, params.k)),
         };
@@ -243,59 +270,17 @@ impl<S: Space> StreamDetector<S> {
     pub fn try_with_index(
         space: S,
         params: StreamParams,
-        index: Box<dyn StreamIndex<S>>,
+        index: Box<dyn StreamIndex<S> + Send>,
     ) -> Result<Self, DodError> {
         params.validate()?;
         Ok(StreamDetector {
             space,
             params,
             win: WindowStore::new(),
-            states: HashMap::new(),
+            states: SeqMap::default(),
             index,
             stats: StreamStats::default(),
         })
-    }
-
-    /// A detector on the [`Backend::Exhaustive`] backend.
-    ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    #[deprecated(since = "0.2.0", note = "use StreamDetector::open or try_new")]
-    pub fn new(space: S, params: StreamParams) -> Self
-    where
-        S: 'static,
-    {
-        match Self::try_new(space, params) {
-            Ok(det) => det,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// A detector on the chosen backend.
-    ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    #[deprecated(since = "0.2.0", note = "use StreamDetector::open or try_with_backend")]
-    pub fn with_backend(space: S, params: StreamParams, backend: Backend) -> Self
-    where
-        S: 'static,
-    {
-        match Self::try_with_backend(space, params, backend) {
-            Ok(det) => det,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// A detector on a custom [`StreamIndex`] implementation.
-    ///
-    /// # Panics
-    /// Panics if `params` fail [`StreamParams::validate`].
-    #[deprecated(since = "0.2.0", note = "use StreamDetector::try_with_index")]
-    pub fn with_index(space: S, params: StreamParams, index: Box<dyn StreamIndex<S>>) -> Self {
-        match Self::try_with_index(space, params, index) {
-            Ok(det) => det,
-            Err(e) => panic!("{e}"),
-        }
     }
 
     /// Ingests a point at the next unit-spaced tick (`0, 1, 2, …`).
@@ -314,11 +299,38 @@ impl<S: Space> StreamDetector<S> {
     /// Panics if `time` is NaN or behind the latest observed timestamp
     /// (streams are ordered by definition; reorder upstream).
     pub fn insert_at(&mut self, point: S::Point, time: f64) -> SlideReport {
+        self.ingest(point, time, false)
+    }
+
+    /// Ingests a *ghost* at an explicit timestamp: a replica of a point
+    /// owned by another detector, inserted so this window's neighbor
+    /// counts stay exact across a partition boundary.
+    ///
+    /// A ghost is a first-class window resident for every count it feeds —
+    /// discovery sees it, repairs scan it, it expires on schedule, and its
+    /// arrival can promote residents to safe inliers — but it gets no
+    /// neighbor state of its own, so [`outliers`](Self::outliers) and
+    /// [`report`](Self::report) never name it. ([`audit`](Self::audit)
+    /// recounts *every* resident, ghosts included; a sharded caller
+    /// filters those out, as `dod_shard` does.)
+    ///
+    /// # Panics
+    /// Panics if `time` regresses, as for [`insert_at`](Self::insert_at).
+    pub fn insert_ghost_at(&mut self, point: S::Point, time: f64) -> SlideReport {
+        self.ingest(point, time, true)
+    }
+
+    /// Shared insertion path: expire, push, discover, fold counts. `ghost`
+    /// skips only the new point's own neighbor state.
+    fn ingest(&mut self, point: S::Point, time: f64, ghost: bool) -> SlideReport {
         let point = self.space.prepare(point);
         self.win.advance_clock(time);
         let expired = self.expire_due(true);
         let seq = self.win.push(point, time);
         self.stats.inserts += 1;
+        if ghost {
+            self.stats.ghost_inserts += 1;
+        }
 
         let discovered = {
             let view = WindowView::new(&self.win, &self.space);
@@ -336,10 +348,12 @@ impl<S: Space> StreamDetector<S> {
                     self.stats.safe_promotions += 1;
                 }
             }
-            self.states.insert(
-                seq,
-                NeighborState::new(seq, discovered, self.index.is_exact()),
-            );
+            if !ghost {
+                self.states.insert(
+                    seq,
+                    NeighborState::new(seq, discovered, self.index.is_exact()),
+                );
+            }
         }
         SlideReport {
             seq,
@@ -712,14 +726,46 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "finite non-negative")]
-    fn invalid_radius_panics_on_the_deprecated_constructor() {
-        let _ = StreamDetector::with_backend(
-            VectorSpace::new(L2, 1),
-            StreamParams::count(f64::NAN, 1, 4),
-            Backend::Exhaustive,
-        );
+    fn ghosts_feed_counts_but_are_never_reported() {
+        for backend in both() {
+            let name = format!("{backend:?}");
+            // r = 1, k = 2, window 8. Two owned points at 0.0 and 0.3 plus
+            // one far owned point; without ghosts both near points have
+            // only one neighbor each and all three are outliers.
+            let mut d = det(1.0, 2, 8, backend);
+            d.insert_at(vec![0.0], 0.0);
+            d.insert_at(vec![0.3], 1.0);
+            d.insert_at(vec![50.0], 2.0);
+            assert_eq!(d.outliers(), vec![0, 1, 2], "{name}");
+            // A ghost at 0.5 gives both near points their second neighbor,
+            // but is itself never reported — even though its own ghost
+            // count (2 neighbors) would make no difference here, a ghost
+            // with < k neighbors must stay unreported too.
+            let g = d.insert_ghost_at(vec![0.5], 3.0);
+            assert_eq!(g.seq, 3);
+            assert_eq!(d.outliers(), vec![2], "{name}");
+            assert_eq!(d.stats().ghost_inserts, 1);
+            // audit() counts every resident, ghosts included: the ghost is
+            // an inlier here, the far point is not.
+            assert_eq!(d.audit(), vec![2], "{name}");
+            // Ghosts expire like any resident: push the window forward.
+            for i in 0..8 {
+                d.insert_at(vec![100.0 + i as f32 * 0.1], 4.0 + i as f64);
+            }
+            assert!(d.window_seqs().iter().all(|&s| s >= 4), "{name}");
+        }
+    }
+
+    #[test]
+    fn ghost_arrivals_promote_safe_inliers() {
+        let mut d = det(1.0, 2, 16, Backend::Exhaustive);
+        d.insert(vec![0.0]);
+        let before = d.stats().safe_promotions;
+        // Two succeeding ghosts within r promote seq 0 to a safe inlier.
+        d.insert_ghost_at(vec![0.1], 1.0);
+        d.insert_ghost_at(vec![0.2], 2.0);
+        assert_eq!(d.stats().safe_promotions, before + 1);
+        assert!(d.outliers().is_empty());
     }
 
     #[test]

@@ -17,13 +17,14 @@
 //! speed, never correctness.
 
 use crate::index::StreamIndex;
+use crate::seqmap::SeqMap;
 use crate::space::Space;
 use crate::window::WindowView;
 use dod_core::{greedy_collect, TraversalBuffer};
 use dod_graph::{GraphKind, ProximityGraph};
 use dod_metrics::{Dataset, OrdF64};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Tuning knobs for [`GraphIndex`].
 #[derive(Debug, Clone)]
@@ -84,7 +85,7 @@ pub struct GraphIndex<S: Space> {
     points: Vec<Option<S::Point>>,
     seqs: Vec<u64>,
     alive: Vec<bool>,
-    slot_of: HashMap<u64, u32>,
+    slot_of: SeqMap<u32>,
     free: Vec<u32>,
     dead: usize,
     live: usize,
@@ -112,7 +113,7 @@ impl<S: Space> GraphIndex<S> {
             points: Vec::new(),
             seqs: Vec::new(),
             alive: Vec::new(),
-            slot_of: HashMap::new(),
+            slot_of: SeqMap::default(),
             free: Vec::new(),
             dead: 0,
             live: 0,

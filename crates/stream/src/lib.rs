@@ -64,6 +64,7 @@ mod counts;
 pub mod detector;
 pub mod graph;
 pub mod index;
+mod seqmap;
 pub mod space;
 pub mod window;
 

@@ -16,10 +16,16 @@ use dod_metrics::{edit_distance, VectorMetric};
 /// `dist` must satisfy the metric axioms, exactly like
 /// [`dod_metrics::Dataset::dist`]. `Sync` (on both the space and its
 /// points) lets window snapshots implement [`dod_metrics::Dataset`] so the
-/// batch algorithms can run on them for cross-checking.
-pub trait Space: Sync {
+/// batch algorithms can run on them for cross-checking; `Send` lets a
+/// detector (and therefore its space and points) move onto the per-shard
+/// pump threads of the sharded engine.
+///
+/// `prepare` must be *idempotent* (`prepare(prepare(p)) == prepare(p)`):
+/// the sharded engine prepares a point once for pivot routing and the
+/// receiving shard's detector prepares it again on insertion.
+pub trait Space: Send + Sync {
     /// The object type flowing through the stream.
-    type Point: Clone + Sync;
+    type Point: Clone + Send + Sync;
 
     /// Exact metric distance between two points.
     fn dist(&self, a: &Self::Point, b: &Self::Point) -> f64;
@@ -44,6 +50,9 @@ pub trait Space: Sync {
 /// The dimension is pinned at construction; `prepare` asserts every
 /// inserted point matches it, so a malformed producer fails at the
 /// insertion boundary instead of deep inside a distance evaluation.
+/// `Clone` exists so the sharded engine can hand every shard its own
+/// copy of the space.
+#[derive(Debug, Clone)]
 pub struct VectorSpace<M> {
     metric: M,
     dim: usize,

@@ -38,6 +38,33 @@ impl WindowSpec {
             _ => Ok(()),
         }
     }
+
+    /// The expiry predicate: whether a window of `len` residents whose
+    /// oldest carries `front_time`, observed at `now`, must drop that
+    /// oldest resident. `incoming` counts a point about to be inserted
+    /// (count windows expire *before* the insertion so capacity is never
+    /// exceeded).
+    ///
+    /// This is **the** boundary every window in the workspace expires on
+    /// — [`WindowStore`](crate::StreamDetector) and the sharded engine's
+    /// global occupancy record both call it, so they cannot drift apart
+    /// (sharding exactness depends on them agreeing on every slide).
+    pub fn front_due(&self, front_time: f64, len: usize, now: f64, incoming: bool) -> bool {
+        match *self {
+            WindowSpec::Count(w) => len + usize::from(incoming) > w,
+            WindowSpec::Time(h) => front_time <= now - h,
+        }
+    }
+
+    /// Panics unless `time` is a valid next timestamp (non-NaN and not
+    /// behind `now`) — the shared non-decreasing-clock contract of every
+    /// streaming clock in the workspace.
+    pub fn assert_clock_advance(now: f64, time: f64) {
+        assert!(
+            !time.is_nan() && time >= now,
+            "stream time must be non-decreasing (got {time}, now {now})"
+        );
+    }
 }
 
 /// One window resident.
@@ -92,11 +119,7 @@ impl<P> WindowStore<P> {
     /// # Panics
     /// Panics if `time` is NaN or behind the latest observed timestamp.
     pub fn advance_clock(&mut self, time: f64) {
-        assert!(
-            !time.is_nan() && time >= self.now,
-            "stream time must be non-decreasing (got {time}, now {})",
-            self.now
-        );
+        WindowSpec::assert_clock_advance(self.now, time);
         self.now = time;
     }
 
@@ -117,17 +140,13 @@ impl<P> WindowStore<P> {
         self.entries.pop_front()
     }
 
-    /// `true` when the oldest resident is due for expiry under `spec`.
-    /// `incoming` counts a point about to be inserted (count windows expire
-    /// *before* the insertion so the capacity is never exceeded).
+    /// `true` when the oldest resident is due for expiry under `spec`
+    /// (the shared [`WindowSpec::front_due`] predicate).
     pub fn front_due(&self, spec: WindowSpec, incoming: bool) -> bool {
         let Some(front) = self.entries.front() else {
             return false;
         };
-        match spec {
-            WindowSpec::Count(w) => self.len() + usize::from(incoming) > w,
-            WindowSpec::Time(h) => front.time <= self.now - h,
-        }
+        spec.front_due(front.time, self.len(), self.now, incoming)
     }
 
     pub fn get(&self, seq: u64) -> Option<&Entry<P>> {

@@ -98,6 +98,11 @@
 //! * [`stream`] — sliding-window streaming detection: ingest points one at
 //!   a time, maintain neighbor counts incrementally, answer "current
 //!   outliers" exactly after every slide.
+//! * [`shard`] — the streaming engine partitioned across cores:
+//!   pivot-based metric sharding with ghost replication (still exact),
+//!   parallel slides, and bounded-queue async ingestion
+//!   ([`IngestHandle`](shard::IngestHandle) feeding one pump thread per
+//!   shard).
 //!
 //! ## Streaming
 //!
@@ -126,6 +131,33 @@
 //! # Ok::<(), DodError>(())
 //! ```
 //!
+//! When one window outgrows one core, the same stream runs **sharded**:
+//! the window splits across per-shard detectors by nearest pivot, points
+//! near a boundary are replicated as ghosts so every answer stays exact,
+//! and an [`IngestPipeline`](shard::IngestPipeline) moves each shard onto
+//! its own pump thread behind a bounded queue:
+//!
+//! ```
+//! use dod::prelude::*;
+//!
+//! let det = ShardedStreamDetector::open(
+//!     VectorSpace::new(L2, 1),
+//!     Query::new(1.5, 2)?,
+//!     WindowSpec::Count(32),
+//!     Backend::Exhaustive,
+//!     ShardSpec::new(4),
+//! )?;
+//! let pipeline = det.into_pipeline(64); // bounded queue of 64
+//! let producer = pipeline.handle();     // cloneable, backpressured
+//! for i in 0..32 {
+//!     producer.insert(vec![(i % 4) as f32])?;
+//! }
+//! producer.insert(vec![500.0])?;
+//! // Snapshot-consistent: reflects every insert enqueued above.
+//! assert_eq!(pipeline.outliers()?, vec![32]);
+//! # Ok::<(), DodError>(())
+//! ```
+//!
 //! The `dod-bench` crate (workspace-internal) regenerates every table and
 //! figure of the paper's evaluation; see `EXPERIMENTS.md`.
 
@@ -133,6 +165,7 @@ pub use dod_core as core;
 pub use dod_datasets as datasets;
 pub use dod_graph as graph;
 pub use dod_metrics as metrics;
+pub use dod_shard as shard;
 pub use dod_stream as stream;
 pub use dod_vptree as vptree;
 
@@ -141,10 +174,9 @@ pub mod prelude {
     pub use dod_core::{
         DodError, DodParams, Engine, EngineBuilder, IndexSpec, OutlierReport, Query, VerifyStrategy,
     };
-    #[allow(deprecated)]
-    pub use dod_core::{DodResult, GraphDod, VpTreeDod};
     pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
     pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
+    pub use dod_shard::{IngestHandle, IngestPipeline, ShardSpec, ShardedStreamDetector};
     pub use dod_stream::{
         Backend, GraphParams, SlideReport, StreamDetector, StreamParams, StringSpace, VectorSpace,
         WindowSpec,

@@ -135,8 +135,9 @@ fn engine_errors_are_typed_not_panics() {
         })
     ));
 
-    // Loading against the wrong dataset fails with a size mismatch;
-    // corrupt bytes fail with an offset-carrying Corrupt.
+    // Loading against the wrong dataset fails on the embedded checksum
+    // (before any size check); corrupt bytes fail with an
+    // offset-carrying Corrupt.
     let engine = Engine::builder(&data)
         .index(IndexSpec::Mrpg(MrpgParams::new(3)))
         .build()
@@ -145,7 +146,7 @@ fn engine_errors_are_typed_not_panics() {
     engine.save(&mut bytes).expect("save");
     assert!(matches!(
         Engine::load(&other, &bytes[..]),
-        Err(DodError::SizeMismatch { .. })
+        Err(DodError::Corrupt { .. })
     ));
     match Engine::load(&data, &bytes[..bytes.len() / 2]) {
         Err(DodError::Corrupt { offset, .. }) => assert!(offset <= bytes.len()),
