@@ -7,196 +7,16 @@
 //! 25 %) makes the run fail, so CI can diff the current PR's artifact
 //! against the previous one and flag slowdowns automatically.
 //!
-//! The vendored `serde` stand-in has no deserializer, so this module
-//! carries a tiny recursive-descent parser for the exact JSON dialect
-//! `report::JsonReport` emits (objects, arrays, strings, numbers,
-//! null — no booleans are ever written, but they parse anyway).
+//! JSON parsing is delegated to [`dod_wire`], the workspace's shared
+//! wire format (the parser started its life in this module and was
+//! promoted when the HTTP serving layer needed the same dialect); this
+//! module keeps the artifact-diffing logic on top of it.
 
 use crate::report::Table;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A parsed JSON value (only what the artifacts need).
-#[derive(Debug, Clone, PartialEq)]
-pub enum JVal {
-    /// Any number (artifacts write integers and floats).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// `null` (non-finite measurements are written as null).
-    Null,
-    /// `true`/`false` (never emitted, accepted for robustness).
-    Bool(bool),
-    /// An array.
-    Arr(Vec<JVal>),
-    /// An object, insertion-ordered.
-    Obj(Vec<(String, JVal)>),
-}
-
-/// Parses a complete JSON document; trailing content is an error.
-pub fn parse_json(s: &str) -> Result<JVal, String> {
-    let bytes = s.as_bytes();
-    let mut pos = 0;
-    let v = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(v)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {:?} at byte {pos}",
-            c as char,
-            pos = *pos
-        ))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
-        Some(b'"') => Ok(JVal::Str(parse_string(b, pos)?)),
-        Some(b'n') => parse_lit(b, pos, "null", JVal::Null),
-        Some(b't') => parse_lit(b, pos, "true", JVal::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", JVal::Bool(false)),
-        Some(_) => parse_num(b, pos),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JVal) -> Result<JVal, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(v)
-    } else {
-        Err(format!("bad literal at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(JVal::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or("bad \\u escape")?;
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err("bad escape".into()),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                // The artifacts are ASCII-escaped, but pass UTF-8 through.
-                let s = &b[*pos..];
-                let ch_len = match c {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                out.push_str(
-                    std::str::from_utf8(&s[..ch_len.min(s.len())]).map_err(|_| "bad utf8")?,
-                );
-                *pos += ch_len;
-            }
-        }
-    }
-}
-
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
-    expect(b, pos, b'{')?;
-    let mut fields = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(JVal::Obj(fields));
-    }
-    loop {
-        skip_ws(b, pos);
-        let key = parse_string(b, pos)?;
-        expect(b, pos, b':')?;
-        let val = parse_value(b, pos)?;
-        fields.push((key, val));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(JVal::Obj(fields));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JVal, String> {
-    expect(b, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(JVal::Arr(items));
-    }
-    loop {
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(JVal::Arr(items));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
-        }
-    }
-}
+pub use dod_wire::{parse_json, JsonValue as JVal};
 
 /// The timing metrics a row can carry, with their improvement direction.
 /// Everything else in a row is identity, except [`INFORMATIONAL`].

@@ -37,26 +37,16 @@ impl From<String> for JsonVal {
     }
 }
 
+// Escaping and number formatting come from the shared wire format
+// (`dod_wire`), so artifacts stay parseable by the same crate that parses
+// them back in `compare` and serves them over HTTP.
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    dod_wire::escape(s)
 }
 
 fn json_val(v: &JsonVal) -> String {
     match v {
-        JsonVal::Num(n) if n.is_finite() => format!("{n}"),
-        JsonVal::Num(_) => "null".to_string(),
+        JsonVal::Num(n) => dod_wire::render_number(*n),
         JsonVal::Int(i) => format!("{i}"),
         JsonVal::Str(s) => format!("\"{}\"", json_escape(s)),
     }

@@ -40,6 +40,7 @@ use crate::graph_dod::detect_on_graph;
 use crate::greedy::BufferPool;
 use crate::nested_loop;
 use crate::params::{DodParams, OutlierReport, Query};
+use crate::telemetry::EngineMetrics;
 use crate::verify::{ExactCounter, VerifyStrategy};
 use crate::vptree_dod::detect_on_tree;
 use dod_graph::{mrpg, serialize, MrpgParams, ProximityGraph};
@@ -190,6 +191,7 @@ impl<D: Dataset> EngineBuilder<D> {
             build_secs: t.elapsed().as_secs_f64(),
             pool: BufferPool::new(),
             counter: OnceLock::new(),
+            metrics: EngineMetrics::new(),
         })
     }
 }
@@ -211,6 +213,9 @@ pub struct Engine<D> {
     /// The verification engine, built lazily on the first query that
     /// leaves candidates and reused by every later query.
     counter: OnceLock<ExactCounter>,
+    /// Query counters and latency histogram (lock-free; scraped live by
+    /// serving layers through [`Engine::metrics`]).
+    metrics: EngineMetrics,
 }
 
 impl<D: Dataset> Engine<D> {
@@ -233,6 +238,68 @@ impl<D: Dataset> Engine<D> {
     /// Never panics on caller input — a [`Query`] is validated at
     /// construction and the engine's index always matches its dataset.
     pub fn query(&self, query: Query) -> Result<OutlierReport, DodError> {
+        let t = Instant::now();
+        let result = self.query_uninstrumented(query);
+        match &result {
+            Ok(report) => {
+                self.metrics.queries.inc();
+                self.metrics
+                    .outliers_reported
+                    .add(report.outliers.len() as u64);
+                self.metrics.latency.observe_secs(t.elapsed().as_secs_f64());
+            }
+            Err(_) => self.metrics.query_errors.inc(),
+        }
+        result
+    }
+
+    /// Answers a batch of queries, one [`OutlierReport`] per query in
+    /// input order.
+    ///
+    /// The batch amortizes everything per-engine the single-query path
+    /// already pools — the traversal buffers and, decisively, the lazily
+    /// built verification engine (a VP-tree over the whole dataset, paid
+    /// once for the batch instead of per cold engine) — and answers
+    /// *identical* queries once, cloning the report into every duplicate
+    /// slot. Batches from a serving layer are exactly where duplicates
+    /// concentrate (many clients asking the default `(r, k)`), so the
+    /// duplicate scan is quadratic in the batch length but trivially so.
+    ///
+    /// Fails on the first failing query; no partial batches (all queries
+    /// are validated [`Query`]s, so in practice this means an I/O-less
+    /// `Ok`).
+    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<OutlierReport>, DodError> {
+        self.metrics.batches.inc();
+        let mut answers: Vec<Option<OutlierReport>> = vec![None; queries.len()];
+        for i in 0..queries.len() {
+            if answers[i].is_some() {
+                continue;
+            }
+            let report = self.query(queries[i])?;
+            for j in (i + 1)..queries.len() {
+                if answers[j].is_none() && queries[j] == queries[i] {
+                    // Count the duplicate as an answered query — it is one,
+                    // served at clone cost.
+                    self.metrics.queries.inc();
+                    self.metrics
+                        .outliers_reported
+                        .add(report.outliers.len() as u64);
+                    answers[j] = Some(report.clone());
+                }
+            }
+            answers[i] = Some(report);
+        }
+        Ok(answers.into_iter().map(|a| a.expect("filled")).collect())
+    }
+
+    /// Live query telemetry: counters and the latency histogram. Scraped
+    /// by serving layers (`dod_server`'s `/metrics`); recording costs a
+    /// few relaxed atomics per query.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn query_uninstrumented(&self, query: Query) -> Result<OutlierReport, DodError> {
         let threads = query.threads().unwrap_or(self.threads).max(1);
         let (r, k) = (query.r(), query.k());
         match &self.index {
@@ -439,6 +506,7 @@ impl<D: Dataset> Engine<D> {
             build_secs: t.elapsed().as_secs_f64(),
             pool: BufferPool::new(),
             counter: OnceLock::new(),
+            metrics: EngineMetrics::new(),
         })
     }
 
@@ -565,6 +633,51 @@ mod tests {
         // The same engine answers a different query without rebuilding.
         let c = engine.query(Query::new(4.0, 4).unwrap()).expect("query");
         assert!(c.outliers.len() <= a.outliers.len());
+    }
+
+    #[test]
+    fn query_many_matches_query_and_dedupes() {
+        let engine = Engine::builder(blobs(300, 11))
+            .index(IndexSpec::Mrpg(MrpgParams::new(6)))
+            .build()
+            .expect("build");
+        let a = Query::new(2.0, 4).unwrap();
+        let b = Query::new(4.0, 6).unwrap();
+        let batch = engine.query_many(&[a, b, a, a]).expect("batch");
+        assert_eq!(batch.len(), 4);
+        let single_a = engine.query(a).expect("query");
+        let single_b = engine.query(b).expect("query");
+        assert_eq!(batch[0].outliers, single_a.outliers);
+        assert_eq!(batch[1].outliers, single_b.outliers);
+        // Duplicate slots are byte-for-byte the first answer (clones of
+        // one report, including its timing fields).
+        assert_eq!(batch[2], batch[0]);
+        assert_eq!(batch[3], batch[0]);
+        assert!(engine.query_many(&[]).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn metrics_count_queries_batches_and_latency() {
+        let engine = Engine::builder(blobs(300, 12))
+            .index(IndexSpec::Mrpg(MrpgParams::new(6)))
+            .build()
+            .expect("build");
+        assert_eq!(engine.metrics().queries.get(), 0);
+        let q = Query::new(2.0, 4).unwrap();
+        let rep = engine.query(q).expect("query");
+        let batch = engine.query_many(&[q, q]).expect("batch");
+        let m = engine.metrics();
+        assert_eq!(m.queries.get(), 3, "1 single + 2 batch members");
+        assert_eq!(m.batches.get(), 1);
+        assert_eq!(m.query_errors.get(), 0);
+        assert_eq!(
+            m.outliers_reported.get(),
+            (rep.outliers.len() + 2 * batch[0].outliers.len()) as u64
+        );
+        let lat = m.latency.snapshot();
+        // Duplicate batch members are served by clone, not re-timed.
+        assert_eq!(lat.count, 2);
+        assert!(lat.sum_secs > 0.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod nested_loop;
 pub mod parallel;
 pub mod params;
 pub mod snif;
+pub mod telemetry;
 pub mod verify;
 pub mod vptree_dod;
 
@@ -40,4 +41,5 @@ pub use engine::{Engine, EngineBuilder, IndexSpec};
 pub use error::DodError;
 pub use greedy::{greedy_collect, greedy_count, TraversalBuffer};
 pub use params::{DodParams, OutlierReport, Query};
+pub use telemetry::EngineMetrics;
 pub use verify::VerifyStrategy;

@@ -76,6 +76,81 @@ where
     });
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads consuming jobs from one bounded queue.
+///
+/// [`par_map_strided`] and [`par_for_each_mut`] fan a *known* workload
+/// over scoped threads and join; a serving loop has the opposite shape —
+/// an unbounded stream of independent jobs (connections) arriving one at
+/// a time. The pool keeps `threads` long-lived workers behind a bounded
+/// `sync_channel`, so a burst beyond `queue` pending jobs backpressures
+/// the submitter (the accept loop) instead of buffering without limit.
+///
+/// A panicking job is caught and discarded: one poisoned request must not
+/// take a worker (and eventually the whole pool) down with it.
+pub struct WorkerPool {
+    tx: Option<std::sync::mpsc::SyncSender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to ≥ 1) sharing a queue of
+    /// `queue` pending jobs (clamped to ≥ 1).
+    pub fn new(threads: usize, queue: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue.max(1));
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, never the job.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(poisoned) => poisoned.into_inner().recv(),
+                    };
+                    match job {
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // pool dropped: queue drained, exit
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job, blocking while the queue is full. Returns `false`
+    /// only when the pool is shutting down.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: closes the queue (workers finish what is
+    /// pending) and joins every worker.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +198,39 @@ mod tests {
         let mut one = vec![7u8];
         par_for_each_mut(&mut one, 4, |_, v| *v = 9);
         assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(3, 4);
+            assert_eq!(pool.threads(), 3);
+            for _ in 0..50 {
+                let done = Arc::clone(&done);
+                assert!(pool.execute(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        } // drop = drain + join
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1, 2);
+            assert!(pool.execute(|| panic!("poisoned request")));
+            let done = Arc::clone(&done);
+            assert!(pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker outlived the panic");
     }
 }

@@ -1,0 +1,223 @@
+//! Engine-level telemetry: lock-free counters and log-bucketed latency
+//! histograms.
+//!
+//! Every [`Engine`](crate::Engine) owns an [`EngineMetrics`]; the query
+//! paths record into it with relaxed atomics (a handful of nanoseconds per
+//! query — negligible next to even one distance evaluation), so a serving
+//! layer can scrape a live engine without locks, allocation, or slowing
+//! the queries it is measuring. The types are deliberately generic — the
+//! HTTP layer (`dod_server`) builds its request counters from the same
+//! [`Counter`] and renders everything in Prometheus text format.
+//!
+//! Histograms are **log-bucketed**: bucket `i` counts observations at or
+//! below `1µs · 4^i`, spanning 1µs to ~4.7 hours in 17 buckets plus the
+//! overflow. Query latencies range over six orders of magnitude between a
+//! filter-only hit on a warm engine and a cold full-verification pass, so
+//! constant-resolution-per-decade is the right shape and 17 atomics is the
+//! right cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (relaxed atomics — totals are
+/// exact, cross-counter ordering is not guaranteed, which is all a
+/// metrics scrape needs).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram buckets (the last atomic slot counts
+/// overflow observations beyond every bound).
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// The upper bound, in seconds, of finite bucket `i`: `1µs · 4^i`.
+pub fn bucket_bound_secs(i: usize) -> f64 {
+    1e-6 * 4f64.powi(i as i32)
+}
+
+/// A log-bucketed latency histogram: 17 finite buckets at `1µs · 4^i`
+/// plus overflow, a count, and a sum (so scrapes can derive averages and
+/// Prometheus can render a native `_bucket`/`_sum`/`_count` family).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    count: AtomicU64,
+    /// Sum in nanoseconds: an integer so it can be atomic; 2^64 ns is
+    /// ~584 years of accumulated latency, far beyond any process life.
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `secs` (non-finite or negative
+    /// observations clamp to zero — they can only come from clock bugs,
+    /// and a metrics path must never panic).
+    pub fn observe_secs(&self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let idx = self
+            .finite_bounds()
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(HISTOGRAM_BUCKETS);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn finite_bounds(&self) -> [f64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(bucket_bound_secs)
+    }
+
+    /// A coherent-enough copy for rendering: cumulative counts per finite
+    /// bound (the Prometheus `le` convention), total count, and the sum in
+    /// seconds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(HISTOGRAM_BUCKETS);
+        let mut running = 0u64;
+        for (i, b) in self.buckets[..HISTOGRAM_BUCKETS].iter().enumerate() {
+            running += b.load(Ordering::Relaxed);
+            cumulative.push((bucket_bound_secs(i), running));
+        }
+        HistogramSnapshot {
+            cumulative,
+            count: self.count.load(Ordering::Relaxed),
+            sum_secs: self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// A rendered-out view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// `(upper bound in seconds, observations ≤ bound)` per finite
+    /// bucket, cumulative and ascending. Observations beyond the last
+    /// bound appear only in `count` (the `+Inf` bucket).
+    pub cumulative: Vec<(f64, u64)>,
+    /// Total observations (the `+Inf` cumulative bucket).
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub sum_secs: f64,
+}
+
+/// Per-engine query telemetry, recorded by
+/// [`Engine::query`](crate::Engine::query) and
+/// [`Engine::query_many`](crate::Engine::query_many) and scraped by
+/// serving layers via [`Engine::metrics`](crate::Engine::metrics).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Queries answered successfully (batch members count individually).
+    pub queries: Counter,
+    /// Queries that returned an error.
+    pub query_errors: Counter,
+    /// `query_many` batches served.
+    pub batches: Counter,
+    /// Total outliers reported across all queries.
+    pub outliers_reported: Counter,
+    /// Latency of successful queries (per query, not per batch).
+    pub latency: Histogram,
+}
+
+impl EngineMetrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        c.add(5);
+        assert_eq!(c.get(), 4005);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_magnitude() {
+        let h = Histogram::new();
+        h.observe_secs(0.5e-6); // bucket 0 (≤ 1µs)
+        h.observe_secs(3e-6); // bucket 1 (≤ 4µs)
+        h.observe_secs(1.0); // ≤ 4^10 µs ≈ 1.05s → bucket 10
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.cumulative[0], (1e-6, 1));
+        assert_eq!(snap.cumulative[1].1, 2);
+        // Cumulative counts are non-decreasing and end at the total.
+        assert!(snap.cumulative.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(snap.cumulative.last().unwrap().1, 3);
+        assert!((snap.sum_secs - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_overflow_and_garbage_never_panic() {
+        let h = Histogram::new();
+        h.observe_secs(1e9); // beyond every finite bound
+        h.observe_secs(f64::NAN);
+        h.observe_secs(-3.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        // The overflow observation is visible only in the +Inf count.
+        assert_eq!(snap.cumulative.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn bucket_bounds_are_log_spaced() {
+        assert_eq!(bucket_bound_secs(0), 1e-6);
+        assert_eq!(bucket_bound_secs(1), 4e-6);
+        let last = bucket_bound_secs(HISTOGRAM_BUCKETS - 1);
+        assert!(last > 3600.0, "top bound spans past an hour: {last}");
+    }
+}

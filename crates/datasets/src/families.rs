@@ -321,7 +321,40 @@ impl From<FamilyMismatch> for dod_core::DodError {
     }
 }
 
+/// An [`Engine`](dod_core::Engine) serving a dataset-erased
+/// [`AnyDataset`] — the type a service holds when the metric family is
+/// decided by configuration (or by the request) rather than at compile
+/// time.
+///
+/// This is the *typed* replacement for the ad-hoc
+/// `Engine<Box<dyn Dataset>>` pattern: `AnyDataset` is itself a
+/// [`Dataset`] (a 5-way enum dispatch, no allocation, no vtable), so the
+/// erased engine keeps the concrete engine's whole API — including
+/// [`save`](dod_core::Engine::save)/[`load`](dod_core::Engine::load),
+/// whose dataset checksum sees straight through the erasure.
+///
+/// ```
+/// use dod_core::{IndexSpec, Query};
+/// use dod_datasets::{AnyEngine, Family};
+///
+/// let gen = Family::Sift.generate(400, 7);
+/// let r = gen.calibrate_default_r(100); // ~1% outliers at the family's k
+/// let engine: AnyEngine = gen.data.into_engine().index(IndexSpec::VpTree).build()?;
+/// let report = engine.query(Query::new(r, 40)?)?;
+/// assert!(!report.outliers.is_empty() && report.outliers.len() < 40);
+/// # Ok::<(), dod_core::DodError>(())
+/// ```
+pub type AnyEngine = dod_core::Engine<AnyDataset>;
+
 impl AnyDataset {
+    /// Starts configuring an [`AnyEngine`] over this dataset — the typed
+    /// constructor for a dataset-erased engine
+    /// (`Engine::builder(any_dataset)` spelled at the place that owns the
+    /// erasure).
+    pub fn into_engine(self) -> dod_core::EngineBuilder<AnyDataset> {
+        dod_core::Engine::builder(self)
+    }
+
     /// The space this dataset lives in, as a short name.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -577,6 +610,38 @@ mod tests {
         assert!(typed(&glove.data).is_err());
         let words = Family::Words.generate(10, 1);
         assert_eq!(typed(&words.data).unwrap(), 10);
+    }
+
+    #[test]
+    fn any_engine_serves_and_round_trips_any_family() {
+        use dod_core::{IndexSpec, Query};
+        for f in [Family::Sift, Family::Words] {
+            let gen = f.generate(250, 3);
+            let r = gen.calibrate_default_r(100);
+            let truth = dod_core::nested_loop::detect(
+                &gen.data,
+                &dod_core::DodParams::new(r, f.default_k()),
+                0,
+            )
+            .outliers;
+            let engine: AnyEngine = f
+                .generate(250, 3)
+                .data
+                .into_engine()
+                .index(IndexSpec::VpTree)
+                .build()
+                .expect("build");
+            let query = Query::new(r, f.default_k()).expect("query");
+            assert_eq!(engine.query(query).expect("query").outliers, truth, "{f}");
+            // Persistence sees through the erasure: the digest check
+            // rejects a different family, the round trip answers the same.
+            let mut bytes = Vec::new();
+            engine.save(&mut bytes).expect("save");
+            let reloaded = AnyEngine::load(f.generate(250, 3).data, &bytes[..]).expect("load");
+            assert_eq!(reloaded.query(query).expect("query").outliers, truth);
+            let other = Family::Glove.generate(250, 3).data;
+            assert!(AnyEngine::load(other, &bytes[..]).is_err());
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod stream;
 pub mod words;
 
 pub use calibrate::{calibrate_r, exact_knn_distance, sample_knn_distances};
-pub use families::{AnyDataset, Family, FamilyMismatch, Generated};
+pub use families::{AnyDataset, AnyEngine, Family, FamilyMismatch, Generated};
 pub use gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
 pub use pivots::farthest_first;
 pub use stream::{StreamEvent, StreamScenario};

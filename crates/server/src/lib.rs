@@ -1,0 +1,464 @@
+//! `dod_server` — the std-only HTTP/1.1 front door over the detection
+//! stack.
+//!
+//! Every entry point below this crate is in-process: [`dod_core::Engine`]
+//! answers batch queries, [`dod_shard::IngestPipeline`] runs a sharded
+//! sliding window. This crate puts both behind one TCP listener so the
+//! system can actually *serve* — no framework, no async runtime, no
+//! dependencies beyond `std` (matching the workspace's vendored-stubs
+//! constraint): a blocking accept loop fans connections out to a fixed
+//! [`dod_core::parallel::WorkerPool`], requests are content-length framed
+//! HTTP/1.1 with keep-alive, and every response body speaks the shared
+//! [`dod_wire`] JSON dialect.
+//!
+//! # Routes
+//!
+//! | Route | Body | Answer |
+//! |---|---|---|
+//! | `POST /v1/query` | `{"queries": [{"r": 2.0, "k": 5}, …]}` | `{"results": [{"outliers": […], …}, …]}` via [`Engine::query_many`](dod_core::Engine::query_many) |
+//! | `POST /v1/ingest` | `{"points": [[…], …]}` | `{"accepted": n}` — enqueued into the [`IngestPipeline`](dod_shard::IngestPipeline) |
+//! | `GET /v1/report` | — | `{"outliers": [seq, …]}`, snapshot-consistent with every prior ingest |
+//! | `GET /healthz` | — | `{"status": "ok", …}` |
+//! | `GET /metrics` | — | Prometheus text: HTTP counters, engine query counters + latency histogram, per-shard-pair ghost rates |
+//!
+//! Responses are **deterministic**: query and report bodies carry no
+//! timings (latency lives in `/metrics`), so the HTTP answer for a given
+//! dataset and query is byte-identical to encoding the in-process answer
+//! with [`routes::encode`] — which is exactly what the integration tests
+//! assert. Malformed input — bad JSON, an oversized body, a point of the
+//! wrong dimension or family — answers 4xx with a
+//! [`DodError`]-derived `{"error": {"kind", "message"}}`
+//! body; route handlers cannot panic, and a worker that somehow does is
+//! caught by the pool.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dod_core::IndexSpec;
+//! use dod_datasets::Family;
+//! use dod_server::DodServer;
+//! use std::io::{Read, Write};
+//!
+//! let engine = Family::Sift
+//!     .generate(300, 7)
+//!     .data
+//!     .into_engine()
+//!     .index(IndexSpec::VpTree)
+//!     .build()?;
+//! let handle = DodServer::builder()
+//!     .engine(engine)
+//!     .workers(2)
+//!     .bind("127.0.0.1:0")? // ephemeral port
+//!     .start();
+//!
+//! let mut conn = std::net::TcpStream::connect(handle.addr())?;
+//! let body = r#"{"queries": [{"r": 100.0, "k": 40}]}"#;
+//! write!(
+//!     conn,
+//!     "POST /v1/query HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+//!     body.len()
+//! )?;
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply)?;
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+//! assert!(reply.contains("\"results\""), "{reply}");
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod http;
+mod prom;
+pub mod routes;
+mod streams;
+
+pub use routes::{dod_error_kind, dod_error_status, encode, error_body};
+pub use streams::AnyStreamDetector;
+
+use dod_core::parallel::WorkerPool;
+use dod_core::telemetry::Counter;
+use dod_core::{DodError, EngineMetrics, OutlierReport, Query};
+use dod_metrics::Dataset;
+use routes::Route;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a server needs from an engine: the object-safe slice of
+/// [`dod_core::Engine`], blanket-implemented for every dataset type, so
+/// one server type serves `Engine<VectorSet<L2>>`, the dataset-erased
+/// `dod_datasets::AnyEngine`, and anything else alike.
+pub trait QueryEngine: Send + Sync {
+    /// Answers a batch of queries (see
+    /// [`Engine::query_many`](dod_core::Engine::query_many)).
+    fn query_many(&self, queries: &[Query]) -> Result<Vec<OutlierReport>, DodError>;
+    /// Number of objects served.
+    fn len(&self) -> usize;
+    /// `true` when the engine serves no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Display name of the backing index.
+    fn index_name(&self) -> &'static str;
+    /// Live query telemetry.
+    fn metrics(&self) -> &EngineMetrics;
+}
+
+impl<D: Dataset + Send> QueryEngine for dod_core::Engine<D> {
+    fn query_many(&self, queries: &[Query]) -> Result<Vec<OutlierReport>, DodError> {
+        dod_core::Engine::query_many(self, queries)
+    }
+    fn len(&self) -> usize {
+        dod_core::Engine::len(self)
+    }
+    fn index_name(&self) -> &'static str {
+        dod_core::Engine::index_name(self)
+    }
+    fn metrics(&self) -> &EngineMetrics {
+        dod_core::Engine::metrics(self)
+    }
+}
+
+/// Everything the route handlers see: the mounted components plus the
+/// serving counters. Shared immutably across workers.
+pub(crate) struct State {
+    pub(crate) engine: Option<Arc<dyn QueryEngine>>,
+    pub(crate) stream: Option<streams::AnyPipeline>,
+    pub(crate) http: HttpMetrics,
+    pub(crate) ingested_points: Counter,
+    shutting_down: AtomicBool,
+}
+
+/// HTTP-layer counters: connections, and requests by route × status
+/// class (bounded label cardinality by construction).
+pub(crate) struct HttpMetrics {
+    pub(crate) connections: Counter,
+    requests: Vec<[Counter; 3]>, // indexed by Route as usize
+}
+
+const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+impl HttpMetrics {
+    fn new() -> Self {
+        HttpMetrics {
+            connections: Counter::new(),
+            requests: Route::ALL
+                .iter()
+                .map(|_| [Counter::new(), Counter::new(), Counter::new()])
+                .collect(),
+        }
+    }
+
+    fn record(&self, route: Route, status: u16) {
+        let class = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            _ => 2,
+        };
+        self.requests[route as usize][class].inc();
+    }
+
+    pub(crate) fn by_class(&self, route: Route) -> impl Iterator<Item = (&'static str, &Counter)> {
+        CLASSES
+            .iter()
+            .zip(&self.requests[route as usize])
+            .map(|(&c, counter)| (c, counter))
+    }
+}
+
+/// Configures a [`DodServer`]. Created by [`DodServer::builder`].
+pub struct ServerBuilder {
+    engine: Option<Arc<dyn QueryEngine>>,
+    stream: Option<AnyStreamDetector>,
+    workers: usize,
+    queue: usize,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    keep_alive_requests: usize,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            engine: None,
+            stream: None,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue: 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            keep_alive_requests: 1000,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Mounts a batch engine on `POST /v1/query` (any dataset type; the
+    /// engine is moved behind an `Arc`).
+    pub fn engine<E: QueryEngine + 'static>(mut self, engine: E) -> Self {
+        self.engine = Some(Arc::new(engine));
+        self
+    }
+
+    /// Mounts an already-shared engine (e.g. one also queried
+    /// in-process).
+    pub fn shared_engine(mut self, engine: Arc<dyn QueryEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Mounts a sharded sliding-window session on `POST /v1/ingest` /
+    /// `GET /v1/report`. The detector (possibly already holding window
+    /// state) is moved onto its pipeline threads when the server binds.
+    pub fn stream(mut self, stream: impl Into<AnyStreamDetector>) -> Self {
+        self.stream = Some(stream.into());
+        self
+    }
+
+    /// Worker threads handling connections (default: the machine's
+    /// parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Pending-connection queue depth before the accept loop blocks
+    /// (backpressure; default 1024). Also the ingest pipeline's queue.
+    pub fn queue(mut self, queue: usize) -> Self {
+        self.queue = queue.max(1);
+        self
+    }
+
+    /// Maximum request-body bytes (default 8 MiB); larger bodies answer
+    /// `413` before a single body byte is buffered.
+    pub fn max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Socket read timeout — bounds how long a slow or idle client can
+    /// hold a worker between bytes (default 10s).
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Socket write timeout for responses (default 10s).
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Requests served per connection before it is closed (default 1000).
+    pub fn keep_alive_requests(mut self, n: usize) -> Self {
+        self.keep_alive_requests = n.max(1);
+        self
+    }
+
+    /// Binds the listener (use port `0` for an ephemeral port) and stands
+    /// the stream session up on its pipeline threads. The server is not
+    /// accepting yet — call [`DodServer::start`] or [`DodServer::run`].
+    pub fn bind(self, addr: &str) -> Result<DodServer, DodError> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(State {
+            engine: self.engine,
+            stream: self.stream.map(|s| s.into_pipeline(self.queue)),
+            http: HttpMetrics::new(),
+            ingested_points: Counter::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        Ok(DodServer {
+            listener,
+            state,
+            workers: self.workers,
+            queue: self.queue,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            max_body_bytes: self.max_body_bytes,
+            keep_alive_requests: self.keep_alive_requests,
+        })
+    }
+}
+
+/// A bound (but not yet accepting) server. See the [crate docs](self)
+/// for the protocol and a quickstart.
+pub struct DodServer {
+    listener: TcpListener,
+    state: Arc<State>,
+    workers: usize,
+    queue: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_body_bytes: usize,
+    keep_alive_requests: usize,
+}
+
+impl DodServer {
+    /// Starts configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// The bound address (read the ephemeral port here after binding
+    /// `127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has an address")
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] — blocking the calling
+    /// thread. Most callers want [`start`](Self::start) instead.
+    pub fn run(self) {
+        let pool = WorkerPool::new(self.workers, self.queue);
+        let conn_cfg = ConnConfig {
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            max_body_bytes: self.max_body_bytes,
+            keep_alive_requests: self.keep_alive_requests,
+        };
+        for conn in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            let accepted = pool.execute(move || handle_connection(stream, &state, conn_cfg));
+            if !accepted {
+                break;
+            }
+        }
+        // WorkerPool::drop drains the queue and joins every worker: all
+        // accepted connections finish before run() returns.
+    }
+
+    /// Spawns the accept loop on a background thread and returns the
+    /// handle that owns graceful shutdown.
+    pub fn start(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            state,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (in-flight requests finish; the listener closes).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is accepting on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(): wake it with one
+        // throwaway connection so it observes the flag. A listener bound
+        // to the unspecified address (0.0.0.0 / [::]) is not connectable
+        // at that address on every platform — aim at loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ConnConfig {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_body_bytes: usize,
+    keep_alive_requests: usize,
+}
+
+/// Serves one connection: a keep-alive loop of read → dispatch → write.
+/// Never panics on client input; on protocol errors it answers once and
+/// closes.
+fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
+    state.http.connections.inc();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for served in 0..cfg.keep_alive_requests {
+        // Honor shutdown between requests: in-flight requests finish, but
+        // an open keep-alive connection must not demand service forever.
+        // (A worker idle in read_request observes this within
+        // cfg.read_timeout at the latest.)
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match http::read_request(&mut reader, cfg.max_body_bytes) {
+            Ok(None) => break, // clean close between requests
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive()
+                    && served + 1 < cfg.keep_alive_requests
+                    && !state.shutting_down.load(Ordering::SeqCst);
+                let (route, resp) = routes::dispatch(state, &req);
+                state.http.record(route, resp.status);
+                if http::write_response(
+                    &mut writer,
+                    resp.status,
+                    resp.content_type,
+                    &resp.body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    break;
+                }
+            }
+            Err(e) => {
+                // One typed answer (408 on timeouts, 4xx/5xx otherwise),
+                // then close: framing is unreliable after a parse error.
+                state.http.record(Route::Other, e.status);
+                let body = error_body("http", &e.message);
+                let _ = http::write_response(
+                    &mut writer,
+                    e.status,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                break;
+            }
+        }
+    }
+}

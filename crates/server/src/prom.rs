@@ -1,0 +1,187 @@
+//! `/metrics` rendering in the Prometheus text exposition format
+//! (version 0.0.4): HTTP-layer counters, the engine's query telemetry
+//! (counters + the log-bucketed latency histogram as a native
+//! `_bucket`/`_sum`/`_count` family), and the sharded stream's lifetime
+//! counters including per-shard-pair ghost replication.
+
+use crate::routes::Route;
+use crate::State;
+use std::fmt::Write as _;
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+pub(crate) fn render(state: &State) -> String {
+    let mut out = String::with_capacity(4096);
+
+    header(
+        &mut out,
+        "dod_http_connections_total",
+        "TCP connections accepted.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "dod_http_connections_total {}",
+        state.http.connections.get()
+    );
+    header(
+        &mut out,
+        "dod_http_requests_total",
+        "HTTP requests answered, by route and status class.",
+        "counter",
+    );
+    for route in Route::ALL {
+        for (class, counter) in state.http.by_class(route) {
+            let _ = writeln!(
+                out,
+                "dod_http_requests_total{{route=\"{}\",class=\"{class}\"}} {}",
+                route.name(),
+                counter.get()
+            );
+        }
+    }
+
+    if let Some(engine) = &state.engine {
+        header(
+            &mut out,
+            "dod_engine_dataset_size",
+            "Objects the engine serves.",
+            "gauge",
+        );
+        let _ = writeln!(out, "dod_engine_dataset_size {}", engine.len());
+        let m = engine.metrics();
+        for (name, help, value) in [
+            (
+                "dod_engine_queries_total",
+                "Queries answered successfully (batch members count individually).",
+                m.queries.get(),
+            ),
+            (
+                "dod_engine_query_errors_total",
+                "Queries that returned an error.",
+                m.query_errors.get(),
+            ),
+            (
+                "dod_engine_batches_total",
+                "query_many batches served.",
+                m.batches.get(),
+            ),
+            (
+                "dod_engine_outliers_reported_total",
+                "Outliers reported across all queries.",
+                m.outliers_reported.get(),
+            ),
+        ] {
+            header(&mut out, name, help, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        header(
+            &mut out,
+            "dod_engine_query_latency_seconds",
+            "Latency of successful queries.",
+            "histogram",
+        );
+        let snap = m.latency.snapshot();
+        for (bound, cumulative) in &snap.cumulative {
+            let _ = writeln!(
+                out,
+                "dod_engine_query_latency_seconds_bucket{{le=\"{}\"}} {cumulative}",
+                dod_wire::render_number(*bound)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "dod_engine_query_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+            snap.count
+        );
+        let _ = writeln!(
+            out,
+            "dod_engine_query_latency_seconds_sum {}",
+            dod_wire::render_number(snap.sum_secs)
+        );
+        let _ = writeln!(out, "dod_engine_query_latency_seconds_count {}", snap.count);
+    }
+
+    if let Some(stream) = &state.stream {
+        header(
+            &mut out,
+            "dod_ingest_points_total",
+            "Stream points accepted over HTTP.",
+            "counter",
+        );
+        let _ = writeln!(
+            out,
+            "dod_ingest_points_total {}",
+            state.ingested_points.get()
+        );
+        // Pipeline scrapes are snapshot-consistent barriers; a dead
+        // pipeline (worker panic) must degrade the scrape, not kill it.
+        if let Ok(stats) = stream.stats() {
+            for (name, help, value) in [
+                (
+                    "dod_stream_inserts_total",
+                    "Points inserted into shard windows (owned + ghost).",
+                    stats.inserts,
+                ),
+                (
+                    "dod_stream_ghost_inserts_total",
+                    "Ghost replicas inserted into shard windows.",
+                    stats.ghost_inserts,
+                ),
+                (
+                    "dod_stream_expirations_total",
+                    "Window residents expired.",
+                    stats.expirations,
+                ),
+                (
+                    "dod_stream_safe_promotions_total",
+                    "Residents promoted to safe inliers.",
+                    stats.safe_promotions,
+                ),
+            ] {
+                header(&mut out, name, help, "counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            if let Ok(pairs) = stream.ghost_pair_counts() {
+                let owned_points = stats.inserts.saturating_sub(stats.ghost_inserts).max(1);
+                header(
+                    &mut out,
+                    "dod_shard_ghost_routes_total",
+                    "Ghost replicas routed from the owner shard into the target shard.",
+                    "counter",
+                );
+                for (owner, row) in pairs.iter().enumerate() {
+                    for (target, &count) in row.iter().enumerate() {
+                        if owner != target {
+                            let _ = writeln!(
+                                out,
+                                "dod_shard_ghost_routes_total{{owner=\"{owner}\",target=\"{target}\"}} {count}"
+                            );
+                        }
+                    }
+                }
+                header(
+                    &mut out,
+                    "dod_shard_ghost_rate",
+                    "Fraction of owned stream points replicated from the owner shard into the target shard.",
+                    "gauge",
+                );
+                for (owner, row) in pairs.iter().enumerate() {
+                    for (target, &count) in row.iter().enumerate() {
+                        if owner != target {
+                            let _ = writeln!(
+                                out,
+                                "dod_shard_ghost_rate{{owner=\"{owner}\",target=\"{target}\"}} {}",
+                                dod_wire::render_number(count as f64 / owned_points as f64)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,392 @@
+//! Route dispatch and the JSON protocol: request decoding, response
+//! encoding, and the `DodError`-derived error bodies.
+
+use crate::http::Request;
+use crate::State;
+use dod_core::{DodError, OutlierReport, Query};
+use dod_wire::{parse_json, JsonValue};
+
+/// The served routes, used as the metrics label (bounded cardinality:
+/// unknown paths all land in `Other`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// `POST /v1/query`
+    Query,
+    /// `POST /v1/ingest`
+    Ingest,
+    /// `GET /v1/report`
+    Report,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Everything else.
+    Other,
+}
+
+impl Route {
+    pub(crate) const ALL: [Route; 6] = [
+        Route::Query,
+        Route::Ingest,
+        Route::Report,
+        Route::Healthz,
+        Route::Metrics,
+        Route::Other,
+    ];
+
+    pub(crate) fn of(path: &str) -> Route {
+        match path {
+            "/v1/query" => Route::Query,
+            "/v1/ingest" => Route::Ingest,
+            "/v1/report" => Route::Report,
+            "/healthz" => Route::Healthz,
+            "/metrics" => Route::Metrics,
+            _ => Route::Other,
+        }
+    }
+
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Route::Query => "query",
+            Route::Ingest => "ingest",
+            Route::Report => "report",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// A computed response, ready for the framing layer.
+pub(crate) struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Upper bound on queries per batch and points per ingest call — the body
+/// size limit bounds bytes, this bounds amplification (a tiny body
+/// requesting enormous per-item work).
+const MAX_BATCH_ITEMS: usize = 4096;
+
+/// The `{"error": {"kind": …, "message": …}}` body every non-2xx answer
+/// carries.
+pub fn error_body(kind: &str, message: &str) -> String {
+    JsonValue::obj([(
+        "error",
+        JsonValue::obj([("kind", kind), ("message", message)]),
+    )])
+    .render()
+}
+
+/// The error-body `kind` for a [`DodError`]: its variant, snake-cased.
+pub fn dod_error_kind(e: &DodError) -> &'static str {
+    match e {
+        DodError::InvalidRadius { .. } => "invalid_radius",
+        DodError::InvalidWindow { .. } => "invalid_window",
+        DodError::InvalidSpec { .. } => "invalid_spec",
+        DodError::InvalidShardSpec { .. } => "invalid_shard_spec",
+        DodError::SizeMismatch { .. } => "size_mismatch",
+        DodError::FamilyMismatch { .. } => "family_mismatch",
+        DodError::Corrupt { .. } => "corrupt",
+        DodError::Io(_) => "io",
+        _ => "error",
+    }
+}
+
+/// The HTTP status a [`DodError`] maps to: validation failures are the
+/// caller's fault (400), I/O and corruption are the server's (5xx).
+pub fn dod_error_status(e: &DodError) -> u16 {
+    match e {
+        DodError::InvalidRadius { .. }
+        | DodError::InvalidWindow { .. }
+        | DodError::InvalidSpec { .. }
+        | DodError::InvalidShardSpec { .. }
+        | DodError::SizeMismatch { .. }
+        | DodError::FamilyMismatch { .. } => 400,
+        DodError::Corrupt { .. } => 500,
+        DodError::Io(_) => 503,
+        _ => 500,
+    }
+}
+
+fn dod_error_response(e: &DodError) -> Response {
+    Response::json(
+        dod_error_status(e),
+        error_body(dod_error_kind(e), &e.to_string()),
+    )
+}
+
+/// Deterministic wire encodings, public so integration tests (and other
+/// clients of the protocol) can assert byte-identity between HTTP answers
+/// and in-process calls.
+pub mod encode {
+    use super::*;
+
+    /// One [`OutlierReport`] as its wire object. Timing fields are
+    /// deliberately absent: they vary run to run, and the protocol's
+    /// contract is that the same data and query produce the same bytes —
+    /// latency belongs to `/metrics`.
+    pub fn report_json(rep: &OutlierReport) -> JsonValue {
+        JsonValue::obj([
+            ("outliers", JsonValue::arr(rep.outliers.iter().copied())),
+            ("candidates", JsonValue::from(rep.candidates)),
+            ("false_positives", JsonValue::from(rep.false_positives)),
+            ("decided_in_filter", JsonValue::from(rep.decided_in_filter)),
+        ])
+    }
+
+    /// The `/v1/query` response body for a batch of reports.
+    pub fn query_response(reports: &[OutlierReport]) -> String {
+        JsonValue::obj([(
+            "results",
+            JsonValue::Arr(reports.iter().map(report_json).collect()),
+        )])
+        .render()
+    }
+
+    /// The `/v1/report` response body: current outliers as global stream
+    /// seqs, ascending (the
+    /// [`ShardedStreamDetector::outliers`](dod_shard::ShardedStreamDetector::outliers)
+    /// shape).
+    pub fn stream_report_response(outlier_seqs: &[u64]) -> String {
+        JsonValue::obj([("outliers", JsonValue::arr(outlier_seqs.iter().copied()))]).render()
+    }
+
+    /// The `/v1/ingest` response body.
+    pub fn ingest_response(accepted: usize) -> String {
+        JsonValue::obj([("accepted", JsonValue::from(accepted))]).render()
+    }
+}
+
+/// Decodes the `/v1/query` body into validated queries.
+fn parse_queries(body: &[u8]) -> Result<Vec<Query>, Response> {
+    let doc = parse_body(body)?;
+    let Some(items) = doc.get("queries").and_then(JsonValue::as_arr) else {
+        return Err(bad_request("body must be {\"queries\": [...]}"));
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(bad_request(&format!(
+            "batch of {} queries exceeds the limit of {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    let mut queries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let r = item.get("r").and_then(JsonValue::as_f64);
+        let k = item.get("k").and_then(JsonValue::as_usize);
+        let (Some(r), Some(k)) = (r, k) else {
+            return Err(bad_request(&format!(
+                "query #{i} must carry a numeric \"r\" and a non-negative integer \"k\""
+            )));
+        };
+        let mut q = Query::new(r, k).map_err(|e| dod_error_response(&e))?;
+        if let Some(threads) = item.get("threads") {
+            let Some(threads) = threads.as_usize() else {
+                return Err(bad_request(&format!(
+                    "query #{i}: \"threads\" must be a non-negative integer"
+                )));
+            };
+            q = q.with_threads(threads);
+        }
+        queries.push(q);
+    }
+    Ok(queries)
+}
+
+/// Decodes the `/v1/ingest` body into dimension-checked points.
+fn parse_points(body: &[u8], dim: usize) -> Result<Vec<Vec<f32>>, Response> {
+    let doc = parse_body(body)?;
+    let Some(items) = doc.get("points").and_then(JsonValue::as_arr) else {
+        return Err(bad_request("body must be {\"points\": [[...], ...]}"));
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(bad_request(&format!(
+            "batch of {} points exceeds the limit of {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    let mut points = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Some(coords) = item.as_arr() else {
+            // A string (or object) where a vector belongs is a family
+            // mismatch in protocol form.
+            return Err(Response::json(
+                400,
+                error_body(
+                    "family_mismatch",
+                    &format!(
+                        "point #{i}: this stream serves {dim}-d vectors, not {}",
+                        kind_of(item)
+                    ),
+                ),
+            ));
+        };
+        if coords.len() != dim {
+            return Err(Response::json(
+                400,
+                error_body(
+                    "family_mismatch",
+                    &format!(
+                        "point #{i} has dimension {}, the stream's space is {dim}-d",
+                        coords.len()
+                    ),
+                ),
+            ));
+        }
+        let mut p = Vec::with_capacity(dim);
+        for c in coords {
+            let v = c.as_f64().unwrap_or(f64::NAN) as f32;
+            if !v.is_finite() {
+                return Err(bad_request(&format!(
+                    "point #{i} carries a non-finite or non-numeric coordinate"
+                )));
+            }
+            p.push(v);
+        }
+        points.push(p);
+    }
+    Ok(points)
+}
+
+fn kind_of(v: &JsonValue) -> &'static str {
+    match v {
+        JsonValue::Num(_) => "a number",
+        JsonValue::Str(_) => "a string",
+        JsonValue::Bool(_) => "a boolean",
+        JsonValue::Null => "null",
+        JsonValue::Arr(_) => "an array",
+        JsonValue::Obj(_) => "an object",
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<JsonValue, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::json(400, error_body("bad_json", "body is not UTF-8")))?;
+    parse_json(text).map_err(|e| Response::json(400, error_body("bad_json", &e)))
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::json(400, error_body("bad_request", message))
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::json(
+        405,
+        error_body("method_not_allowed", &format!("use {allowed}")),
+    )
+}
+
+fn unavailable(what: &str) -> Response {
+    Response::json(
+        503,
+        error_body(
+            "unavailable",
+            &format!("this server was started without {what}"),
+        ),
+    )
+}
+
+/// Answers one request. Infallible by construction: every failure path is
+/// a 4xx/5xx response, so a malformed request can never take the worker
+/// (or the connection pool) down.
+pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
+    let route = Route::of(&req.path);
+    let resp = match route {
+        Route::Query => match req.method.as_str() {
+            "POST" => handle_query(state, req),
+            _ => method_not_allowed("POST"),
+        },
+        Route::Ingest => match req.method.as_str() {
+            "POST" => handle_ingest(state, req),
+            _ => method_not_allowed("POST"),
+        },
+        Route::Report => match req.method.as_str() {
+            "GET" => handle_report(state),
+            _ => method_not_allowed("GET"),
+        },
+        Route::Healthz => match req.method.as_str() {
+            "GET" => Response::json(
+                200,
+                JsonValue::obj([
+                    ("status", JsonValue::from("ok")),
+                    ("engine", JsonValue::from(state.engine.is_some())),
+                    ("stream", JsonValue::from(state.stream.is_some())),
+                ])
+                .render(),
+            ),
+            _ => method_not_allowed("GET"),
+        },
+        Route::Metrics => match req.method.as_str() {
+            "GET" => Response::text(200, crate::prom::render(state)),
+            _ => method_not_allowed("GET"),
+        },
+        Route::Other => Response::json(
+            404,
+            error_body("not_found", &format!("no route {}", req.path)),
+        ),
+    };
+    (route, resp)
+}
+
+fn handle_query(state: &State, req: &Request) -> Response {
+    let Some(engine) = &state.engine else {
+        return unavailable("an engine");
+    };
+    let queries = match parse_queries(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    match engine.query_many(&queries) {
+        Ok(reports) => Response::json(200, encode::query_response(&reports)),
+        Err(e) => dod_error_response(&e),
+    }
+}
+
+fn handle_ingest(state: &State, req: &Request) -> Response {
+    let Some(stream) = &state.stream else {
+        return unavailable("a stream session");
+    };
+    let points = match parse_points(&req.body, stream.dim()) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let accepted = points.len();
+    match stream.insert_many(points) {
+        Ok(()) => {
+            // Counted only once the pipeline has the points: a dead
+            // pipeline answering 5xx must not inflate the accept counter.
+            state.ingested_points.add(accepted as u64);
+            Response::json(200, encode::ingest_response(accepted))
+        }
+        Err(e) => dod_error_response(&e),
+    }
+}
+
+fn handle_report(state: &State) -> Response {
+    let Some(stream) = &state.stream else {
+        return unavailable("a stream session");
+    };
+    match stream.outliers() {
+        Ok(seqs) => Response::json(200, encode::stream_report_response(&seqs)),
+        Err(e) => dod_error_response(&e),
+    }
+}

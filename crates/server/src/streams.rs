@@ -1,0 +1,128 @@
+//! The ingest session behind `/v1/ingest` and `/v1/report`: a
+//! [`ShardedStreamDetector`] over any vector metric, erased into one
+//! server-side type and moved onto its [`IngestPipeline`] threads.
+//!
+//! The erasure mirrors `dod_datasets::AnyDataset` (a small enum over the
+//! concrete spaces, not a trait object), because the pipeline type is
+//! generic over the space and the server must pick it from configuration
+//! at runtime. Only vector spaces are served — points travel as JSON
+//! number arrays; a string-space session has no natural wire shape here
+//! and stays an in-process API.
+
+use dod_core::DodError;
+use dod_metrics::{Angular, L1, L2, L4};
+use dod_shard::{IngestPipeline, ShardedStreamDetector};
+use dod_stream::{StreamStats, VectorSpace};
+
+/// A sharded sliding-window detector over any served vector metric,
+/// ready to be mounted on a server. Build the concrete detector with
+/// [`ShardedStreamDetector::open`] and let the `From` impls erase it.
+pub enum AnyStreamDetector {
+    /// Vectors under the L1 norm.
+    L1(ShardedStreamDetector<VectorSpace<L1>>),
+    /// Vectors under the L2 norm.
+    L2(ShardedStreamDetector<VectorSpace<L2>>),
+    /// Vectors under the L4 norm.
+    L4(ShardedStreamDetector<VectorSpace<L4>>),
+    /// Unit vectors under angular distance.
+    Angular(ShardedStreamDetector<VectorSpace<Angular>>),
+}
+
+macro_rules! impl_from {
+    ($($v:ident),+) => {$(
+        impl From<ShardedStreamDetector<VectorSpace<$v>>> for AnyStreamDetector {
+            fn from(det: ShardedStreamDetector<VectorSpace<$v>>) -> Self {
+                AnyStreamDetector::$v(det)
+            }
+        }
+    )+};
+}
+impl_from!(L1, L2, L4, Angular);
+
+impl AnyStreamDetector {
+    /// The pinned vector dimension of the session's space — the
+    /// validation boundary for wire points. (A wrong-length point must be
+    /// rejected at the route, because `Space::prepare` enforces the
+    /// dimension with an assert on the pipeline's router thread.)
+    pub(crate) fn dim(&self) -> usize {
+        match self {
+            AnyStreamDetector::L1(det) => det.space().dim(),
+            AnyStreamDetector::L2(det) => det.space().dim(),
+            AnyStreamDetector::L4(det) => det.space().dim(),
+            AnyStreamDetector::Angular(det) => det.space().dim(),
+        }
+    }
+
+    pub(crate) fn into_pipeline(self, queue: usize) -> AnyPipeline {
+        let dim = self.dim();
+        let inner = match self {
+            AnyStreamDetector::L1(det) => InnerPipeline::L1(det.into_pipeline(queue)),
+            AnyStreamDetector::L2(det) => InnerPipeline::L2(det.into_pipeline(queue)),
+            AnyStreamDetector::L4(det) => InnerPipeline::L4(det.into_pipeline(queue)),
+            AnyStreamDetector::Angular(det) => InnerPipeline::Angular(det.into_pipeline(queue)),
+        };
+        AnyPipeline { dim, inner }
+    }
+}
+
+enum InnerPipeline {
+    L1(IngestPipeline<VectorSpace<L1>>),
+    L2(IngestPipeline<VectorSpace<L2>>),
+    L4(IngestPipeline<VectorSpace<L4>>),
+    Angular(IngestPipeline<VectorSpace<Angular>>),
+}
+
+/// The running ingest session: one [`IngestPipeline`] plus the wire-side
+/// dimension check. All methods take `&self` — the pipeline is channel
+///-fed, so concurrent route handlers need no lock.
+pub(crate) struct AnyPipeline {
+    dim: usize,
+    inner: InnerPipeline,
+}
+
+impl AnyPipeline {
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Enqueues a run of points (dimension already validated by the
+    /// route) at consecutive ticks.
+    pub fn insert_many(&self, points: Vec<Vec<f32>>) -> Result<(), DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.insert_many(points),
+            InnerPipeline::L2(p) => p.insert_many(points),
+            InnerPipeline::L4(p) => p.insert_many(points),
+            InnerPipeline::Angular(p) => p.insert_many(points),
+        }
+    }
+
+    /// Snapshot-consistent outliers as global stream seqs, ascending.
+    pub fn outliers(&self) -> Result<Vec<u64>, DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.outliers(),
+            InnerPipeline::L2(p) => p.outliers(),
+            InnerPipeline::L4(p) => p.outliers(),
+            InnerPipeline::Angular(p) => p.outliers(),
+        }
+    }
+
+    /// Summed per-shard lifetime counters.
+    pub fn stats(&self) -> Result<StreamStats, DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.stats(),
+            InnerPipeline::L2(p) => p.stats(),
+            InnerPipeline::L4(p) => p.stats(),
+            InnerPipeline::Angular(p) => p.stats(),
+        }
+    }
+
+    /// Ghost replicas per `(owner, target)` shard pair.
+    pub fn ghost_pair_counts(&self) -> Result<Vec<Vec<u64>>, DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.ghost_pair_counts(),
+            InnerPipeline::L2(p) => p.ghost_pair_counts(),
+            InnerPipeline::L4(p) => p.ghost_pair_counts(),
+            InnerPipeline::Angular(p) => p.ghost_pair_counts(),
+        }
+    }
+}

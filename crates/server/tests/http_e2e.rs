@@ -1,0 +1,454 @@
+//! End-to-end tests over real sockets: a server on an ephemeral port,
+//! driven with hand-written HTTP/1.1, pinned byte-for-byte against the
+//! in-process engines it fronts.
+
+use dod_core::{IndexSpec, Query};
+use dod_datasets::Family;
+use dod_metrics::L2;
+use dod_server::{encode, DodServer, ServerHandle};
+use dod_shard::{ShardSpec, ShardedStreamDetector};
+use dod_stream::{Backend, VectorSpace, WindowSpec};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A minimal test client: one HTTP/1.1 exchange on an existing
+/// connection, returning `(status, body)`.
+fn roundtrip(conn: &mut TcpStream, raw: &str) -> (u16, String) {
+    conn.write_all(raw.as_bytes()).expect("send");
+    read_response(&mut BufReader::new(conn.try_clone().expect("clone")))
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String) {
+    let mut line = String::new();
+    r.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        r.read_line(&mut h).expect("header line");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// One-shot request on a fresh connection.
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    roundtrip(&mut conn, raw)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+/// An engine-backed server plus an identically-built in-process twin.
+fn engine_server() -> (ServerHandle, dod_datasets::AnyEngine) {
+    let build = || {
+        Family::Sift
+            .generate(400, 11)
+            .data
+            .into_engine()
+            .index(IndexSpec::Mrpg(dod_graph::MrpgParams::new(6)))
+            .build()
+            .expect("engine")
+    };
+    let handle = DodServer::builder()
+        .engine(build())
+        .workers(2)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    (handle, build())
+}
+
+fn stream_detector() -> ShardedStreamDetector<VectorSpace<L2>> {
+    ShardedStreamDetector::open(
+        VectorSpace::new(L2, 1),
+        Query::new(1.0, 2).expect("query"),
+        WindowSpec::Count(64),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(4).with_pivots_per_shard(1),
+    )
+    .expect("detector")
+}
+
+/// Two far clusters plus boundary points, so a 2-shard partition must
+/// ghost across the pair, and isolated points are outliers.
+fn stream_points() -> Vec<Vec<f32>> {
+    let mut pts = Vec::new();
+    for i in 0..40 {
+        pts.push(vec![if i % 2 == 0 {
+            (i % 5) as f32 * 0.3
+        } else {
+            100.0 + (i % 5) as f32 * 0.3
+        }]);
+        if i % 10 == 9 {
+            pts.push(vec![50.0 + (i % 3) as f32 * 0.1]); // boundary drifter
+        }
+    }
+    pts.push(vec![-500.0]); // isolated: a certain outlier
+    pts
+}
+
+fn points_body(points: &[Vec<f32>]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let cs: Vec<String> = p.iter().map(|c| format!("{c}")).collect();
+            format!("[{}]", cs.join(","))
+        })
+        .collect();
+    format!("{{\"points\":[{}]}}", rows.join(","))
+}
+
+#[test]
+fn query_route_is_byte_identical_to_in_process_query_many() {
+    let (handle, twin) = engine_server();
+    let queries = [
+        Query::new(60.0, 40).unwrap(),
+        Query::new(120.0, 40).unwrap(),
+        Query::new(60.0, 40).unwrap(), // duplicate: exercises batch dedupe
+    ];
+    let body = r#"{"queries":[{"r":60,"k":40},{"r":120,"k":40},{"r":60,"k":40}]}"#;
+    let (status, http_body) = post(handle.addr(), "/v1/query", body);
+    assert_eq!(status, 200, "{http_body}");
+    let expected = encode::query_response(&twin.query_many(&queries).expect("in-process"));
+    assert_eq!(http_body, expected, "HTTP answer must be byte-identical");
+    // The answer is meaningful, not vacuous: some outliers exist at the
+    // tighter radius.
+    assert!(http_body.contains("\"outliers\":["), "{http_body}");
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_and_report_match_the_in_process_sharded_detector() {
+    let handle = DodServer::builder()
+        .stream(stream_detector())
+        .workers(2)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let mut twin = stream_detector();
+
+    let points = stream_points();
+    // Ingest in two chunks, with a mid-stream report in between — the
+    // snapshot must reflect exactly the first chunk.
+    let (first, rest) = points.split_at(points.len() / 2);
+    for chunk in [first, rest] {
+        let (status, body) = post(handle.addr(), "/v1/ingest", &points_body(chunk));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, encode::ingest_response(chunk.len()));
+        for p in chunk {
+            twin.insert(p.clone());
+        }
+        let (status, http_report) = get(handle.addr(), "/v1/report");
+        assert_eq!(status, 200, "{http_report}");
+        let expected = encode::stream_report_response(&twin.outliers());
+        assert_eq!(http_report, expected, "snapshot must match the twin");
+    }
+    // The planted isolated point is among the reported outliers.
+    let (_, http_report) = get(handle.addr(), "/v1/report");
+    let isolated_seq = points.len() as u64 - 1;
+    assert!(
+        http_report.contains(&isolated_seq.to_string()),
+        "isolated point must be reported: {http_report}"
+    );
+    // And the twin agrees with its own from-scratch audit.
+    assert_eq!(twin.outliers(), twin.audit());
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
+    let (handle, _twin) = engine_server();
+    let addr = handle.addr();
+    // Drive the query route: 1 batch of 3 (one duplicate) + 1 batch of 1.
+    post(
+        addr,
+        "/v1/query",
+        r#"{"queries":[{"r":60,"k":40},{"r":120,"k":40},{"r":60,"k":40}]}"#,
+    );
+    post(addr, "/v1/query", r#"{"queries":[{"r":60,"k":40}]}"#);
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(text.contains("dod_engine_queries_total 4"), "{text}");
+    assert!(text.contains("dod_engine_batches_total 2"), "{text}");
+    assert!(text.contains("dod_engine_query_errors_total 0"), "{text}");
+    // Histogram: buckets, +Inf, sum and count; 3 timed observations (the
+    // duplicate was answered by clone, not re-timed).
+    assert!(
+        text.contains("dod_engine_query_latency_seconds_bucket{le=\"+Inf\"} 3"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_engine_query_latency_seconds_bucket{le=\"0.000001\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_engine_query_latency_seconds_sum"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_engine_query_latency_seconds_count 3"),
+        "{text}"
+    );
+    // Request accounting by route and class.
+    assert!(
+        text.contains("dod_http_requests_total{route=\"query\",class=\"2xx\"} 2"),
+        "{text}"
+    );
+    handle.shutdown();
+
+    // Stream-backed server: ghost-pair counters and rates after load.
+    let handle = DodServer::builder()
+        .stream(stream_detector())
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let (status, body) = post(handle.addr(), "/v1/ingest", &points_body(&stream_points()));
+    assert_eq!(status, 200, "{body}");
+    let (_, _) = get(handle.addr(), "/v1/report"); // barrier: drain queues
+    let (status, text) = get(handle.addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert!(text.contains("dod_stream_inserts_total"), "{text}");
+    assert!(text.contains("dod_stream_ghost_inserts_total"), "{text}");
+    // The boundary drifters must have ghosted across the shard pair, in
+    // at least one direction.
+    let ghost_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("dod_shard_ghost_routes_total{"))
+        .collect();
+    assert_eq!(
+        ghost_lines.len(),
+        2,
+        "S=2 has two off-diagonal pairs: {text}"
+    );
+    let total_ghosts: u64 = ghost_lines
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(total_ghosts > 0, "boundary points must replicate: {text}");
+    assert!(
+        text.contains("dod_shard_ghost_rate{owner=\"0\",target=\"1\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_shard_ghost_rate{owner=\"1\",target=\"0\"}"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_4xx_and_the_server_survives() {
+    let handle = DodServer::builder()
+        .engine(
+            Family::Sift
+                .generate(120, 3)
+                .data
+                .into_engine()
+                .index(IndexSpec::VpTree)
+                .build()
+                .expect("engine"),
+        )
+        .stream(stream_detector())
+        .max_body_bytes(1024)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let addr = handle.addr();
+
+    // Bad JSON.
+    let (status, body) = post(addr, "/v1/query", "{not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"kind\":\"bad_json\""), "{body}");
+    // Wrong shape.
+    let (status, body) = post(addr, "/v1/query", r#"{"nope":1}"#);
+    assert_eq!(status, 400, "{body}");
+    // Invalid radius: the DodError variant comes through as the kind.
+    let (status, body) = post(addr, "/v1/query", r#"{"queries":[{"r":-2,"k":3}]}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"kind\":\"invalid_radius\""), "{body}");
+    assert!(body.contains("finite non-negative"), "{body}");
+    // Wrong family: a string where this stream's vectors belong.
+    let (status, body) = post(addr, "/v1/ingest", r#"{"points":["hello"]}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"kind\":\"family_mismatch\""), "{body}");
+    // Wrong dimension.
+    let (status, body) = post(addr, "/v1/ingest", r#"{"points":[[1.0,2.0]]}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"kind\":\"family_mismatch\""), "{body}");
+    // Oversized body: rejected from the Content-Length alone.
+    let big = format!("{{\"points\":[{}]}}", "[1.0],".repeat(400) + "[1.0]");
+    let (status, body) = post(addr, "/v1/ingest", &big);
+    assert_eq!(status, 413, "{body}");
+    // Unknown route, wrong method, garbage request line, chunked bodies.
+    let (status, _) = get(addr, "/v2/nope");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/v1/query");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "total garbage\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        addr,
+        "POST /v1/query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status, 501);
+
+    // After all of that abuse the server still answers.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok","engine":true,"stream":true}"#);
+    // The stream session survived the rejected ingests untouched: no
+    // point ever reached it.
+    let (status, report) = get(addr, "/v1/report");
+    assert_eq!(status, 200);
+    assert_eq!(report, encode::stream_report_response(&[]));
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (handle, twin) = engine_server();
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let body = r#"{"queries":[{"r":60,"k":40}]}"#;
+    let expected =
+        encode::query_response(&twin.query_many(&[Query::new(60.0, 40).unwrap()]).unwrap());
+    for _ in 0..3 {
+        let (status, resp) = roundtrip(
+            &mut conn,
+            &format!(
+                "POST /v1/query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(resp, expected);
+    }
+    // healthz on the same connection, then an explicit close.
+    let (status, _) = roundtrip(
+        &mut conn,
+        "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary (r, k) batches, the HTTP answer equals the wire
+    /// encoding of the in-process `query_many` answer, byte for byte.
+    #[test]
+    fn http_query_parity_for_arbitrary_batches(
+        rs in proptest::collection::vec(0.0f64..200.0, 1..4),
+        ks in proptest::collection::vec(0usize..60, 1..4),
+        seed in 0u64..100,
+    ) {
+        let build = || {
+            Family::Sift
+                .generate(150, seed)
+                .data
+                .into_engine()
+                .index(IndexSpec::VpTree)
+                .build()
+                .expect("engine")
+        };
+        let handle = DodServer::builder()
+            .engine(build())
+            .workers(1)
+            .bind("127.0.0.1:0")
+            .expect("bind")
+            .start();
+        let twin = build();
+        let queries: Vec<Query> = rs
+            .iter()
+            .zip(&ks)
+            .map(|(&r, &k)| Query::new(r, k).expect("valid"))
+            .collect();
+        let items: Vec<String> = queries
+            .iter()
+            .map(|q| format!("{{\"r\":{},\"k\":{}}}", q.r(), q.k()))
+            .collect();
+        let (status, http_body) = post(
+            handle.addr(),
+            "/v1/query",
+            &format!("{{\"queries\":[{}]}}", items.join(",")),
+        );
+        prop_assert_eq!(status, 200);
+        let expected = encode::query_response(&twin.query_many(&queries).expect("in-process"));
+        prop_assert_eq!(http_body, expected);
+        handle.shutdown();
+    }
+
+    /// For arbitrary streams and shard counts, ingest→report over HTTP
+    /// matches the in-process sharded detector, byte for byte.
+    #[test]
+    fn http_stream_parity_for_arbitrary_streams(
+        shards in 1usize..4,
+        n in 20usize..80,
+        seed in 0u64..100,
+    ) {
+        let open = || {
+            ShardedStreamDetector::open(
+                VectorSpace::new(L2, 2),
+                Query::new(0.8, 2).expect("query"),
+                WindowSpec::Count(32),
+                Backend::Exhaustive,
+                ShardSpec::new(shards).with_warmup(8),
+            )
+            .expect("detector")
+        };
+        let points = dod_datasets::StreamScenario {
+            clusters: 2,
+            outlier_rate: 0.1,
+            ..dod_datasets::StreamScenario::new(2)
+        }
+        .generate(n, seed);
+        let handle = DodServer::builder()
+            .stream(open())
+            .workers(1)
+            .bind("127.0.0.1:0")
+            .expect("bind")
+            .start();
+        let mut twin = open();
+        for p in &points {
+            twin.insert(p.clone());
+        }
+        let (status, body) = post(handle.addr(), "/v1/ingest", &points_body(&points));
+        prop_assert_eq!(status, 200, "{}", body);
+        let (status, http_report) = get(handle.addr(), "/v1/report");
+        prop_assert_eq!(status, 200);
+        prop_assert_eq!(http_report, encode::stream_report_response(&twin.outliers()));
+        handle.shutdown();
+    }
+}

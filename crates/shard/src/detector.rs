@@ -251,6 +251,13 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
         self.router.params()
     }
 
+    /// The metric space points flow through (serving layers read its
+    /// shape — e.g. the pinned vector dimension — to validate wire input
+    /// before it reaches a shard thread).
+    pub fn space(&self) -> &S {
+        self.router.space()
+    }
+
     /// The shard configuration.
     pub fn spec(&self) -> &ShardSpec {
         self.router.spec()
@@ -272,6 +279,15 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
     /// buys exactness).
     pub fn ghost_routes(&self) -> u64 {
         self.router.ghost_routes()
+    }
+
+    /// Ghost replicas routed per `(owner, target)` shard pair
+    /// (`matrix[o][t]`; the diagonal is always zero). A persistently hot
+    /// pair is the signal that the partition split a neighborhood — the
+    /// input a future re-pivoting policy (and the `/metrics` endpoint of
+    /// `dod_server`) watches.
+    pub fn ghost_pair_counts(&self) -> Vec<Vec<u64>> {
+        self.router.ghost_pair_counts()
     }
 
     /// Summed lifetime counters across shards. `inserts` counts owned +

@@ -46,6 +46,8 @@ enum RouterCmd<P> {
     Report(Sender<(u64, OutlierReport)>),
     /// Collect summed per-shard lifetime counters.
     Stats(Sender<StreamStats>),
+    /// Collect the router's per-shard-pair ghost-replication counters.
+    GhostPairs(Sender<Vec<Vec<u64>>>),
     /// Tear down: drain, stop pumps, return state to `finish`.
     Stop,
 }
@@ -230,6 +232,18 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
         reply_rx.recv().map_err(|_| closed())
     }
 
+    /// Ghost replicas routed per `(owner, target)` shard pair
+    /// (`matrix[o][t]`), snapshot-consistent with every insert enqueued
+    /// before the call — the same accounting as
+    /// [`ShardedStreamDetector::ghost_pair_counts`].
+    pub fn ghost_pair_counts(&self) -> Result<Vec<Vec<u64>>, DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(RouterCmd::GhostPairs(reply_tx))
+            .map_err(|_| closed())?;
+        reply_rx.recv().map_err(|_| closed())
+    }
+
     /// Drains the queues, stops every thread and reassembles the
     /// synchronous [`ShardedStreamDetector`] with all its window state —
     /// ready for `audit()`, further synchronous use, or a later
@@ -403,6 +417,11 @@ fn router_loop<S: Space>(
                     continue;
                 }
                 let _ = reply.send(total);
+            }
+            Some(RouterCmd::GhostPairs(reply)) => {
+                // Router-local state: no pump involvement, but the flush
+                // above keeps it consistent with every preceding insert.
+                let _ = reply.send(router.ghost_pair_counts());
             }
             Some(RouterCmd::Stop) => break 'outer,
             Some(_) => unreachable!("data commands never bounce"),

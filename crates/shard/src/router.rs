@@ -68,6 +68,11 @@ pub(crate) struct Router<S: Space> {
     /// Global window occupancy `(seq, time)`, oldest first.
     live: VecDeque<(u64, f64)>,
     ghost_routes: u64,
+    /// Ghost replicas per `(owner, target)` shard pair, flattened
+    /// owner-major (`owner * shards + target`). The telemetry a future
+    /// re-pivoting policy needs: a hot pair means the partition split a
+    /// neighborhood between those two shards.
+    ghost_pairs: Vec<u64>,
     /// Per-point routing scratch (pivot distances / shards-hit mask),
     /// reused so the hot path allocates nothing.
     dist_scratch: Vec<f64>,
@@ -87,6 +92,7 @@ impl<S: Space> Router<S> {
             now: f64::NEG_INFINITY,
             live: VecDeque::new(),
             ghost_routes: 0,
+            ghost_pairs: vec![0; spec.shards * spec.shards],
             dist_scratch: Vec::new(),
             hit_scratch: Vec::new(),
         }
@@ -94,6 +100,10 @@ impl<S: Space> Router<S> {
 
     pub fn params(&self) -> &StreamParams {
         &self.params
+    }
+
+    pub fn space(&self) -> &S {
+        &self.space
     }
 
     pub fn spec(&self) -> &ShardSpec {
@@ -138,6 +148,17 @@ impl<S: Space> Router<S> {
     /// Total ghost replicas routed so far.
     pub fn ghost_routes(&self) -> u64 {
         self.ghost_routes
+    }
+
+    /// Ghost replicas routed per `(owner, target)` shard pair:
+    /// `matrix[o][t]` counts points owned by shard `o` that were
+    /// replicated into shard `t` (the diagonal is always zero — a point
+    /// never ghosts into its own shard).
+    pub fn ghost_pair_counts(&self) -> Vec<Vec<u64>> {
+        self.ghost_pairs
+            .chunks(self.spec.shards.max(1))
+            .map(<[u64]>::to_vec)
+            .collect()
     }
 
     /// The shard clock every per-shard op and report runs on: the global
@@ -480,6 +501,7 @@ impl<S: Space> Router<S> {
             if d <= bound {
                 hit[s] = true;
                 ghosts += 1;
+                self.ghost_pairs[owner * self.spec.shards + s] += 1;
                 ops.push((
                     s,
                     ShardOp::Ghost {
@@ -577,6 +599,26 @@ mod tests {
         let (owner, ghosts) = ing.routed.expect("partitioned");
         assert_eq!(ghosts, 1, "boundary point must replicate");
         assert!(owner < 2);
+    }
+
+    #[test]
+    fn ghost_pair_counts_track_owner_to_target_replication() {
+        // Two far cells; boundary points replicate across the pair.
+        let mut r = router(2, 2, 1.0, 64);
+        r.ingest(vec![0.0], 0.0);
+        r.ingest(vec![100.0], 1.0);
+        assert!(r.is_partitioned());
+        let before: u64 = r.ghost_pair_counts().iter().flatten().sum();
+        let ing = r.ingest(vec![50.5], 2.0);
+        let (owner, ghosts) = ing.routed.expect("partitioned");
+        assert_eq!(ghosts, 1);
+        let pairs = r.ghost_pair_counts();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().enumerate().all(|(o, row)| row[o] == 0));
+        let after: u64 = pairs.iter().flatten().sum();
+        assert_eq!(after - before, 1);
+        assert_eq!(pairs[owner][1 - owner], 1, "{pairs:?}");
+        assert_eq!(after, r.ghost_routes());
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! The workspace's one JSON wire format — a std-only parser *and*
+//! serializer shared by the HTTP serving layer (`dod_server`), the bench
+//! harness's machine-readable artifacts (`dod_bench --json` /
+//! `experiments compare`), and anything else that needs to put structured
+//! data on a wire.
+//!
+//! The vendored `serde` stand-in has neither a serializer nor a
+//! deserializer, so this crate carries both sides by hand: a
+//! recursive-descent parser (promoted out of `dod_bench::compare`, where
+//! it started life reading bench artifacts) and a compact renderer whose
+//! output the parser round-trips. Keeping both in one crate is the point:
+//! the server's responses, the bench artifacts and the tests that compare
+//! them byte-for-byte all agree on one encoding.
+//!
+//! ```
+//! use dod_wire::{parse_json, JsonValue};
+//!
+//! let v = JsonValue::obj([
+//!     ("name", JsonValue::from("dod")),
+//!     ("outliers", JsonValue::arr([1u32, 5, 9])),
+//! ]);
+//! let wire = v.render();
+//! assert_eq!(wire, r#"{"name":"dod","outliers":[1,5,9]}"#);
+//! assert_eq!(parse_json(&wire).unwrap(), v);
+//! ```
+
+use std::fmt::Write as _;
+
+/// A parsed or to-be-serialized JSON value.
+///
+/// Numbers are uniformly `f64` (the artifacts and the wire protocol never
+/// need integers beyond 2^53); objects preserve insertion order so
+/// rendering is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Any number. Non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Num(f64::from(v))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, V: Into<JsonValue>, I: IntoIterator<Item = (K, V)>>(
+        fields: I,
+    ) -> Self {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Builds an array from values.
+    pub fn arr<V: Into<JsonValue>, I: IntoIterator<Item = V>>(items: I) -> Self {
+        JsonValue::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number in
+    /// `usize` range (the id/count shape every protocol field uses).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u32::MAX as f64 => {
+                Some(*v as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace). Non-finite
+    /// numbers become `null`, mirroring the bench artifacts' convention.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Num(v) => out.push_str(&render_number(*v)),
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders one JSON number the way every emitter in the workspace does:
+/// full `f64` precision, integers without a trailing `.0`, non-finite as
+/// `null`.
+pub fn render_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // `{}` on f64 prints integers without a decimal point and shortest
+    // round-trippable form otherwise — exactly the artifact convention.
+    format!("{v}")
+}
+
+/// Appends the JSON string-escape of `s` (without surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The JSON string-escape of `s` (without surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+/// Parses a complete JSON document; trailing content is an error.
+///
+/// Accepts the full scalar set (objects, arrays, strings, numbers,
+/// booleans, `null`); errors carry the byte offset so protocol consumers
+/// can point at the offending spot.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: the parser is recursive, and the server feeds it
+/// attacker-controlled bodies — a few KB of `[[[[…` must be a parse
+/// error, not a stack overflow.
+const MAX_DEPTH: usize = 96;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}",
+            c as char,
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Pass UTF-8 through byte-faithfully.
+                let s = &b[*pos..];
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(
+                    std::str::from_utf8(&s[..ch_len.min(s.len())]).map_err(|_| "bad utf8")?,
+                );
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos, depth + 1)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_escapes_null_and_nesting() {
+        let v =
+            parse_json(r#"{"a": "q\"\\\nA", "b": [1, null, -2.5e-1], "c": true}"#).expect("parse");
+        let JsonValue::Obj(fields) = &v else { panic!() };
+        assert_eq!(fields[0].1, JsonValue::Str("q\"\\\nA".into()));
+        assert_eq!(
+            fields[1].1,
+            JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Null,
+                JsonValue::Num(-0.25)
+            ])
+        );
+        assert_eq!(fields[2].1, JsonValue::Bool(true));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{").is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let v = JsonValue::obj([
+            ("s", JsonValue::from("a\"b\\c\nd\u{1}é")),
+            ("n", JsonValue::from(-0.25)),
+            ("i", JsonValue::from(12usize)),
+            ("b", JsonValue::from(true)),
+            ("z", JsonValue::Null),
+            (
+                "a",
+                JsonValue::Arr(vec![JsonValue::from(1u32), JsonValue::obj([("k", 2u64)])]),
+            ),
+        ]);
+        let wire = v.render();
+        assert_eq!(parse_json(&wire).expect("round trip"), v);
+    }
+
+    #[test]
+    fn rendering_is_compact_and_deterministic() {
+        let v = JsonValue::obj([("a", JsonValue::arr([1u32, 2, 3])), ("b", "x".into())]);
+        assert_eq!(v.render(), r#"{"a":[1,2,3],"b":"x"}"#);
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(render_number(2.5), "2.5");
+        assert_eq!(render_number(3.0), "3");
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let v = parse_json(r#"{"queries":[{"r":1.5,"k":3}],"tag":"t"}"#).expect("parse");
+        let queries = v.get("queries").and_then(JsonValue::as_arr).expect("arr");
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].get("r").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(queries[0].get("k").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(v.get("tag").and_then(JsonValue::as_str), Some("t"));
+        assert_eq!(v.get("missing"), None);
+        // Fractional / negative / huge numbers are not usizes.
+        assert_eq!(JsonValue::Num(1.5).as_usize(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_usize(), None);
+        assert_eq!(JsonValue::Num(1e18).as_usize(), None);
+    }
+
+    #[test]
+    fn depth_bomb_is_an_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(parse_json(&bomb).is_err());
+        let obj_bomb = r#"{"a":"#.repeat(4000);
+        assert!(parse_json(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn escape_helpers_match_rendering() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("\u{2}"), "\\u0002");
+        let mut s = String::new();
+        escape_into("x\ty", &mut s);
+        assert_eq!(s, "x\\ty");
+    }
+}

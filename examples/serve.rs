@@ -1,0 +1,145 @@
+//! Serving the whole system over HTTP: one `DodServer` fronting a batch
+//! engine (`POST /v1/query`) and a sharded sliding-window session
+//! (`POST /v1/ingest` + `GET /v1/report`), scraped via `GET /metrics`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serve
+//! ```
+//!
+//! The example binds an ephemeral port, plays both a client and the
+//! operator: it queries the engine over real TCP, streams points in,
+//! reads the snapshot-consistent report, and prints a slice of the
+//! Prometheus scrape. Point `curl` at the printed address while it runs
+//! (it stays up for a few seconds at the end), e.g.:
+//! ```text
+//! curl -d '{"queries":[{"r":60,"k":40}]}' http://127.0.0.1:<port>/v1/query
+//! curl http://127.0.0.1:<port>/metrics
+//! ```
+
+use dod::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One HTTP/1.1 exchange (the example doubles as its own curl).
+fn http(addr: std::net::SocketAddr, raw: String) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(raw.as_bytes())?;
+    let mut reader = BufReader::new(conn);
+    let mut head = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+        head.push_str(&line);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(String::from_utf8_lossy(&body).into_owned())
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> std::io::Result<String> {
+    http(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    http(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The batch engine: a SIFT-like dataset behind an MRPG --------
+    let gen = Family::Sift.generate(2_000, 42);
+    let r = gen.calibrate_default_r(300);
+    let engine: AnyEngine = gen
+        .data
+        .into_engine()
+        .index(IndexSpec::Mrpg(MrpgParams::new(8)))
+        .build()?;
+    println!(
+        "engine: {} objects behind {} ({} bytes of index)",
+        engine.len(),
+        engine.index_name(),
+        engine.index_bytes()
+    );
+
+    // --- 2. The stream session: 2-d window sharded across 2 shards ------
+    let stream = ShardedStreamDetector::open(
+        VectorSpace::new(L2, 2),
+        Query::new(3.0, 4)?,
+        WindowSpec::Count(256),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(32),
+    )?;
+
+    // --- 3. One server over both, on an ephemeral port ------------------
+    let handle = DodServer::builder()
+        .engine(engine)
+        .stream(stream)
+        .workers(4)
+        .bind("127.0.0.1:0")?
+        .start();
+    let addr = handle.addr();
+    println!("serving on http://{addr}\n");
+
+    // --- 4. Batch queries over the wire ----------------------------------
+    let body = format!(
+        "{{\"queries\":[{{\"r\":{r},\"k\":40}},{{\"r\":{},\"k\":40}}]}}",
+        r * 2.0
+    );
+    println!("POST /v1/query {body}");
+    println!("  -> {}\n", truncate(&post(addr, "/v1/query", &body)?, 120));
+
+    // --- 5. Stream ingest + snapshot report ------------------------------
+    let points = dod::datasets::StreamScenario::new(2).generate(400, 7);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| format!("[{},{}]", p[0], p[1]))
+        .collect();
+    let ingest = format!("{{\"points\":[{}]}}", rows.join(","));
+    println!("POST /v1/ingest ({} points)", points.len());
+    println!("  -> {}", post(addr, "/v1/ingest", &ingest)?);
+    println!("GET /v1/report");
+    println!("  -> {}\n", truncate(&get(addr, "/v1/report")?, 120));
+
+    // --- 6. The operator's view: /healthz and /metrics -------------------
+    println!("GET /healthz\n  -> {}\n", get(addr, "/healthz")?);
+    let metrics = get(addr, "/metrics")?;
+    println!("GET /metrics (engine + ghost-rate lines):");
+    for line in metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("dod_engine_queries")
+                || l.starts_with("dod_engine_query_latency_seconds_count")
+                || l.starts_with("dod_shard_ghost_"))
+    }) {
+        println!("  {line}");
+    }
+
+    println!("\nserver stays up for 3s — try curl http://{addr}/metrics");
+    std::thread::sleep(std::time::Duration::from_secs(3));
+    handle.shutdown();
+    println!("graceful shutdown complete");
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -103,6 +103,14 @@
 //!   parallel slides, and bounded-queue async ingestion
 //!   ([`IngestHandle`](shard::IngestHandle) feeding one pump thread per
 //!   shard).
+//! * [`wire`] — the shared std-only JSON wire format (parser +
+//!   serializer) spoken by the server, the bench artifacts and their
+//!   comparison tooling.
+//! * [`server`] — the std-only HTTP/1.1 serving layer:
+//!   [`DodServer`](server::DodServer) exposes `Engine::query_many`,
+//!   sharded ingest/report sessions, `/healthz` and Prometheus
+//!   `/metrics` over TCP with a fixed worker pool, keep-alive and
+//!   graceful shutdown.
 //!
 //! ## Streaming
 //!
@@ -158,6 +166,34 @@
 //! # Ok::<(), DodError>(())
 //! ```
 //!
+//! ## Serving over HTTP
+//!
+//! [`server`] turns all of the above into a network service — std-only,
+//! no framework: `POST /v1/query` answers batches through
+//! [`Engine::query_many`](core::Engine::query_many), `POST /v1/ingest` /
+//! `GET /v1/report` run a sharded sliding-window session, and
+//! `GET /metrics` exposes the engine's query counters and latency
+//! histogram plus per-shard-pair ghost rates in Prometheus text format:
+//!
+//! ```
+//! use dod::prelude::*;
+//!
+//! # let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 10) as f32, (i / 10) as f32]).collect();
+//! # let data = VectorSet::from_rows(&rows, L2);
+//! let engine = Engine::builder(data)
+//!     .index(IndexSpec::Mrpg(MrpgParams::new(8)))
+//!     .build()?;
+//! let handle = DodServer::builder()
+//!     .engine(engine)
+//!     .bind("127.0.0.1:0")? // ephemeral port; production binds e.g. 0.0.0.0:8080
+//!     .start();
+//! // curl -d '{"queries":[{"r":1.5,"k":3}]}' http://<addr>/v1/query
+//! let addr = handle.addr();
+//! assert_ne!(addr.port(), 0);
+//! handle.shutdown(); // graceful: in-flight requests finish
+//! # Ok::<(), DodError>(())
+//! ```
+//!
 //! The `dod-bench` crate (workspace-internal) regenerates every table and
 //! figure of the paper's evaluation; see `EXPERIMENTS.md`.
 
@@ -165,17 +201,22 @@ pub use dod_core as core;
 pub use dod_datasets as datasets;
 pub use dod_graph as graph;
 pub use dod_metrics as metrics;
+pub use dod_server as server;
 pub use dod_shard as shard;
 pub use dod_stream as stream;
 pub use dod_vptree as vptree;
+pub use dod_wire as wire;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use dod_core::{
-        DodError, DodParams, Engine, EngineBuilder, IndexSpec, OutlierReport, Query, VerifyStrategy,
+        DodError, DodParams, Engine, EngineBuilder, EngineMetrics, IndexSpec, OutlierReport, Query,
+        VerifyStrategy,
     };
+    pub use dod_datasets::{AnyDataset, AnyEngine, Family};
     pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
     pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
+    pub use dod_server::{AnyStreamDetector, DodServer, QueryEngine, ServerHandle};
     pub use dod_shard::{IngestHandle, IngestPipeline, ShardSpec, ShardedStreamDetector};
     pub use dod_stream::{
         Backend, GraphParams, SlideReport, StreamDetector, StreamParams, StringSpace, VectorSpace,
