@@ -15,7 +15,9 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.max(1);
+    // Clamp to the work available (as par_for_each_mut does): a thread
+    // count beyond n would only spawn workers with empty strides.
+    let threads = threads.max(1).min(n.max(1));
     if threads == 1 || n < 2 {
         return (0..n).map(f).collect();
     }

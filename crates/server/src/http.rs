@@ -23,6 +23,9 @@ pub struct Request {
     pub method: String,
     /// The path, query string stripped.
     pub path: String,
+    /// Whether the request line said `HTTP/1.0` (keep-alive defaults
+    /// differ between 1.0 and 1.1).
+    pub http10: bool,
     /// Headers with lower-cased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
@@ -38,12 +41,26 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to keep the connection open (HTTP/1.1
-    /// default unless `Connection: close`).
+    /// Whether the client asked to keep the connection open. HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// defaults to close unless the client explicitly opts in with
+    /// `Connection: keep-alive` (a strict 1.0 client that ignores our
+    /// connection header would otherwise wait on a socket we hold open).
     pub fn keep_alive(&self) -> bool {
-        !self
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        // The header value is a comma-separated token list ("close, te"),
+        // and repeated Connection lines are equivalent to one joined list.
+        let has = |token: &str| {
+            self.headers
+                .iter()
+                .filter(|(k, _)| k == "connection")
+                .flat_map(|(_, v)| v.split(','))
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if self.http10 {
+            has("keep-alive")
+        } else {
+            !has("close")
+        }
     }
 }
 
@@ -71,9 +88,15 @@ impl HttpError {
 fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
     let mut buf = Vec::new();
     let mut limited = r.take(MAX_LINE_BYTES as u64 + 1);
-    let n = limited
-        .read_until(b'\n', &mut buf)
-        .map_err(|e| HttpError::new(408, format!("read failed: {e}")))?;
+    let n = limited.read_until(b'\n', &mut buf).map_err(|e| {
+        // 408 only for timeouts (per-read or whole-request deadline);
+        // resets and other transport failures are the client's 400.
+        let status = match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => 408,
+            _ => 400,
+        };
+        HttpError::new(status, format!("read failed: {e}"))
+    })?;
     if n == 0 {
         return Ok(None);
     }
@@ -145,6 +168,7 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
     let req = Request {
         method: method.to_ascii_uppercase(),
         path,
+        http10: version == "HTTP/1.0",
         headers,
         body: Vec::new(),
     };
@@ -173,8 +197,15 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
         ));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|e| HttpError::new(400, format!("body shorter than content-length: {e}")))?;
+    r.read_exact(&mut body).map_err(|e| {
+        // A timeout mid-body (per-read or whole-request deadline) is the
+        // client being slow, not the body being short.
+        let status = match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => 408,
+            _ => 400,
+        };
+        HttpError::new(status, format!("body shorter than content-length: {e}"))
+    })?;
     Ok(Some(Request { body, ..req }))
 }
 
@@ -243,6 +274,31 @@ mod tests {
             .expect("ok")
             .expect("some");
         assert!(!req.keep_alive());
+        // The header is a token list, not a single value…
+        let req = parse("GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(!req.keep_alive());
+        // …and repeated Connection lines join into one list.
+        let req = parse("GET / HTTP/1.1\r\nConnection: te\r\nConnection: close\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_opted_in() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").expect("ok").expect("some");
+        assert!(req.http10);
+        assert!(!req.keep_alive(), "1.0 must default to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(req.keep_alive(), "1.0 may opt in explicitly");
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive, te\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(req.keep_alive(), "1.0 opt-in works inside a token list");
     }
 
     #[test]

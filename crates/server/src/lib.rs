@@ -127,6 +127,7 @@ pub(crate) struct State {
     pub(crate) stream: Option<streams::AnyPipeline>,
     pub(crate) http: HttpMetrics,
     pub(crate) ingested_points: Counter,
+    pub(crate) max_query_threads: usize,
     shutting_down: AtomicBool,
 }
 
@@ -176,20 +177,25 @@ pub struct ServerBuilder {
     max_body_bytes: usize,
     read_timeout: Duration,
     write_timeout: Duration,
+    request_timeout: Duration,
     keep_alive_requests: usize,
+    max_query_threads: usize,
 }
 
 impl Default for ServerBuilder {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
         ServerBuilder {
             engine: None,
             stream: None,
-            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            workers: cores,
             queue: 1024,
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(30),
             keep_alive_requests: 1000,
+            max_query_threads: cores,
         }
     }
 }
@@ -239,15 +245,41 @@ impl ServerBuilder {
     }
 
     /// Socket read timeout — bounds how long a slow or idle client can
-    /// hold a worker between bytes (default 10s).
+    /// hold a worker between bytes (default 10s; zero disables the
+    /// per-read cap, leaving only the
+    /// [`request_timeout`](Self::request_timeout) deadline).
     pub fn read_timeout(mut self, t: Duration) -> Self {
         self.read_timeout = t;
         self
     }
 
-    /// Socket write timeout for responses (default 10s).
+    /// Socket write timeout for responses (default 10s; zero disables
+    /// the per-send cap, leaving only the
+    /// [`request_timeout`](Self::request_timeout) deadline).
     pub fn write_timeout(mut self, t: Duration) -> Self {
         self.write_timeout = t;
+        self
+    }
+
+    /// Whole-exchange deadline: the total time a client gets to deliver
+    /// one complete request (head and body), and separately to accept
+    /// its response (default 30s; clamped to ≥ 1ms — the deadline is
+    /// always enforced, zero does not disable it). The per-read
+    /// [`read_timeout`](Self::read_timeout) and per-send
+    /// [`write_timeout`](Self::write_timeout) alone would let a client
+    /// dribble or drain one byte per interval and hold a worker
+    /// indefinitely — this bounds each sum.
+    pub fn request_timeout(mut self, t: Duration) -> Self {
+        self.request_timeout = t.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Upper bound on the per-query `"threads"` a `/v1/query` body may
+    /// request (default: the machine's parallelism; clamped to ≥ 1).
+    /// Wire values above the cap are clamped, not rejected, so the cap
+    /// bounds resource use without breaking portable clients.
+    pub fn max_query_threads(mut self, n: usize) -> Self {
+        self.max_query_threads = n.max(1);
         self
     }
 
@@ -267,6 +299,7 @@ impl ServerBuilder {
             stream: self.stream.map(|s| s.into_pipeline(self.queue)),
             http: HttpMetrics::new(),
             ingested_points: Counter::new(),
+            max_query_threads: self.max_query_threads,
             shutting_down: AtomicBool::new(false),
         });
         Ok(DodServer {
@@ -276,6 +309,7 @@ impl ServerBuilder {
             queue: self.queue,
             read_timeout: self.read_timeout,
             write_timeout: self.write_timeout,
+            request_timeout: self.request_timeout,
             max_body_bytes: self.max_body_bytes,
             keep_alive_requests: self.keep_alive_requests,
         })
@@ -291,6 +325,7 @@ pub struct DodServer {
     queue: usize,
     read_timeout: Duration,
     write_timeout: Duration,
+    request_timeout: Duration,
     max_body_bytes: usize,
     keep_alive_requests: usize,
 }
@@ -316,6 +351,7 @@ impl DodServer {
         let conn_cfg = ConnConfig {
             read_timeout: self.read_timeout,
             write_timeout: self.write_timeout,
+            request_timeout: self.request_timeout,
             max_body_bytes: self.max_body_bytes,
             keep_alive_requests: self.keep_alive_requests,
         };
@@ -399,8 +435,89 @@ impl Drop for ServerHandle {
 struct ConnConfig {
     read_timeout: Duration,
     write_timeout: Duration,
+    request_timeout: Duration,
     max_body_bytes: usize,
     keep_alive_requests: usize,
+}
+
+/// A whole-exchange deadline over per-op socket timeouts: a socket
+/// timeout only bounds the gap between bytes, so a slowloris client
+/// dribbling (or a slow reader draining) one byte per interval would
+/// hold a worker of the fixed pool forever. Armed once per request or
+/// response; every op first shrinks its socket timeout to the time left.
+#[derive(Clone, Copy)]
+struct Deadline {
+    /// Per-op cap between bytes (the configured read/write timeout).
+    per_op: Duration,
+    /// Absolute deadline for the exchange phase in progress.
+    at: std::time::Instant,
+}
+
+impl Deadline {
+    fn new(per_op: Duration, budget: Duration) -> Self {
+        Deadline {
+            per_op,
+            at: std::time::Instant::now() + budget,
+        }
+    }
+
+    /// Starts the clock for the next request or response.
+    fn arm(&mut self, budget: Duration) {
+        self.at = std::time::Instant::now() + budget;
+    }
+
+    /// The socket timeout for the next op, or `TimedOut` once spent.
+    /// Never zero: a zero socket timeout means "no timeout". A zero
+    /// *per-op* cap keeps its historical meaning — no per-op timeout,
+    /// the whole-exchange deadline alone bounds the op.
+    fn op_budget(&self, what: &str) -> std::io::Result<Duration> {
+        let remaining = self.at.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("{what} deadline exceeded"),
+            ));
+        }
+        let capped = if self.per_op.is_zero() {
+            remaining
+        } else {
+            remaining.min(self.per_op)
+        };
+        Ok(capped.max(Duration::from_millis(1)))
+    }
+}
+
+/// The read half of a connection under its request [`Deadline`].
+struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Deadline,
+}
+
+impl std::io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner
+            .set_read_timeout(Some(self.deadline.op_budget("request")?))?;
+        self.inner.read(buf)
+    }
+}
+
+/// The write half under its response [`Deadline`] — otherwise `write_all`
+/// makes partial progress inside every per-send timeout and never errors.
+struct DeadlineWriter {
+    inner: TcpStream,
+    deadline: Deadline,
+}
+
+impl std::io::Write for DeadlineWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner
+            .set_write_timeout(Some(self.deadline.op_budget("response")?))?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Serves one connection: a keep-alive loop of read → dispatch → write.
@@ -409,21 +526,30 @@ struct ConnConfig {
 fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
     state.http.connections.inc();
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    // Socket timeouts are armed per op by the Deadline wrappers below.
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
+    let mut reader = BufReader::new(DeadlineStream {
+        inner: read_half,
+        deadline: Deadline::new(cfg.read_timeout, cfg.request_timeout),
+    });
+    let mut writer = DeadlineWriter {
+        inner: stream,
+        deadline: Deadline::new(cfg.write_timeout, cfg.request_timeout),
+    };
     for served in 0..cfg.keep_alive_requests {
         // Honor shutdown between requests: in-flight requests finish, but
         // an open keep-alive connection must not demand service forever.
         // (A worker idle in read_request observes this within
-        // cfg.read_timeout at the latest.)
+        // cfg.read_timeout — or cfg.request_timeout when the per-read
+        // cap is disabled — at the latest.)
         if state.shutting_down.load(Ordering::SeqCst) {
             break;
         }
+        // Each request gets a fresh deadline; within it, every read is
+        // still individually bounded by cfg.read_timeout.
+        reader.get_mut().deadline.arm(cfg.request_timeout);
         match http::read_request(&mut reader, cfg.max_body_bytes) {
             Ok(None) => break, // clean close between requests
             Ok(Some(req)) => {
@@ -432,6 +558,7 @@ fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
                     && !state.shutting_down.load(Ordering::SeqCst);
                 let (route, resp) = routes::dispatch(state, &req);
                 state.http.record(route, resp.status);
+                writer.deadline.arm(cfg.request_timeout);
                 if http::write_response(
                     &mut writer,
                     resp.status,
@@ -450,6 +577,7 @@ fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
                 // then close: framing is unreliable after a parse error.
                 state.http.record(Route::Other, e.status);
                 let body = error_body("http", &e.message);
+                writer.deadline.arm(cfg.request_timeout);
                 let _ = http::write_response(
                     &mut writer,
                     e.status,

@@ -145,15 +145,14 @@ pub(crate) fn render(state: &State) -> String {
                 header(&mut out, name, help, "counter");
                 let _ = writeln!(out, "{name} {value}");
             }
-            if let Ok(pairs) = stream.ghost_pair_counts() {
-                let owned_points = stats.inserts.saturating_sub(stats.ghost_inserts).max(1);
+            if let Ok(ghost) = stream.ghost_route_stats() {
                 header(
                     &mut out,
                     "dod_shard_ghost_routes_total",
                     "Ghost replicas routed from the owner shard into the target shard.",
                     "counter",
                 );
-                for (owner, row) in pairs.iter().enumerate() {
+                for (owner, row) in ghost.pairs.iter().enumerate() {
                     for (target, &count) in row.iter().enumerate() {
                         if owner != target {
                             let _ = writeln!(
@@ -165,17 +164,30 @@ pub(crate) fn render(state: &State) -> String {
                 }
                 header(
                     &mut out,
+                    "dod_shard_owned_points_total",
+                    "Stream points owned by the shard (the ghost-rate denominator).",
+                    "counter",
+                );
+                for (shard, &owned) in ghost.owned.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "dod_shard_owned_points_total{{shard=\"{shard}\"}} {owned}"
+                    );
+                }
+                header(
+                    &mut out,
                     "dod_shard_ghost_rate",
-                    "Fraction of owned stream points replicated from the owner shard into the target shard.",
+                    "Fraction of the owner shard's owned points replicated into the target shard.",
                     "gauge",
                 );
-                for (owner, row) in pairs.iter().enumerate() {
+                for (owner, row) in ghost.pairs.iter().enumerate() {
+                    let owned = ghost.owned.get(owner).copied().unwrap_or(0).max(1);
                     for (target, &count) in row.iter().enumerate() {
                         if owner != target {
                             let _ = writeln!(
                                 out,
                                 "dod_shard_ghost_rate{{owner=\"{owner}\",target=\"{target}\"}} {}",
-                                dod_wire::render_number(count as f64 / owned_points as f64)
+                                dod_wire::render_number(count as f64 / owned as f64)
                             );
                         }
                     }

@@ -177,8 +177,12 @@ pub mod encode {
     }
 }
 
-/// Decodes the `/v1/query` body into validated queries.
-fn parse_queries(body: &[u8]) -> Result<Vec<Query>, Response> {
+/// Decodes the `/v1/query` body into validated queries. A wire-supplied
+/// `"threads"` is clamped to `max_threads`: the body size limit bounds
+/// bytes and [`MAX_BATCH_ITEMS`] bounds items, this bounds the third
+/// amplification axis (one tiny query demanding millions of OS threads
+/// from `par_map_strided`).
+fn parse_queries(body: &[u8], max_threads: usize) -> Result<Vec<Query>, Response> {
     let doc = parse_body(body)?;
     let Some(items) = doc.get("queries").and_then(JsonValue::as_arr) else {
         return Err(bad_request("body must be {\"queries\": [...]}"));
@@ -205,7 +209,7 @@ fn parse_queries(body: &[u8]) -> Result<Vec<Query>, Response> {
                     "query #{i}: \"threads\" must be a non-negative integer"
                 )));
             };
-            q = q.with_threads(threads);
+            q = q.with_threads(threads.min(max_threads));
         }
         queries.push(q);
     }
@@ -351,7 +355,7 @@ fn handle_query(state: &State, req: &Request) -> Response {
     let Some(engine) = &state.engine else {
         return unavailable("an engine");
     };
-    let queries = match parse_queries(&req.body) {
+    let queries = match parse_queries(&req.body, state.max_query_threads) {
         Ok(q) => q,
         Err(resp) => return resp,
     };

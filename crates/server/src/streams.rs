@@ -11,7 +11,7 @@
 
 use dod_core::DodError;
 use dod_metrics::{Angular, L1, L2, L4};
-use dod_shard::{IngestPipeline, ShardedStreamDetector};
+use dod_shard::{GhostRouteStats, IngestPipeline, ShardedStreamDetector};
 use dod_stream::{StreamStats, VectorSpace};
 
 /// A sharded sliding-window detector over any served vector metric,
@@ -116,13 +116,14 @@ impl AnyPipeline {
         }
     }
 
-    /// Ghost replicas per `(owner, target)` shard pair.
-    pub fn ghost_pair_counts(&self) -> Result<Vec<Vec<u64>>, DodError> {
+    /// Ghost replicas per `(owner, target)` shard pair plus per-shard
+    /// owned-point counts, one self-consistent snapshot.
+    pub fn ghost_route_stats(&self) -> Result<GhostRouteStats, DodError> {
         match &self.inner {
-            InnerPipeline::L1(p) => p.ghost_pair_counts(),
-            InnerPipeline::L2(p) => p.ghost_pair_counts(),
-            InnerPipeline::L4(p) => p.ghost_pair_counts(),
-            InnerPipeline::Angular(p) => p.ghost_pair_counts(),
+            InnerPipeline::L1(p) => p.ghost_route_stats(),
+            InnerPipeline::L2(p) => p.ghost_route_stats(),
+            InnerPipeline::L4(p) => p.ghost_route_stats(),
+            InnerPipeline::Angular(p) => p.ghost_route_stats(),
         }
     }
 }

@@ -149,6 +149,65 @@ fn query_route_is_byte_identical_to_in_process_query_many() {
 }
 
 #[test]
+fn wire_supplied_threads_are_clamped_server_side() {
+    let (handle, twin) = engine_server();
+    // A hostile thread count must not spawn 4 billion OS threads — the
+    // server clamps it to its cap, and the (exact) answer is unchanged.
+    let body = r#"{"queries":[{"r":60,"k":40,"threads":4000000000}]}"#;
+    let (status, http_body) = post(handle.addr(), "/v1/query", body);
+    assert_eq!(status, 200, "{http_body}");
+    let expected =
+        encode::query_response(&twin.query_many(&[Query::new(60.0, 40).unwrap()]).unwrap());
+    assert_eq!(http_body, expected, "clamping must not change the answer");
+    handle.shutdown();
+}
+
+#[test]
+fn whole_request_deadline_caps_slow_requests() {
+    // Per-read timeout far above the request deadline: only the deadline
+    // can explain a fast 408.
+    let handle = DodServer::builder()
+        .read_timeout(Duration::from_secs(5))
+        .request_timeout(Duration::from_millis(300))
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let started = std::time::Instant::now();
+    conn.write_all(b"GET /healthz HTT").expect("send");
+    std::thread::sleep(Duration::from_millis(100));
+    conn.write_all(b"P/1.1\r\nx-drip: 1\r\n").expect("send");
+    // …then silence mid-headers: a slowloris client pacing bytes inside
+    // the per-read timeout must still be cut off at the deadline.
+    let (status, _body) = read_response(&mut BufReader::new(conn.try_clone().expect("clone")));
+    assert_eq!(status, 408);
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "the deadline, not the 5s read timeout, must answer: {:?}",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn http10_requests_default_to_connection_close() {
+    let handle = DodServer::builder()
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    conn.write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .expect("send");
+    let mut all = String::new();
+    std::io::Read::read_to_string(&mut conn, &mut all).expect("server must close after answering");
+    assert!(all.starts_with("HTTP/1.1 200"), "{all}");
+    assert!(all.contains("connection: close"), "{all}");
+    handle.shutdown();
+}
+
+#[test]
 fn ingest_and_report_match_the_in_process_sharded_detector() {
     let handle = DodServer::builder()
         .stream(stream_detector())
@@ -264,7 +323,31 @@ fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
         text.contains("dod_shard_ghost_rate{owner=\"1\",target=\"0\"}"),
         "{text}"
     );
+    // Ghost rates are per-owner: rate[o][t] = routes[o][t] / owned[o],
+    // and the owned counts partition the stream exactly.
+    let owned0 = metric_value(&text, "dod_shard_owned_points_total{shard=\"0\"}");
+    let owned1 = metric_value(&text, "dod_shard_owned_points_total{shard=\"1\"}");
+    assert_eq!((owned0 + owned1) as usize, stream_points().len(), "{text}");
+    let routes01 = metric_value(
+        &text,
+        "dod_shard_ghost_routes_total{owner=\"0\",target=\"1\"}",
+    );
+    let rate01 = metric_value(&text, "dod_shard_ghost_rate{owner=\"0\",target=\"1\"}");
+    assert!(owned0 > 0.0 && owned1 > 0.0, "{text}");
+    assert!(
+        (rate01 - routes01 / owned0).abs() < 1e-9,
+        "rate must divide by the owner shard's owned count: {text}"
+    );
     handle.shutdown();
+}
+
+/// The numeric value of the first metric line starting with `line_start`.
+fn metric_value(text: &str, line_start: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(line_start))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing metric {line_start}: {text}"))
 }
 
 #[test]

@@ -290,6 +290,14 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
         self.router.ghost_pair_counts()
     }
 
+    /// The ghost matrix together with each shard's lifetime owned-point
+    /// count, one self-consistent snapshot — `pairs[o][t] / owned[o]` is
+    /// the fraction of shard `o`'s points that replicated into `t` (the
+    /// per-owner rate `dod_server` exports as `dod_shard_ghost_rate`).
+    pub fn ghost_route_stats(&self) -> crate::GhostRouteStats {
+        self.router.ghost_route_stats()
+    }
+
     /// Summed lifetime counters across shards. `inserts` counts owned +
     /// ghost insertions, so it exceeds the number of stream points by the
     /// replication overhead.

@@ -22,7 +22,7 @@
 //! report was requested.
 
 use crate::detector::{merge_answers, ShardedStreamDetector};
-use crate::router::{Router, ShardOp};
+use crate::router::{GhostRouteStats, Router, ShardOp};
 use crate::shard::{Shard, ShardAnswer};
 use dod_core::{DodError, OutlierReport};
 use dod_stream::{Backend, Space, StreamStats};
@@ -46,8 +46,9 @@ enum RouterCmd<P> {
     Report(Sender<(u64, OutlierReport)>),
     /// Collect summed per-shard lifetime counters.
     Stats(Sender<StreamStats>),
-    /// Collect the router's per-shard-pair ghost-replication counters.
-    GhostPairs(Sender<Vec<Vec<u64>>>),
+    /// Collect the router's routing telemetry (per-shard owned counts +
+    /// per-shard-pair ghost-replication counters).
+    GhostStats(Sender<GhostRouteStats>),
     /// Tear down: drain, stop pumps, return state to `finish`.
     Stop,
 }
@@ -237,9 +238,16 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
     /// before the call — the same accounting as
     /// [`ShardedStreamDetector::ghost_pair_counts`].
     pub fn ghost_pair_counts(&self) -> Result<Vec<Vec<u64>>, DodError> {
+        Ok(self.ghost_route_stats()?.pairs)
+    }
+
+    /// The ghost matrix plus each shard's lifetime owned-point count in
+    /// one snapshot-consistent reply — the same accounting as
+    /// [`ShardedStreamDetector::ghost_route_stats`].
+    pub fn ghost_route_stats(&self) -> Result<GhostRouteStats, DodError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         self.tx
-            .send(RouterCmd::GhostPairs(reply_tx))
+            .send(RouterCmd::GhostStats(reply_tx))
             .map_err(|_| closed())?;
         reply_rx.recv().map_err(|_| closed())
     }
@@ -418,10 +426,10 @@ fn router_loop<S: Space>(
                 }
                 let _ = reply.send(total);
             }
-            Some(RouterCmd::GhostPairs(reply)) => {
+            Some(RouterCmd::GhostStats(reply)) => {
                 // Router-local state: no pump involvement, but the flush
                 // above keeps it consistent with every preceding insert.
-                let _ = reply.send(router.ghost_pair_counts());
+                let _ = reply.send(router.ghost_route_stats());
             }
             Some(RouterCmd::Stop) => break 'outer,
             Some(_) => unreachable!("data commands never bounce"),

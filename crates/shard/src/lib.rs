@@ -116,4 +116,5 @@ mod spec;
 
 pub use detector::{ShardSlideReport, ShardedStreamDetector};
 pub use ingest::{IngestHandle, IngestPipeline};
+pub use router::GhostRouteStats;
 pub use spec::ShardSpec;

@@ -51,6 +51,18 @@ pub(crate) struct Ingestion<P> {
     pub routed: Option<(usize, usize)>,
 }
 
+/// Routing telemetry snapshot: per-shard owned-point counts and the
+/// `(owner, target)` ghost-replication matrix, taken together so rates
+/// computed from them are self-consistent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GhostRouteStats {
+    /// `owned[s]` counts the points shard `s` has owned (lifetime).
+    pub owned: Vec<u64>,
+    /// `pairs[o][t]` counts points owned by shard `o` replicated into
+    /// shard `t` (the diagonal is always zero).
+    pub pairs: Vec<Vec<u64>>,
+}
+
 pub(crate) struct Router<S: Space> {
     space: S,
     params: StreamParams,
@@ -73,6 +85,9 @@ pub(crate) struct Router<S: Space> {
     /// re-pivoting policy needs: a hot pair means the partition split a
     /// neighborhood between those two shards.
     ghost_pairs: Vec<u64>,
+    /// Points routed to each shard as owner (lifetime) — the per-owner
+    /// denominator that turns `ghost_pairs` into rates.
+    owned_routes: Vec<u64>,
     /// Per-point routing scratch (pivot distances / shards-hit mask),
     /// reused so the hot path allocates nothing.
     dist_scratch: Vec<f64>,
@@ -93,6 +108,7 @@ impl<S: Space> Router<S> {
             live: VecDeque::new(),
             ghost_routes: 0,
             ghost_pairs: vec![0; spec.shards * spec.shards],
+            owned_routes: vec![0; spec.shards],
             dist_scratch: Vec::new(),
             hit_scratch: Vec::new(),
         }
@@ -159,6 +175,17 @@ impl<S: Space> Router<S> {
             .chunks(self.spec.shards.max(1))
             .map(<[u64]>::to_vec)
             .collect()
+    }
+
+    /// The full routing-telemetry snapshot: the ghost matrix of
+    /// [`ghost_pair_counts`](Self::ghost_pair_counts) plus each shard's
+    /// lifetime owned-point count, so `pairs[o][t] / owned[o]` is the
+    /// per-owner replication rate.
+    pub fn ghost_route_stats(&self) -> GhostRouteStats {
+        GhostRouteStats {
+            owned: self.owned_routes.clone(),
+            pairs: self.ghost_pair_counts(),
+        }
     }
 
     /// The shard clock every per-shard op and report runs on: the global
@@ -466,6 +493,7 @@ impl<S: Space> Router<S> {
         let t = self.shard_time(seq, time);
         if self.spec.shards == 1 || pivots.len() == 1 {
             let owner = self.pivot_shard.first().copied().unwrap_or(0);
+            self.owned_routes[owner] += 1;
             ops.push((
                 owner,
                 ShardOp::Owned {
@@ -515,6 +543,7 @@ impl<S: Space> Router<S> {
         self.dist_scratch = dists;
         self.hit_scratch = hit;
         self.ghost_routes += ghosts as u64;
+        self.owned_routes[owner] += 1;
         ops.push((
             owner,
             ShardOp::Owned {
@@ -619,6 +648,12 @@ mod tests {
         assert_eq!(after - before, 1);
         assert_eq!(pairs[owner][1 - owner], 1, "{pairs:?}");
         assert_eq!(after, r.ghost_routes());
+        // The snapshot pairs owned counts with the matrix: every routed
+        // point is owned by exactly one shard, warm-up replay included.
+        let stats = r.ghost_route_stats();
+        assert_eq!(stats.pairs, pairs);
+        assert_eq!(stats.owned.iter().sum::<u64>(), 3);
+        assert_eq!(stats.owned[owner], 2, "{stats:?}");
     }
 
     #[test]

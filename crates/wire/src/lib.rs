@@ -320,6 +320,16 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    b.get(at..at + 4)
+        // All four bytes must be hex digits: from_str_radix alone would
+        // also accept a sign, letting invalid escapes like \u+123 slip.
+        .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| "bad \\u escape".to_string())
+}
+
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
     let mut out = String::new();
@@ -340,13 +350,26 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or("bad \\u escape")?;
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        let hex = parse_hex4(b, *pos + 1)?;
                         *pos += 4;
+                        let ch = if (0xd800..0xdc00).contains(&hex) {
+                            // High surrogate: JSON escapes non-BMP chars
+                            // as a \uD8xx\uDCxx pair — combine with the
+                            // low half instead of emitting two U+FFFD.
+                            let lo = (b.get(*pos + 1) == Some(&b'\\')
+                                && b.get(*pos + 2) == Some(&b'u'))
+                            .then(|| parse_hex4(b, *pos + 3).ok())
+                            .flatten()
+                            .filter(|l| (0xdc00..0xe000).contains(l));
+                            lo.and_then(|lo| {
+                                *pos += 6;
+                                char::from_u32(0x10000 + ((hex - 0xd800) << 10) + (lo - 0xdc00))
+                            })
+                        } else {
+                            // Lone low surrogates fall through to FFFD.
+                            char::from_u32(hex)
+                        };
+                        out.push(ch.unwrap_or('\u{fffd}'));
                     }
                     _ => return Err("bad escape".into()),
                 }
@@ -494,6 +517,27 @@ mod tests {
         assert!(parse_json(&bomb).is_err());
         let obj_bomb = r#"{"a":"#.repeat(4000);
         assert!(parse_json(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_char_and_lone_halves_to_fffd() {
+        // A valid pair is one astral-plane char, not two replacements.
+        let v = parse_json("\"\\ud83d\\ude00\"").expect("parse");
+        assert_eq!(v, JsonValue::Str("\u{1f600}".into()));
+        // A \u-escaped BMP char still round-trips.
+        let v = parse_json("\"\\u00e9\"").expect("parse");
+        assert_eq!(v, JsonValue::Str("\u{e9}".into()));
+        // Lone halves (high without low, bare low) degrade to U+FFFD.
+        let v = parse_json(r#""\ud83dx""#).expect("parse");
+        assert_eq!(v, JsonValue::Str("\u{fffd}x".into()));
+        let v = parse_json(r#""\ude00""#).expect("parse");
+        assert_eq!(v, JsonValue::Str("\u{fffd}".into()));
+        // High followed by a \u escape that is not a low surrogate: the
+        // lookahead must not consume the second escape.
+        let v = parse_json("\"\\ud83d\\u0041\"").expect("parse");
+        assert_eq!(v, JsonValue::Str("\u{fffd}\u{41}".into()));
+        // A signed "hex" run is rejected, not parsed leniently.
+        assert!(parse_json("\"\\u+123\"").is_err());
     }
 
     #[test]
