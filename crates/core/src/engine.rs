@@ -78,7 +78,23 @@ pub enum IndexSpec {
 }
 
 impl IndexSpec {
-    fn validate(&self) -> Result<(), DodError> {
+    /// Default graph degree [`FromStr`](std::str::FromStr) uses when the
+    /// wire spelling carries no `:degree` suffix — `mrpg` parses as
+    /// `mrpg:8` (the [`Engine::builder`] default), `nsw`/`kgraph` as
+    /// degree 25 (the paper's §6 default for the comparison graphs).
+    pub fn default_degree(kind: &str) -> usize {
+        if kind == "mrpg" {
+            8
+        } else {
+            25
+        }
+    }
+
+    /// Checks the spec can produce a working index (non-zero graph
+    /// degree). [`EngineBuilder::build`] runs this; callers that stage
+    /// expensive work before the build (dataset generation, registry
+    /// slots) can run it first and fail cheaply.
+    pub fn validate(&self) -> Result<(), DodError> {
         let degree = match self {
             IndexSpec::Mrpg(p) => p.k,
             IndexSpec::Nsw { degree } | IndexSpec::KGraph { degree } => *degree,
@@ -90,6 +106,83 @@ impl IndexSpec {
             });
         }
         Ok(())
+    }
+}
+
+/// The canonical wire spelling: `mrpg:8`, `nsw:25`, `kgraph:25`,
+/// `vptree`, `none`. This is the one spelling shared by engine-creation
+/// request bodies and the `GET /v1/engines` listing in `dod_server`, and
+/// it round-trips through [`FromStr`](std::str::FromStr): for every spec
+/// `s` produced by parsing, `s.to_string().parse()` yields `s` again.
+///
+/// Only the variant and the graph degree are wire-expressible; the
+/// remaining [`MrpgParams`] tuning fields keep their
+/// [`MrpgParams::new`] defaults, which is what `Display` of a
+/// hand-tuned spec reports too.
+impl std::fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexSpec::Mrpg(p) => write!(f, "mrpg:{}", p.k),
+            IndexSpec::Nsw { degree } => write!(f, "nsw:{degree}"),
+            IndexSpec::KGraph { degree } => write!(f, "kgraph:{degree}"),
+            IndexSpec::VpTree => f.write_str("vptree"),
+            IndexSpec::None => f.write_str("none"),
+        }
+    }
+}
+
+/// Parses the canonical wire spelling (see the [`Display`] impl):
+/// `mrpg`, `nsw` and `kgraph` take an optional `:degree` suffix
+/// ([`IndexSpec::default_degree`] when absent), `vptree` and `none` take
+/// none. Anything else — unknown kinds, a degree on an index that has
+/// none, a zero or non-numeric degree — is [`DodError::InvalidSpec`].
+impl std::str::FromStr for IndexSpec {
+    type Err = DodError;
+
+    fn from_str(s: &str) -> Result<Self, DodError> {
+        let s = s.trim();
+        let (kind, degree) = match s.split_once(':') {
+            None => (s, None),
+            Some((kind, d)) => {
+                let degree = d.parse::<usize>().ok().filter(|&d| d > 0).ok_or_else(|| {
+                    DodError::InvalidSpec {
+                        reason: format!("index degree must be a positive integer, got {d:?}"),
+                    }
+                })?;
+                (kind, Some(degree))
+            }
+        };
+        let spec = match kind {
+            "mrpg" => IndexSpec::Mrpg(MrpgParams::new(
+                degree.unwrap_or_else(|| IndexSpec::default_degree("mrpg")),
+            )),
+            "nsw" => IndexSpec::Nsw {
+                degree: degree.unwrap_or_else(|| IndexSpec::default_degree("nsw")),
+            },
+            "kgraph" => IndexSpec::KGraph {
+                degree: degree.unwrap_or_else(|| IndexSpec::default_degree("kgraph")),
+            },
+            "vptree" | "none" => {
+                if degree.is_some() {
+                    return Err(DodError::InvalidSpec {
+                        reason: format!("index {kind:?} takes no degree"),
+                    });
+                }
+                if kind == "vptree" {
+                    IndexSpec::VpTree
+                } else {
+                    IndexSpec::None
+                }
+            }
+            other => {
+                return Err(DodError::InvalidSpec {
+                    reason: format!(
+                        "unknown index {other:?} (expected mrpg, nsw, kgraph, vptree or none)"
+                    ),
+                })
+            }
+        };
+        Ok(spec)
     }
 }
 
@@ -574,6 +667,39 @@ mod tests {
             IndexSpec::VpTree,
             IndexSpec::None,
         ]
+    }
+
+    #[test]
+    fn index_spec_wire_spelling_round_trips() {
+        // Canonical spellings are fixed points of parse → display.
+        for s in ["mrpg:8", "nsw:25", "kgraph:12", "vptree", "none"] {
+            let spec: IndexSpec = s.parse().expect(s);
+            assert_eq!(spec.to_string(), s);
+        }
+        // Bare graph kinds pick up their documented default degree.
+        assert_eq!(
+            "mrpg".parse::<IndexSpec>().unwrap().to_string(),
+            format!("mrpg:{}", IndexSpec::default_degree("mrpg"))
+        );
+        assert_eq!("nsw".parse::<IndexSpec>().unwrap().to_string(), "nsw:25");
+        assert_eq!(
+            "kgraph".parse::<IndexSpec>().unwrap().to_string(),
+            "kgraph:25"
+        );
+        // Whitespace is tolerated; structure is preserved.
+        assert!(matches!(
+            "  mrpg:6 ".parse::<IndexSpec>().unwrap(),
+            IndexSpec::Mrpg(p) if p.k == 6 && p.k_prime == 24
+        ));
+        // Rejections are typed, not panics.
+        for bad in [
+            "hnsw", "mrpg:0", "mrpg:-1", "mrpg:x", "vptree:4", "none:1", "", "mrpg:",
+        ] {
+            assert!(
+                matches!(bad.parse::<IndexSpec>(), Err(DodError::InvalidSpec { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Property tests for the [`IndexSpec`] wire spelling: every spec the
+//! wire can express round-trips through `Display` → `FromStr` without
+//! losing the variant or the degree.
+
+use dod_core::IndexSpec;
+
+use proptest::prelude::*;
+
+proptest! {
+    /// `parse(display(parse(s)))` preserves structure for every
+    /// wire-expressible spec, and `display` is a fixed point after one
+    /// canonicalization.
+    #[test]
+    fn wire_spelling_round_trips(kind in 0usize..5, degree in 1usize..512, bare in 0usize..2) {
+        let bare = bare == 1;
+        let spelled = match (kind, bare) {
+            (0, true) => "mrpg".to_string(),
+            (0, false) => format!("mrpg:{degree}"),
+            (1, true) => "nsw".to_string(),
+            (1, false) => format!("nsw:{degree}"),
+            (2, true) => "kgraph".to_string(),
+            (2, false) => format!("kgraph:{degree}"),
+            (3, _) => "vptree".to_string(),
+            _ => "none".to_string(),
+        };
+        let spec: IndexSpec = spelled.parse().expect("valid spelling");
+        let canonical = spec.to_string();
+        let reparsed: IndexSpec = canonical.parse().expect("canonical spelling");
+        // One round canonicalizes; after that, display∘parse is identity.
+        prop_assert_eq!(&reparsed.to_string(), &canonical);
+        // The variant and the effective degree survive the trip.
+        let degree_of = |s: &IndexSpec| match s {
+            IndexSpec::Mrpg(p) => Some(p.k),
+            IndexSpec::Nsw { degree } | IndexSpec::KGraph { degree } => Some(*degree),
+            _ => None,
+        };
+        prop_assert_eq!(degree_of(&spec), degree_of(&reparsed));
+        prop_assert_eq!(
+            std::mem::discriminant(&spec),
+            std::mem::discriminant(&reparsed)
+        );
+        if !bare && kind < 3 {
+            prop_assert_eq!(degree_of(&spec), Some(degree));
+        }
+    }
+
+    /// Garbage never panics: it is either a typed `InvalidSpec` or (for
+    /// the few lucky strings) a valid spec that re-displays canonically.
+    #[test]
+    fn arbitrary_strings_never_panic(s in "[a-z0-9:._ -]{0,20}") {
+        match s.parse::<IndexSpec>() {
+            Ok(spec) => {
+                let canonical = spec.to_string();
+                prop_assert_eq!(canonical.parse::<IndexSpec>().unwrap().to_string(), canonical);
+            }
+            Err(e) => {
+                let typed = matches!(e, dod_core::DodError::InvalidSpec { .. });
+                prop_assert!(typed, "unexpected error kind: {}", e);
+            }
+        }
+    }
+}

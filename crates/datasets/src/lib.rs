@@ -23,6 +23,7 @@ pub mod calibrate;
 pub mod families;
 pub mod gaussian;
 pub mod pivots;
+pub mod spec;
 pub mod stream;
 pub mod words;
 
@@ -30,5 +31,6 @@ pub use calibrate::{calibrate_r, exact_knn_distance, sample_knn_distances};
 pub use families::{AnyDataset, AnyEngine, Family, FamilyMismatch, Generated};
 pub use gaussian::{ClusterGeometry, GaussianMixture, MixtureShape};
 pub use pivots::farthest_first;
+pub use spec::EngineSpec;
 pub use stream::{StreamEvent, StreamScenario};
 pub use words::WordGenerator;

@@ -1,0 +1,114 @@
+//! [`EngineSpec`] — a declarative recipe for a resident [`AnyEngine`].
+//!
+//! A serving layer that keeps *many* engines resident needs a value it
+//! can parse off a wire, hash into a listing, and turn into a built
+//! engine: which family of data, how many objects, which seed, which
+//! index. This is that value. It deliberately speaks the same canonical
+//! spellings the rest of the wire does — [`Family::name`] for the data
+//! and the [`IndexSpec`] `Display`/`FromStr` round-trip for the index —
+//! so a `PUT /v1/engines/{name}` body and a `GET /v1/engines` listing
+//! entry are the same text.
+
+use crate::families::{AnyEngine, Family};
+use dod_core::{DodError, IndexSpec};
+use std::io::Read;
+
+/// A recipe for building (or re-loading) a named [`AnyEngine`]: the
+/// dataset coordinates plus the index to serve it from.
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// Dataset family (fixes dimensionality and metric).
+    pub family: Family,
+    /// Number of objects to generate.
+    pub n: usize,
+    /// Generation seed — datasets are deterministic per `(family, n,
+    /// seed)`, which is what makes a spec a complete engine identity.
+    pub seed: u64,
+    /// The index to build over the data.
+    pub index: IndexSpec,
+}
+
+impl EngineSpec {
+    /// Generates the dataset and builds the index — the expensive,
+    /// build-once step the registry amortizes.
+    pub fn build(&self) -> Result<AnyEngine, DodError> {
+        self.index.validate()?;
+        let data = self.family.generate(self.n, self.seed).data;
+        data.into_engine().index(self.index.clone()).build()
+    }
+
+    /// Re-generates the dataset and restores a persisted index from `r`
+    /// (an [`AnyEngine::save`] payload). The payload's dataset digest is
+    /// checked against the regenerated data, so a spec that does not
+    /// match the saved engine is refused with [`DodError::Corrupt`].
+    pub fn load<R: Read>(&self, r: R) -> Result<AnyEngine, DodError> {
+        let data = self.family.generate(self.n, self.seed).data;
+        AnyEngine::load(data, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dod_core::Query;
+
+    #[test]
+    fn build_matches_a_hand_built_engine() {
+        let spec = EngineSpec {
+            family: Family::Sift,
+            n: 200,
+            seed: 5,
+            index: "vptree".parse().expect("spec"),
+        };
+        let engine = spec.build().expect("build");
+        let twin = Family::Sift
+            .generate(200, 5)
+            .data
+            .into_engine()
+            .index(IndexSpec::VpTree)
+            .build()
+            .expect("twin");
+        let q = Query::new(80.0, 40).expect("query");
+        assert_eq!(
+            engine.query(q).expect("query").outliers,
+            twin.query(q).expect("query").outliers
+        );
+    }
+
+    #[test]
+    fn load_round_trips_and_rejects_a_wrong_spec() {
+        let spec = EngineSpec {
+            family: Family::Glove,
+            n: 150,
+            seed: 3,
+            index: "vptree".parse().expect("spec"),
+        };
+        let engine = spec.build().expect("build");
+        let mut bytes = Vec::new();
+        engine.save(&mut bytes).expect("save");
+        let reloaded = spec.load(&bytes[..]).expect("load");
+        let q = Query::new(0.5, 20).expect("query");
+        assert_eq!(
+            reloaded.query(q).expect("query").outliers,
+            engine.query(q).expect("query").outliers
+        );
+        // A different seed regenerates different points: the digest check
+        // refuses to marry the saved index to them.
+        let wrong = EngineSpec { seed: 4, ..spec };
+        assert!(matches!(
+            wrong.load(&bytes[..]),
+            Err(DodError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_index_is_rejected_before_generation() {
+        let spec = EngineSpec {
+            family: Family::Sift,
+            n: 100,
+            seed: 1,
+            index: IndexSpec::Nsw { degree: 0 },
+        };
+        assert!(matches!(spec.build(), Err(DodError::InvalidSpec { .. })));
+    }
+}

@@ -62,10 +62,63 @@ impl MetricKind {
             MetricKind::Edit => "Edit distance",
         }
     }
+
+    /// Short machine-readable spelling used on the wire (`dod_server`
+    /// session bodies and listings): `l1`, `l2`, `l4`, `chebyshev`,
+    /// `angular`, `edit`.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            MetricKind::L1 => "l1",
+            MetricKind::L2 => "l2",
+            MetricKind::L4 => "l4",
+            MetricKind::Chebyshev => "chebyshev",
+            MetricKind::Angular => "angular",
+            MetricKind::Edit => "edit",
+        }
+    }
+
+    /// Parses a [`wire_name`](Self::wire_name) spelling back to the kind.
+    pub fn parse_wire(s: &str) -> Option<MetricKind> {
+        [
+            MetricKind::L1,
+            MetricKind::L2,
+            MetricKind::L4,
+            MetricKind::Chebyshev,
+            MetricKind::Angular,
+            MetricKind::Edit,
+        ]
+        .into_iter()
+        .find(|k| k.wire_name() == s)
+    }
 }
 
 impl std::fmt::Display for MetricKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::MetricKind;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for k in [
+            MetricKind::L1,
+            MetricKind::L2,
+            MetricKind::L4,
+            MetricKind::Chebyshev,
+            MetricKind::Angular,
+            MetricKind::Edit,
+        ] {
+            assert_eq!(MetricKind::parse_wire(k.wire_name()), Some(k));
+        }
+        assert_eq!(
+            MetricKind::parse_wire("L2"),
+            None,
+            "wire names are lowercase"
+        );
+        assert_eq!(MetricKind::parse_wire("cosine"), None);
     }
 }

@@ -11,15 +11,32 @@
 //! HTTP/1.1 with keep-alive, and every response body speaks the shared
 //! [`dod_wire`] JSON dialect.
 //!
-//! # Routes
+//! # Resources and routes
+//!
+//! The `/v1` API is resource-oriented: a registry of **named engines**
+//! (batch detectors over generated datasets, LRU-bounded) and a registry
+//! of **ingest sessions** (sharded sliding windows, capacity-bounded),
+//! each with its own lifecycle routes. The original singleton routes
+//! remain as aliases for the resources named [`DEFAULT_RESOURCE`].
 //!
 //! | Route | Body | Answer |
 //! |---|---|---|
-//! | `POST /v1/query` | `{"queries": [{"r": 2.0, "k": 5}, …]}` | `{"results": [{"outliers": […], …}, …]}` via [`Engine::query_many`](dod_core::Engine::query_many) |
-//! | `POST /v1/ingest` | `{"points": [[…], …]}` | `{"accepted": n}` — enqueued into the [`IngestPipeline`](dod_shard::IngestPipeline) |
-//! | `GET /v1/report` | — | `{"outliers": [seq, …]}`, snapshot-consistent with every prior ingest |
+//! | `PUT /v1/engines/{name}` | `{"family", "n", "seed"?, "index"?, "load"?}` | `201`/`200` with the engine summary (+ LRU `"evicted"` names) |
+//! | `GET /v1/engines` | — | `{"engines": [{name, index, points, index_bytes}, …], "capacity"}` |
+//! | `GET /v1/engines/{name}` | — | one engine summary |
+//! | `DELETE /v1/engines/{name}` | — | `{"deleted": name}` |
+//! | `POST /v1/engines/{name}/query` | `{"queries": [{"r": 2.0, "k": 5}, …]}` | `{"results": [{"outliers": […], …}, …]}` via [`Engine::query_many`](dod_core::Engine::query_many) |
+//! | `POST /v1/sessions` | `{"metric", "dim", "r", "k", "window", "shards"?, …}` | `201` with the session summary (server-assigned id) |
+//! | `GET /v1/sessions` | — | `{"sessions": [{id, metric, dim, shards, ingested}, …], "capacity"}` |
+//! | `GET /v1/sessions/{id}` | — | one session summary |
+//! | `DELETE /v1/sessions/{id}` | — | `{"deleted": id}` — joins the session's pipeline |
+//! | `POST /v1/sessions/{id}/ingest` | `{"points": [[…], …]}` | `{"accepted": n}` — enqueued into the [`IngestPipeline`](dod_shard::IngestPipeline) |
+//! | `GET /v1/sessions/{id}/report` | — | `{"outliers": [seq, …]}`, snapshot-consistent with every prior ingest |
+//! | `POST /v1/query` | as engine query | alias for `/v1/engines/default/query` |
+//! | `POST /v1/ingest` | as session ingest | alias for `/v1/sessions/default/ingest` |
+//! | `GET /v1/report` | — | alias for `/v1/sessions/default/report` |
 //! | `GET /healthz` | — | `{"status": "ok", …}` |
-//! | `GET /metrics` | — | Prometheus text: HTTP counters, engine query counters + latency histogram, per-shard-pair ghost rates |
+//! | `GET /metrics` | — | Prometheus text: HTTP counters, per-engine query counters + latency histograms, per-session stream counters and ghost rates |
 //!
 //! Responses are **deterministic**: query and report bodies carry no
 //! timings (latency lives in `/metrics`), so the HTTP answer for a given
@@ -68,22 +85,29 @@
 
 mod http;
 mod prom;
+mod registry;
 pub mod routes;
 mod streams;
 
-pub use routes::{dod_error_kind, dod_error_status, encode, error_body};
+pub use routes::{dod_error_kind, dod_error_status, encode, error_body, http_error_kind};
 pub use streams::AnyStreamDetector;
 
 use dod_core::parallel::WorkerPool;
 use dod_core::telemetry::Counter;
 use dod_core::{DodError, EngineMetrics, OutlierReport, Query};
 use dod_metrics::Dataset;
+use registry::{EngineRegistry, SessionEntry, SessionRegistry};
 use routes::Route;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+/// The engine name and session id the legacy singleton routes
+/// (`/v1/query`, `/v1/ingest`, `/v1/report`) alias: resources mounted by
+/// [`ServerBuilder::engine`] / [`ServerBuilder::stream`] land here.
+pub const DEFAULT_RESOURCE: &str = "default";
 
 /// What a server needs from an engine: the object-safe slice of
 /// [`dod_core::Engine`], blanket-implemented for every dataset type, so
@@ -101,6 +125,8 @@ pub trait QueryEngine: Send + Sync {
     }
     /// Display name of the backing index.
     fn index_name(&self) -> &'static str;
+    /// Index footprint in bytes — the `GET /v1/engines` memory estimate.
+    fn index_bytes(&self) -> usize;
     /// Live query telemetry.
     fn metrics(&self) -> &EngineMetrics;
 }
@@ -115,19 +141,27 @@ impl<D: Dataset + Send> QueryEngine for dod_core::Engine<D> {
     fn index_name(&self) -> &'static str {
         dod_core::Engine::index_name(self)
     }
+    fn index_bytes(&self) -> usize {
+        dod_core::Engine::index_bytes(self)
+    }
     fn metrics(&self) -> &EngineMetrics {
         dod_core::Engine::metrics(self)
     }
 }
 
-/// Everything the route handlers see: the mounted components plus the
-/// serving counters. Shared immutably across workers.
+/// Everything the route handlers see: the resource registries plus the
+/// serving counters. Shared across workers; the registries are the only
+/// mutable parts, each behind its own `RwLock` so the hot serving paths
+/// (query, ingest, report) take a read lock just long enough to clone an
+/// `Arc`.
 pub(crate) struct State {
-    pub(crate) engine: Option<Arc<dyn QueryEngine>>,
-    pub(crate) stream: Option<streams::AnyPipeline>,
+    pub(crate) engines: RwLock<EngineRegistry>,
+    pub(crate) sessions: RwLock<SessionRegistry>,
     pub(crate) http: HttpMetrics,
     pub(crate) ingested_points: Counter,
     pub(crate) max_query_threads: usize,
+    /// Queue depth new wire-opened sessions inherit for their pipelines.
+    pub(crate) pipeline_queue: usize,
     shutting_down: AtomicBool,
 }
 
@@ -180,6 +214,8 @@ pub struct ServerBuilder {
     request_timeout: Duration,
     keep_alive_requests: usize,
     max_query_threads: usize,
+    max_engines: usize,
+    max_sessions: usize,
 }
 
 impl Default for ServerBuilder {
@@ -196,30 +232,53 @@ impl Default for ServerBuilder {
             request_timeout: Duration::from_secs(30),
             keep_alive_requests: 1000,
             max_query_threads: cores,
+            max_engines: 8,
+            max_sessions: 16,
         }
     }
 }
 
 impl ServerBuilder {
-    /// Mounts a batch engine on `POST /v1/query` (any dataset type; the
-    /// engine is moved behind an `Arc`).
+    /// Mounts a batch engine as the [`DEFAULT_RESOURCE`] engine — served
+    /// at `/v1/engines/default` and aliased by the legacy `POST
+    /// /v1/query` (any dataset type; the engine is moved behind an
+    /// `Arc`).
     pub fn engine<E: QueryEngine + 'static>(mut self, engine: E) -> Self {
         self.engine = Some(Arc::new(engine));
         self
     }
 
     /// Mounts an already-shared engine (e.g. one also queried
-    /// in-process).
+    /// in-process) as the [`DEFAULT_RESOURCE`] engine.
     pub fn shared_engine(mut self, engine: Arc<dyn QueryEngine>) -> Self {
         self.engine = Some(engine);
         self
     }
 
-    /// Mounts a sharded sliding-window session on `POST /v1/ingest` /
-    /// `GET /v1/report`. The detector (possibly already holding window
-    /// state) is moved onto its pipeline threads when the server binds.
+    /// Mounts a sharded sliding-window session as the
+    /// [`DEFAULT_RESOURCE`] session — served at `/v1/sessions/default`
+    /// and aliased by the legacy `POST /v1/ingest` / `GET /v1/report`.
+    /// The detector (possibly already holding window state) is moved
+    /// onto its pipeline threads when the server binds.
     pub fn stream(mut self, stream: impl Into<AnyStreamDetector>) -> Self {
         self.stream = Some(stream.into());
+        self
+    }
+
+    /// Resident-engine capacity (default 8, clamped to ≥ 1). Creating an
+    /// engine past the bound evicts the least recently *used* one — an
+    /// engine is a pure function of its spec, so eviction costs a
+    /// rebuild, never data.
+    pub fn max_engines(mut self, n: usize) -> Self {
+        self.max_engines = n.max(1);
+        self
+    }
+
+    /// Concurrent ingest-session capacity (default 16, clamped to ≥ 1).
+    /// Sessions are *refused* past the bound, never evicted: a session's
+    /// sliding window is stream state the client cannot re-send.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n.max(1);
         self
     }
 
@@ -294,12 +353,32 @@ impl ServerBuilder {
     /// accepting yet — call [`DodServer::start`] or [`DodServer::run`].
     pub fn bind(self, addr: &str) -> Result<DodServer, DodError> {
         let listener = TcpListener::bind(addr)?;
+        let mut engines = EngineRegistry::new(self.max_engines);
+        if let Some(engine) = self.engine {
+            let index = routes::index_wire_name(engine.index_name()).to_string();
+            engines.insert(DEFAULT_RESOURCE, engine, index);
+        }
+        let mut sessions = SessionRegistry::new(self.max_sessions);
+        if let Some(stream) = self.stream {
+            let metric = stream.metric_name();
+            let shards = stream.shard_count();
+            let entry = SessionEntry {
+                pipeline: stream.into_pipeline(self.queue),
+                metric,
+                shards,
+                ingested: Counter::new(),
+            };
+            sessions
+                .mount(DEFAULT_RESOURCE, entry)
+                .unwrap_or_else(|_| unreachable!("an empty registry has room (capacity ≥ 1)"));
+        }
         let state = Arc::new(State {
-            engine: self.engine,
-            stream: self.stream.map(|s| s.into_pipeline(self.queue)),
+            engines: RwLock::new(engines),
+            sessions: RwLock::new(sessions),
             http: HttpMetrics::new(),
             ingested_points: Counter::new(),
             max_query_threads: self.max_query_threads,
+            pipeline_queue: self.queue,
             shutting_down: AtomicBool::new(false),
         });
         Ok(DodServer {
@@ -576,7 +655,7 @@ fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
                 // One typed answer (408 on timeouts, 4xx/5xx otherwise),
                 // then close: framing is unreliable after a parse error.
                 state.http.record(Route::Other, e.status);
-                let body = error_body("http", &e.message);
+                let body = error_body(http_error_kind(e.status), &e.message);
                 writer.deadline.arm(cfg.request_timeout);
                 let _ = http::write_response(
                     &mut writer,

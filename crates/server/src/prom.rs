@@ -1,8 +1,16 @@
 //! `/metrics` rendering in the Prometheus text exposition format
-//! (version 0.0.4): HTTP-layer counters, the engine's query telemetry
-//! (counters + the log-bucketed latency histogram as a native
-//! `_bucket`/`_sum`/`_count` family), and the sharded stream's lifetime
-//! counters including per-shard-pair ghost replication.
+//! (version 0.0.4): HTTP-layer counters, registry occupancy gauges,
+//! every resident engine's query telemetry (counters + the log-bucketed
+//! latency histogram as a native `_bucket`/`_sum`/`_count` family)
+//! labeled `{engine="name"}`, and every live session's stream counters —
+//! including per-shard-pair ghost replication — labeled
+//! `{session="id"}`.
+//!
+//! Label cardinality stays bounded by construction: `route` is a
+//! fieldless enum, `engine` is capped by `max_engines`, `session` by
+//! `max_sessions`, and shard pairs by the shard-spec cap. Names and ids
+//! are registry-validated identifiers (`[A-Za-z0-9_-]{1,64}`), so they
+//! embed in label values without escaping.
 
 use crate::routes::Route;
 use crate::State;
@@ -44,39 +52,114 @@ pub(crate) fn render(state: &State) -> String {
         }
     }
 
-    if let Some(engine) = &state.engine {
+    // Snapshot both registries up front (name-sorted, so scrapes are
+    // deterministic) and render with no lock held: a slow scrape client
+    // must not block engine creation.
+    let engines = state.engines.read().expect("engine registry lock").sorted();
+    let engine_capacity = state
+        .engines
+        .read()
+        .expect("engine registry lock")
+        .capacity();
+    let sessions = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .sorted();
+    let session_capacity = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .capacity();
+
+    header(
+        &mut out,
+        "dod_engine_resident",
+        "Engines resident in the registry (bounded by dod_engine_capacity).",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_engine_resident {}", engines.len());
+    header(
+        &mut out,
+        "dod_engine_capacity",
+        "The registry's LRU bound on resident engines.",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_engine_capacity {engine_capacity}");
+    header(
+        &mut out,
+        "dod_session_active",
+        "Live ingest sessions (bounded by dod_session_capacity).",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_session_active {}", sessions.len());
+    header(
+        &mut out,
+        "dod_session_capacity",
+        "The hard bound on concurrent ingest sessions.",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_session_capacity {session_capacity}");
+
+    if !engines.is_empty() {
         header(
             &mut out,
             "dod_engine_dataset_size",
             "Objects the engine serves.",
             "gauge",
         );
-        let _ = writeln!(out, "dod_engine_dataset_size {}", engine.len());
-        let m = engine.metrics();
-        for (name, help, value) in [
+        for (name, entry) in &engines {
+            let _ = writeln!(
+                out,
+                "dod_engine_dataset_size{{engine=\"{name}\"}} {}",
+                entry.engine.len()
+            );
+        }
+        header(
+            &mut out,
+            "dod_engine_index_bytes",
+            "Index footprint of the engine, in bytes.",
+            "gauge",
+        );
+        for (name, entry) in &engines {
+            let _ = writeln!(
+                out,
+                "dod_engine_index_bytes{{engine=\"{name}\"}} {}",
+                entry.engine.index_bytes()
+            );
+        }
+        for (metric, help, value) in [
             (
                 "dod_engine_queries_total",
                 "Queries answered successfully (batch members count individually).",
-                m.queries.get(),
+                &|m: &dod_core::EngineMetrics| m.queries.get(),
             ),
             (
                 "dod_engine_query_errors_total",
                 "Queries that returned an error.",
-                m.query_errors.get(),
+                &|m: &dod_core::EngineMetrics| m.query_errors.get(),
             ),
             (
                 "dod_engine_batches_total",
                 "query_many batches served.",
-                m.batches.get(),
+                &|m: &dod_core::EngineMetrics| m.batches.get(),
             ),
             (
                 "dod_engine_outliers_reported_total",
                 "Outliers reported across all queries.",
-                m.outliers_reported.get(),
+                &|m: &dod_core::EngineMetrics| m.outliers_reported.get(),
             ),
-        ] {
-            header(&mut out, name, help, "counter");
-            let _ = writeln!(out, "{name} {value}");
+        ]
+            as [(&str, &str, &dyn Fn(&dod_core::EngineMetrics) -> u64); 4]
+        {
+            header(&mut out, metric, help, "counter");
+            for (name, entry) in &engines {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{engine=\"{name}\"}} {}",
+                    value(entry.engine.metrics())
+                );
+            }
         }
         header(
             &mut out,
@@ -84,112 +167,141 @@ pub(crate) fn render(state: &State) -> String {
             "Latency of successful queries.",
             "histogram",
         );
-        let snap = m.latency.snapshot();
-        for (bound, cumulative) in &snap.cumulative {
+        for (name, entry) in &engines {
+            let snap = entry.engine.metrics().latency.snapshot();
+            for (bound, cumulative) in &snap.cumulative {
+                let _ = writeln!(
+                    out,
+                    "dod_engine_query_latency_seconds_bucket{{engine=\"{name}\",le=\"{}\"}} {cumulative}",
+                    dod_wire::render_number(*bound)
+                );
+            }
             let _ = writeln!(
                 out,
-                "dod_engine_query_latency_seconds_bucket{{le=\"{}\"}} {cumulative}",
-                dod_wire::render_number(*bound)
+                "dod_engine_query_latency_seconds_bucket{{engine=\"{name}\",le=\"+Inf\"}} {}",
+                snap.count
+            );
+            let _ = writeln!(
+                out,
+                "dod_engine_query_latency_seconds_sum{{engine=\"{name}\"}} {}",
+                dod_wire::render_number(snap.sum_secs)
+            );
+            let _ = writeln!(
+                out,
+                "dod_engine_query_latency_seconds_count{{engine=\"{name}\"}} {}",
+                snap.count
             );
         }
-        let _ = writeln!(
-            out,
-            "dod_engine_query_latency_seconds_bucket{{le=\"+Inf\"}} {}",
-            snap.count
-        );
-        let _ = writeln!(
-            out,
-            "dod_engine_query_latency_seconds_sum {}",
-            dod_wire::render_number(snap.sum_secs)
-        );
-        let _ = writeln!(out, "dod_engine_query_latency_seconds_count {}", snap.count);
     }
 
-    if let Some(stream) = &state.stream {
+    if !sessions.is_empty() {
         header(
             &mut out,
             "dod_ingest_points_total",
-            "Stream points accepted over HTTP.",
+            "Stream points accepted over HTTP, by session.",
             "counter",
         );
-        let _ = writeln!(
-            out,
-            "dod_ingest_points_total {}",
-            state.ingested_points.get()
-        );
+        for (id, entry) in &sessions {
+            let _ = writeln!(
+                out,
+                "dod_ingest_points_total{{session=\"{id}\"}} {}",
+                entry.ingested.get()
+            );
+        }
         // Pipeline scrapes are snapshot-consistent barriers; a dead
-        // pipeline (worker panic) must degrade the scrape, not kill it.
-        if let Ok(stats) = stream.stats() {
-            for (name, help, value) in [
-                (
-                    "dod_stream_inserts_total",
-                    "Points inserted into shard windows (owned + ghost).",
-                    stats.inserts,
-                ),
-                (
-                    "dod_stream_ghost_inserts_total",
-                    "Ghost replicas inserted into shard windows.",
-                    stats.ghost_inserts,
-                ),
-                (
-                    "dod_stream_expirations_total",
-                    "Window residents expired.",
-                    stats.expirations,
-                ),
-                (
-                    "dod_stream_safe_promotions_total",
-                    "Residents promoted to safe inliers.",
-                    stats.safe_promotions,
-                ),
-            ] {
-                header(&mut out, name, help, "counter");
-                let _ = writeln!(out, "{name} {value}");
+        // pipeline (worker panic) must degrade its session's series, not
+        // kill the scrape.
+        let stats: Vec<_> = sessions
+            .iter()
+            .filter_map(|(id, entry)| entry.pipeline.stats().ok().map(|s| (id.clone(), s)))
+            .collect();
+        for (metric, help, value) in [
+            (
+                "dod_stream_inserts_total",
+                "Points inserted into shard windows (owned + ghost).",
+                &|s: &dod_stream::StreamStats| s.inserts,
+            ),
+            (
+                "dod_stream_ghost_inserts_total",
+                "Ghost replicas inserted into shard windows.",
+                &|s: &dod_stream::StreamStats| s.ghost_inserts,
+            ),
+            (
+                "dod_stream_expirations_total",
+                "Window residents expired.",
+                &|s: &dod_stream::StreamStats| s.expirations,
+            ),
+            (
+                "dod_stream_safe_promotions_total",
+                "Residents promoted to safe inliers.",
+                &|s: &dod_stream::StreamStats| s.safe_promotions,
+            ),
+        ]
+            as [(&str, &str, &dyn Fn(&dod_stream::StreamStats) -> u64); 4]
+        {
+            header(&mut out, metric, help, "counter");
+            for (id, s) in &stats {
+                let _ = writeln!(out, "{metric}{{session=\"{id}\"}} {}", value(s));
             }
-            if let Ok(ghost) = stream.ghost_route_stats() {
-                header(
-                    &mut out,
-                    "dod_shard_ghost_routes_total",
-                    "Ghost replicas routed from the owner shard into the target shard.",
-                    "counter",
-                );
-                for (owner, row) in ghost.pairs.iter().enumerate() {
-                    for (target, &count) in row.iter().enumerate() {
-                        if owner != target {
-                            let _ = writeln!(
-                                out,
-                                "dod_shard_ghost_routes_total{{owner=\"{owner}\",target=\"{target}\"}} {count}"
-                            );
-                        }
+        }
+        let ghosts: Vec<_> = sessions
+            .iter()
+            .filter_map(|(id, entry)| {
+                entry
+                    .pipeline
+                    .ghost_route_stats()
+                    .ok()
+                    .map(|g| (id.clone(), g))
+            })
+            .collect();
+        header(
+            &mut out,
+            "dod_shard_ghost_routes_total",
+            "Ghost replicas routed from the owner shard into the target shard.",
+            "counter",
+        );
+        for (id, ghost) in &ghosts {
+            for (owner, row) in ghost.pairs.iter().enumerate() {
+                for (target, &count) in row.iter().enumerate() {
+                    if owner != target {
+                        let _ = writeln!(
+                            out,
+                            "dod_shard_ghost_routes_total{{session=\"{id}\",owner=\"{owner}\",target=\"{target}\"}} {count}"
+                        );
                     }
                 }
-                header(
-                    &mut out,
-                    "dod_shard_owned_points_total",
-                    "Stream points owned by the shard (the ghost-rate denominator).",
-                    "counter",
+            }
+        }
+        header(
+            &mut out,
+            "dod_shard_owned_points_total",
+            "Stream points owned by the shard (the ghost-rate denominator).",
+            "counter",
+        );
+        for (id, ghost) in &ghosts {
+            for (shard, &owned) in ghost.owned.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "dod_shard_owned_points_total{{session=\"{id}\",shard=\"{shard}\"}} {owned}"
                 );
-                for (shard, &owned) in ghost.owned.iter().enumerate() {
-                    let _ = writeln!(
-                        out,
-                        "dod_shard_owned_points_total{{shard=\"{shard}\"}} {owned}"
-                    );
-                }
-                header(
-                    &mut out,
-                    "dod_shard_ghost_rate",
-                    "Fraction of the owner shard's owned points replicated into the target shard.",
-                    "gauge",
-                );
-                for (owner, row) in ghost.pairs.iter().enumerate() {
-                    let owned = ghost.owned.get(owner).copied().unwrap_or(0).max(1);
-                    for (target, &count) in row.iter().enumerate() {
-                        if owner != target {
-                            let _ = writeln!(
-                                out,
-                                "dod_shard_ghost_rate{{owner=\"{owner}\",target=\"{target}\"}} {}",
-                                dod_wire::render_number(count as f64 / owned as f64)
-                            );
-                        }
+            }
+        }
+        header(
+            &mut out,
+            "dod_shard_ghost_rate",
+            "Fraction of the owner shard's owned points replicated into the target shard.",
+            "gauge",
+        );
+        for (id, ghost) in &ghosts {
+            for (owner, row) in ghost.pairs.iter().enumerate() {
+                let owned = ghost.owned.get(owner).copied().unwrap_or(0).max(1);
+                for (target, &count) in row.iter().enumerate() {
+                    if owner != target {
+                        let _ = writeln!(
+                            out,
+                            "dod_shard_ghost_rate{{session=\"{id}\",owner=\"{owner}\",target=\"{target}\"}} {}",
+                            dod_wire::render_number(count as f64 / owned as f64)
+                        );
                     }
                 }
             }

@@ -1,21 +1,55 @@
-//! Route dispatch and the JSON protocol: request decoding, response
-//! encoding, and the `DodError`-derived error bodies.
+//! Route dispatch and the JSON protocol: resource-path parsing, request
+//! decoding, response encoding, and the uniform
+//! `{"error": {"kind", "message"}}` bodies.
+//!
+//! The path grammar is resource-oriented: collection routes
+//! (`/v1/engines`, `/v1/sessions`) plus item routes carrying one path
+//! parameter (`/v1/engines/{name}`, `/v1/sessions/{id}/ingest`, …),
+//! parsed by `Resource::parse` into a borrowed enum — no regex, no
+//! allocation. The three original singleton routes stay mounted as
+//! aliases for the [`DEFAULT_RESOURCE`] engine/session, with their
+//! pre-redesign bodies preserved
+//! byte-for-byte (the compat-shim tests pin this).
 
 use crate::http::Request;
-use crate::State;
-use dod_core::{DodError, OutlierReport, Query};
+use crate::registry::SessionEntry;
+use crate::streams::AnyStreamDetector;
+use crate::{State, DEFAULT_RESOURCE};
+use dod_core::telemetry::Counter;
+use dod_core::{DodError, IndexSpec, OutlierReport, Query};
+use dod_datasets::{EngineSpec, Family};
+use dod_metrics::MetricKind;
+use dod_stream::{Backend, WindowSpec};
+use dod_wire::shapes::{
+    EngineCreateRequest, EngineSummary, SessionCreateRequest, SessionSummary, WindowShape,
+};
 use dod_wire::{parse_json, JsonValue};
 
-/// The served routes, used as the metrics label (bounded cardinality:
-/// unknown paths all land in `Other`).
+/// The served route *shapes*, used as the metrics label: one variant per
+/// path pattern, path parameters not included, so the label cardinality
+/// is bounded by construction (unknown paths all land in `Other`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Route {
-    /// `POST /v1/query`
+    /// `POST /v1/query` (alias for the default engine's query).
     Query,
-    /// `POST /v1/ingest`
+    /// `POST /v1/ingest` (alias for the default session's ingest).
     Ingest,
-    /// `GET /v1/report`
+    /// `GET /v1/report` (alias for the default session's report).
     Report,
+    /// `GET /v1/engines`
+    Engines,
+    /// `PUT`/`GET`/`DELETE /v1/engines/{name}`
+    Engine,
+    /// `POST /v1/engines/{name}/query`
+    EngineQuery,
+    /// `POST`/`GET /v1/sessions`
+    Sessions,
+    /// `GET`/`DELETE /v1/sessions/{id}`
+    Session,
+    /// `POST /v1/sessions/{id}/ingest`
+    SessionIngest,
+    /// `GET /v1/sessions/{id}/report`
+    SessionReport,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -25,34 +59,136 @@ pub(crate) enum Route {
 }
 
 impl Route {
-    pub(crate) const ALL: [Route; 6] = [
+    pub(crate) const ALL: [Route; 13] = [
         Route::Query,
         Route::Ingest,
         Route::Report,
+        Route::Engines,
+        Route::Engine,
+        Route::EngineQuery,
+        Route::Sessions,
+        Route::Session,
+        Route::SessionIngest,
+        Route::SessionReport,
         Route::Healthz,
         Route::Metrics,
         Route::Other,
     ];
-
-    pub(crate) fn of(path: &str) -> Route {
-        match path {
-            "/v1/query" => Route::Query,
-            "/v1/ingest" => Route::Ingest,
-            "/v1/report" => Route::Report,
-            "/healthz" => Route::Healthz,
-            "/metrics" => Route::Metrics,
-            _ => Route::Other,
-        }
-    }
 
     pub(crate) fn name(self) -> &'static str {
         match self {
             Route::Query => "query",
             Route::Ingest => "ingest",
             Route::Report => "report",
+            Route::Engines => "engines",
+            Route::Engine => "engine",
+            Route::EngineQuery => "engine_query",
+            Route::Sessions => "sessions",
+            Route::Session => "session",
+            Route::SessionIngest => "session_ingest",
+            Route::SessionReport => "session_report",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
             Route::Other => "other",
+        }
+    }
+}
+
+/// Every route the server mounts, as `(method, path pattern)` — the
+/// source of truth the README's API table is checked against by
+/// `scripts/check_api_table.sh` in CI.
+pub const API_ROUTES: &[(&str, &str)] = &[
+    ("GET", "/v1/engines"),
+    ("PUT", "/v1/engines/{name}"),
+    ("GET", "/v1/engines/{name}"),
+    ("DELETE", "/v1/engines/{name}"),
+    ("POST", "/v1/engines/{name}/query"),
+    ("POST", "/v1/sessions"),
+    ("GET", "/v1/sessions"),
+    ("GET", "/v1/sessions/{id}"),
+    ("DELETE", "/v1/sessions/{id}"),
+    ("POST", "/v1/sessions/{id}/ingest"),
+    ("GET", "/v1/sessions/{id}/report"),
+    ("POST", "/v1/query"),
+    ("POST", "/v1/ingest"),
+    ("GET", "/v1/report"),
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+];
+
+/// A parsed request path: which resource, with path parameters borrowed
+/// from the request.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Resource<'a> {
+    Query,
+    Ingest,
+    Report,
+    Engines,
+    Engine(&'a str),
+    EngineQuery(&'a str),
+    Sessions,
+    Session(&'a str),
+    SessionIngest(&'a str),
+    SessionReport(&'a str),
+    Healthz,
+    Metrics,
+    Unknown,
+}
+
+/// Resource names are short identifiers — no separators, no escapes —
+/// so a name is also safe to echo into error messages and metric labels.
+fn valid_name(s: &str) -> bool {
+    (1..=64).contains(&s.len())
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl<'a> Resource<'a> {
+    pub(crate) fn parse(path: &'a str) -> Resource<'a> {
+        match path {
+            "/v1/query" => return Resource::Query,
+            "/v1/ingest" => return Resource::Ingest,
+            "/v1/report" => return Resource::Report,
+            "/v1/engines" => return Resource::Engines,
+            "/v1/sessions" => return Resource::Sessions,
+            "/healthz" => return Resource::Healthz,
+            "/metrics" => return Resource::Metrics,
+            _ => {}
+        }
+        if let Some(rest) = path.strip_prefix("/v1/engines/") {
+            return match rest.split_once('/') {
+                None if valid_name(rest) => Resource::Engine(rest),
+                Some((name, "query")) if valid_name(name) => Resource::EngineQuery(name),
+                _ => Resource::Unknown,
+            };
+        }
+        if let Some(rest) = path.strip_prefix("/v1/sessions/") {
+            return match rest.split_once('/') {
+                None if valid_name(rest) => Resource::Session(rest),
+                Some((id, "ingest")) if valid_name(id) => Resource::SessionIngest(id),
+                Some((id, "report")) if valid_name(id) => Resource::SessionReport(id),
+                _ => Resource::Unknown,
+            };
+        }
+        Resource::Unknown
+    }
+
+    /// The bounded-cardinality metrics label for this resource.
+    pub(crate) fn route(&self) -> Route {
+        match self {
+            Resource::Query => Route::Query,
+            Resource::Ingest => Route::Ingest,
+            Resource::Report => Route::Report,
+            Resource::Engines => Route::Engines,
+            Resource::Engine(_) => Route::Engine,
+            Resource::EngineQuery(_) => Route::EngineQuery,
+            Resource::Sessions => Route::Sessions,
+            Resource::Session(_) => Route::Session,
+            Resource::SessionIngest(_) => Route::SessionIngest,
+            Resource::SessionReport(_) => Route::SessionReport,
+            Resource::Healthz => Route::Healthz,
+            Resource::Metrics => Route::Metrics,
+            Resource::Unknown => Route::Other,
         }
     }
 }
@@ -86,6 +222,14 @@ impl Response {
 /// size limit bounds bytes, this bounds amplification (a tiny body
 /// requesting enormous per-item work).
 const MAX_BATCH_ITEMS: usize = 4096;
+
+/// Upper bound on the `"n"` of a `PUT /v1/engines/{name}` body: index
+/// construction is super-linear work triggered by a ~50-byte request, so
+/// it gets its own amplification bound.
+const MAX_ENGINE_POINTS: usize = 100_000;
+
+/// Upper bound on a wire session's vector dimension.
+const MAX_SESSION_DIM: usize = 4096;
 
 /// The `{"error": {"kind": …, "message": …}}` body every non-2xx answer
 /// carries.
@@ -128,6 +272,40 @@ pub fn dod_error_status(e: &DodError) -> u16 {
     }
 }
 
+/// The error-body `kind` for a failure the HTTP layer itself diagnosed
+/// (framing, limits, timeouts), keyed by the status it answers with —
+/// the counterpart of [`dod_error_kind`] for errors that never were a
+/// [`DodError`].
+pub fn http_error_kind(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "timeout",
+        413 => "payload_too_large",
+        429 => "too_many_requests",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        503 => "unavailable",
+        505 => "unsupported_version",
+        _ => "http",
+    }
+}
+
+/// Maps an engine's [`index_name`](crate::QueryEngine::index_name)
+/// display string to the canonical wire spelling, for engines mounted
+/// through the builder (wire-created engines keep their spec's exact
+/// spelling, degree included).
+pub(crate) fn index_wire_name(display: &str) -> &'static str {
+    match display {
+        "MRPG" => "mrpg",
+        "NSW" => "nsw",
+        "KGraph" => "kgraph",
+        "VP-tree" => "vptree",
+        _ => "none",
+    }
+}
+
 fn dod_error_response(e: &DodError) -> Response {
     Response::json(
         dod_error_status(e),
@@ -154,7 +332,8 @@ pub mod encode {
         ])
     }
 
-    /// The `/v1/query` response body for a batch of reports.
+    /// The query response body for a batch of reports (`/v1/query` and
+    /// `/v1/engines/{name}/query` answer identical bytes).
     pub fn query_response(reports: &[OutlierReport]) -> String {
         JsonValue::obj([(
             "results",
@@ -163,7 +342,7 @@ pub mod encode {
         .render()
     }
 
-    /// The `/v1/report` response body: current outliers as global stream
+    /// The report response body: current outliers as global stream
     /// seqs, ascending (the
     /// [`ShardedStreamDetector::outliers`](dod_shard::ShardedStreamDetector::outliers)
     /// shape).
@@ -171,13 +350,13 @@ pub mod encode {
         JsonValue::obj([("outliers", JsonValue::arr(outlier_seqs.iter().copied()))]).render()
     }
 
-    /// The `/v1/ingest` response body.
+    /// The ingest response body.
     pub fn ingest_response(accepted: usize) -> String {
         JsonValue::obj([("accepted", JsonValue::from(accepted))]).render()
     }
 }
 
-/// Decodes the `/v1/query` body into validated queries. A wire-supplied
+/// Decodes a query body into validated queries. A wire-supplied
 /// `"threads"` is clamped to `max_threads`: the body size limit bounds
 /// bytes and [`MAX_BATCH_ITEMS`] bounds items, this bounds the third
 /// amplification axis (one tiny query demanding millions of OS threads
@@ -216,7 +395,7 @@ fn parse_queries(body: &[u8], max_threads: usize) -> Result<Vec<Query>, Response
     Ok(queries)
 }
 
-/// Decodes the `/v1/ingest` body into dimension-checked points.
+/// Decodes an ingest body into dimension-checked points.
 fn parse_points(body: &[u8], dim: usize) -> Result<Vec<Vec<f32>>, Response> {
     let doc = parse_body(body)?;
     let Some(items) = doc.get("points").and_then(JsonValue::as_arr) else {
@@ -292,6 +471,10 @@ fn bad_request(message: &str) -> Response {
     Response::json(400, error_body("bad_request", message))
 }
 
+fn invalid_spec(message: &str) -> Response {
+    Response::json(400, error_body("invalid_spec", message))
+}
+
 fn method_not_allowed(allowed: &str) -> Response {
     Response::json(
         405,
@@ -309,75 +492,445 @@ fn unavailable(what: &str) -> Response {
     )
 }
 
+fn not_found(message: &str) -> Response {
+    Response::json(404, error_body("not_found", message))
+}
+
 /// Answers one request. Infallible by construction: every failure path is
 /// a 4xx/5xx response, so a malformed request can never take the worker
 /// (or the connection pool) down.
 pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
-    let route = Route::of(&req.path);
-    let resp = match route {
-        Route::Query => match req.method.as_str() {
-            "POST" => handle_query(state, req),
+    let resource = Resource::parse(&req.path);
+    let route = resource.route();
+    let method = req.method.as_str();
+    let resp = match resource {
+        // Legacy aliases: same handlers as the named routes, but a
+        // missing default resource answers the pre-redesign 503 (the
+        // server "was started without" it), not a 404 — these routes
+        // predate the registry and their bodies are pinned.
+        Resource::Query => match method {
+            "POST" => handle_engine_query(state, DEFAULT_RESOURCE, req, unavailable("an engine")),
             _ => method_not_allowed("POST"),
         },
-        Route::Ingest => match req.method.as_str() {
-            "POST" => handle_ingest(state, req),
-            _ => method_not_allowed("POST"),
-        },
-        Route::Report => match req.method.as_str() {
-            "GET" => handle_report(state),
-            _ => method_not_allowed("GET"),
-        },
-        Route::Healthz => match req.method.as_str() {
-            "GET" => Response::json(
-                200,
-                JsonValue::obj([
-                    ("status", JsonValue::from("ok")),
-                    ("engine", JsonValue::from(state.engine.is_some())),
-                    ("stream", JsonValue::from(state.stream.is_some())),
-                ])
-                .render(),
+        Resource::Ingest => match method {
+            "POST" => handle_session_ingest(
+                state,
+                DEFAULT_RESOURCE,
+                req,
+                unavailable("a stream session"),
             ),
+            _ => method_not_allowed("POST"),
+        },
+        Resource::Report => match method {
+            "GET" => {
+                handle_session_report(state, DEFAULT_RESOURCE, unavailable("a stream session"))
+            }
             _ => method_not_allowed("GET"),
         },
-        Route::Metrics => match req.method.as_str() {
+        Resource::Engines => match method {
+            "GET" => handle_engine_list(state),
+            _ => method_not_allowed("GET"),
+        },
+        Resource::Engine(name) => match method {
+            "PUT" => handle_engine_put(state, name, req),
+            "GET" => handle_engine_get(state, name),
+            "DELETE" => handle_engine_delete(state, name),
+            _ => method_not_allowed("PUT, GET or DELETE"),
+        },
+        Resource::EngineQuery(name) => match method {
+            "POST" => handle_engine_query(state, name, req, no_engine(name)),
+            _ => method_not_allowed("POST"),
+        },
+        Resource::Sessions => match method {
+            "POST" => handle_session_create(state, req),
+            "GET" => handle_session_list(state),
+            _ => method_not_allowed("POST or GET"),
+        },
+        Resource::Session(id) => match method {
+            "GET" => handle_session_get(state, id),
+            "DELETE" => handle_session_delete(state, id),
+            _ => method_not_allowed("GET or DELETE"),
+        },
+        Resource::SessionIngest(id) => match method {
+            "POST" => handle_session_ingest(state, id, req, no_session(id)),
+            _ => method_not_allowed("POST"),
+        },
+        Resource::SessionReport(id) => match method {
+            "GET" => handle_session_report(state, id, no_session(id)),
+            _ => method_not_allowed("GET"),
+        },
+        Resource::Healthz => match method {
+            "GET" => handle_healthz(state),
+            _ => method_not_allowed("GET"),
+        },
+        Resource::Metrics => match method {
             "GET" => Response::text(200, crate::prom::render(state)),
             _ => method_not_allowed("GET"),
         },
-        Route::Other => Response::json(
-            404,
-            error_body("not_found", &format!("no route {}", req.path)),
-        ),
+        Resource::Unknown => not_found(&format!("no route {}", req.path)),
     };
     (route, resp)
 }
 
-fn handle_query(state: &State, req: &Request) -> Response {
-    let Some(engine) = &state.engine else {
-        return unavailable("an engine");
+fn no_engine(name: &str) -> Response {
+    not_found(&format!("no engine named {name:?}"))
+}
+
+fn no_session(id: &str) -> Response {
+    not_found(&format!("no session {id:?}"))
+}
+
+fn handle_healthz(state: &State) -> Response {
+    let (default_engine, engines) = {
+        let reg = state.engines.read().expect("engine registry lock");
+        (reg.peek(DEFAULT_RESOURCE).is_some(), reg.len())
+    };
+    let (default_session, sessions) = {
+        let reg = state.sessions.read().expect("session registry lock");
+        (reg.get(DEFAULT_RESOURCE).is_some(), reg.len())
+    };
+    Response::json(
+        200,
+        JsonValue::obj([
+            ("status", JsonValue::from("ok")),
+            ("engine", JsonValue::from(default_engine)),
+            ("stream", JsonValue::from(default_session)),
+            ("engines", JsonValue::from(engines)),
+            ("sessions", JsonValue::from(sessions)),
+        ])
+        .render(),
+    )
+}
+
+// ---- engines -------------------------------------------------------------
+
+fn engine_summary(name: &str, entry: &crate::registry::EngineEntry) -> JsonValue {
+    EngineSummary {
+        name: name.to_string(),
+        index: entry.index.clone(),
+        points: entry.engine.len() as u64,
+        index_bytes: entry.engine.index_bytes() as u64,
+    }
+    .to_json()
+}
+
+fn handle_engine_list(state: &State) -> Response {
+    let reg = state.engines.read().expect("engine registry lock");
+    let engines: Vec<JsonValue> = reg
+        .sorted()
+        .iter()
+        .map(|(name, entry)| engine_summary(name, entry))
+        .collect();
+    let capacity = reg.capacity();
+    drop(reg);
+    Response::json(
+        200,
+        JsonValue::obj([
+            ("engines", JsonValue::Arr(engines)),
+            ("capacity", JsonValue::from(capacity)),
+        ])
+        .render(),
+    )
+}
+
+fn handle_engine_get(state: &State, name: &str) -> Response {
+    // peek, not get: inspecting an engine is not using it, so a listing
+    // crawler must not keep a cold engine warm.
+    let Some(entry) = state
+        .engines
+        .read()
+        .expect("engine registry lock")
+        .peek(name)
+    else {
+        return no_engine(name);
+    };
+    Response::json(200, engine_summary(name, &entry).render())
+}
+
+fn handle_engine_put(state: &State, name: &str, req: &Request) -> Response {
+    let doc = match parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let create = match EngineCreateRequest::from_json(&doc) {
+        Ok(c) => c,
+        Err(msg) => return bad_request(&msg),
+    };
+    let Some(family) = Family::parse(&create.family) else {
+        let known: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        return invalid_spec(&format!(
+            "unknown dataset family {:?}; one of: {}",
+            create.family,
+            known.join(", ")
+        ));
+    };
+    if create.n == 0 || create.n as usize > MAX_ENGINE_POINTS {
+        return bad_request(&format!(
+            "\"n\" must be between 1 and {MAX_ENGINE_POINTS}, got {}",
+            create.n
+        ));
+    }
+    let index: IndexSpec = match &create.index {
+        Some(s) => match s.parse() {
+            Ok(spec) => spec,
+            Err(e) => return dod_error_response(&e),
+        },
+        // The serving default: exact, cheap to build, no parameters.
+        None => IndexSpec::VpTree,
+    };
+    let spec = EngineSpec {
+        family,
+        n: create.n as usize,
+        seed: create.seed,
+        index,
+    };
+    // The expensive part — dataset generation plus index construction
+    // (or restore) — runs with no lock held: a slow build must not block
+    // queries against resident engines.
+    let built = match &create.load {
+        Some(path) => std::fs::File::open(path)
+            .map_err(DodError::from)
+            .and_then(|f| spec.load(std::io::BufReader::new(f))),
+        None => spec.build(),
+    };
+    let engine = match built {
+        Ok(engine) => engine,
+        Err(e) => return dod_error_response(&e),
+    };
+    let index_text = spec.index.to_string();
+    let (created, evicted) = {
+        let mut reg = state.engines.write().expect("engine registry lock");
+        reg.insert(name, std::sync::Arc::new(engine), index_text)
+    };
+    let entry = state
+        .engines
+        .read()
+        .expect("engine registry lock")
+        .peek(name)
+        .expect("just inserted; capacity ≥ 1 keeps the newest entry");
+    Response::json(
+        if created { 201 } else { 200 },
+        JsonValue::obj([
+            ("engine", engine_summary(name, &entry)),
+            ("created", JsonValue::from(created)),
+            (
+                "evicted",
+                JsonValue::Arr(
+                    evicted
+                        .iter()
+                        .map(|n| JsonValue::from(n.as_str()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render(),
+    )
+}
+
+fn handle_engine_delete(state: &State, name: &str) -> Response {
+    let removed = state
+        .engines
+        .write()
+        .expect("engine registry lock")
+        .remove(name);
+    match removed {
+        // The entry drops here, outside the lock.
+        Some(_) => Response::json(
+            200,
+            JsonValue::obj([("deleted", JsonValue::from(name))]).render(),
+        ),
+        None => no_engine(name),
+    }
+}
+
+fn handle_engine_query(state: &State, name: &str, req: &Request, missing: Response) -> Response {
+    // get, not peek: answering queries is exactly what "recently used"
+    // means for the LRU bound.
+    let Some(entry) = state
+        .engines
+        .read()
+        .expect("engine registry lock")
+        .get(name)
+    else {
+        return missing;
     };
     let queries = match parse_queries(&req.body, state.max_query_threads) {
         Ok(q) => q,
         Err(resp) => return resp,
     };
-    match engine.query_many(&queries) {
+    match entry.engine.query_many(&queries) {
         Ok(reports) => Response::json(200, encode::query_response(&reports)),
         Err(e) => dod_error_response(&e),
     }
 }
 
-fn handle_ingest(state: &State, req: &Request) -> Response {
-    let Some(stream) = &state.stream else {
-        return unavailable("a stream session");
+// ---- sessions ------------------------------------------------------------
+
+fn session_summary(id: &str, entry: &SessionEntry) -> JsonValue {
+    SessionSummary {
+        id: id.to_string(),
+        metric: entry.metric.to_string(),
+        dim: entry.pipeline.dim() as u64,
+        shards: entry.shards as u64,
+        ingested: entry.ingested.get(),
+    }
+    .to_json()
+}
+
+fn handle_session_list(state: &State) -> Response {
+    let reg = state.sessions.read().expect("session registry lock");
+    let sessions: Vec<JsonValue> = reg
+        .sorted()
+        .iter()
+        .map(|(id, entry)| session_summary(id, entry))
+        .collect();
+    let capacity = reg.capacity();
+    drop(reg);
+    Response::json(
+        200,
+        JsonValue::obj([
+            ("sessions", JsonValue::Arr(sessions)),
+            ("capacity", JsonValue::from(capacity)),
+        ])
+        .render(),
+    )
+}
+
+fn handle_session_get(state: &State, id: &str) -> Response {
+    let Some(entry) = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .get(id)
+    else {
+        return no_session(id);
     };
-    let points = match parse_points(&req.body, stream.dim()) {
+    Response::json(200, session_summary(id, &entry).render())
+}
+
+fn handle_session_create(state: &State, req: &Request) -> Response {
+    let doc = match parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let create = match SessionCreateRequest::from_json(&doc) {
+        Ok(c) => c,
+        Err(msg) => return bad_request(&msg),
+    };
+    let Some(kind) = MetricKind::parse_wire(&create.metric) else {
+        return invalid_spec(&format!(
+            "unknown metric {:?}; one of: l1, l2, l4, angular",
+            create.metric
+        ));
+    };
+    if create.dim as usize > MAX_SESSION_DIM {
+        return bad_request(&format!(
+            "\"dim\" of {} exceeds the limit of {MAX_SESSION_DIM}",
+            create.dim
+        ));
+    }
+    let query = match Query::new(create.r, create.k as usize) {
+        Ok(q) => q,
+        Err(e) => return dod_error_response(&e),
+    };
+    let window = match create.window {
+        WindowShape::Count(w) => WindowSpec::Count(w as usize),
+        WindowShape::Time(horizon) => WindowSpec::Time(horizon),
+    };
+    let mut shard_spec = dod_shard::ShardSpec::new(create.shards as usize);
+    if let Some(warmup) = create.warmup {
+        shard_spec = shard_spec.with_warmup(warmup as usize);
+    }
+    if let Some(pivots) = create.pivots_per_shard {
+        shard_spec = shard_spec.with_pivots_per_shard(pivots as usize);
+    }
+    // Exhaustive per-shard backend: wire sessions promise exact answers.
+    let detector = match AnyStreamDetector::open(
+        kind,
+        create.dim as usize,
+        query,
+        window,
+        Backend::Exhaustive,
+        shard_spec,
+    ) {
+        Ok(det) => det,
+        Err(e) => return dod_error_response(&e),
+    };
+    let metric = detector.metric_name();
+    let shards = detector.shard_count();
+    let entry = SessionEntry {
+        pipeline: detector.into_pipeline(state.pipeline_queue),
+        metric,
+        shards,
+        ingested: Counter::new(),
+    };
+    let opened = state
+        .sessions
+        .write()
+        .expect("session registry lock")
+        .open(entry);
+    match opened {
+        Ok((id, entry)) => Response::json(201, session_summary(&id, &entry).render()),
+        Err(refused_entry) => {
+            let capacity = state
+                .sessions
+                .read()
+                .expect("session registry lock")
+                .capacity();
+            // The refused pipeline's threads join here, outside the lock.
+            drop(refused_entry);
+            Response::json(
+                429,
+                error_body(
+                    "too_many_requests",
+                    &format!("session capacity of {capacity} reached; delete a session first"),
+                ),
+            )
+        }
+    }
+}
+
+fn handle_session_delete(state: &State, id: &str) -> Response {
+    let removed = state
+        .sessions
+        .write()
+        .expect("session registry lock")
+        .remove(id);
+    match removed {
+        Some(entry) => {
+            let resp = Response::json(
+                200,
+                JsonValue::obj([("deleted", JsonValue::from(id))]).render(),
+            );
+            // The last Arc drop joins the pipeline's threads — after the
+            // lock is gone, and possibly deferred to an in-flight handler
+            // still holding a clone.
+            drop(entry);
+            resp
+        }
+        None => no_session(id),
+    }
+}
+
+fn handle_session_ingest(state: &State, id: &str, req: &Request, missing: Response) -> Response {
+    let Some(entry) = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .get(id)
+    else {
+        return missing;
+    };
+    let points = match parse_points(&req.body, entry.pipeline.dim()) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
     let accepted = points.len();
-    match stream.insert_many(points) {
+    match entry.pipeline.insert_many(points) {
         Ok(()) => {
             // Counted only once the pipeline has the points: a dead
             // pipeline answering 5xx must not inflate the accept counter.
+            entry.ingested.add(accepted as u64);
             state.ingested_points.add(accepted as u64);
             Response::json(200, encode::ingest_response(accepted))
         }
@@ -385,12 +938,182 @@ fn handle_ingest(state: &State, req: &Request) -> Response {
     }
 }
 
-fn handle_report(state: &State) -> Response {
-    let Some(stream) = &state.stream else {
-        return unavailable("a stream session");
+fn handle_session_report(state: &State, id: &str, missing: Response) -> Response {
+    let Some(entry) = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .get(id)
+    else {
+        return missing;
     };
-    match stream.outliers() {
+    match entry.pipeline.outliers() {
         Ok(seqs) => Response::json(200, encode::stream_report_response(&seqs)),
         Err(e) => dod_error_response(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every `DodError` variant's wire kind and status, pinned: a new
+    /// variant (or a remapping) must consciously edit this table, because
+    /// clients branch on these strings.
+    #[test]
+    fn dod_error_kinds_and_statuses_are_pinned() {
+        let io = DodError::from(std::io::Error::other("x"));
+        let cases: Vec<(DodError, &str, u16)> = vec![
+            (
+                Query::new(-1.0, 3).expect_err("negative radius"),
+                "invalid_radius",
+                400,
+            ),
+            (
+                DodError::InvalidWindow {
+                    reason: "w".to_string(),
+                },
+                "invalid_window",
+                400,
+            ),
+            (
+                DodError::InvalidSpec {
+                    reason: "s".to_string(),
+                },
+                "invalid_spec",
+                400,
+            ),
+            (
+                DodError::InvalidShardSpec {
+                    reason: "s".to_string(),
+                },
+                "invalid_shard_spec",
+                400,
+            ),
+            (
+                DodError::SizeMismatch { index: 1, data: 2 },
+                "size_mismatch",
+                400,
+            ),
+            (
+                DodError::FamilyMismatch {
+                    expected: "a",
+                    found: "b",
+                },
+                "family_mismatch",
+                400,
+            ),
+            (
+                DodError::Corrupt {
+                    offset: 0,
+                    reason: "c",
+                },
+                "corrupt",
+                500,
+            ),
+            (io, "io", 503),
+        ];
+        for (e, kind, status) in &cases {
+            assert_eq!(dod_error_kind(e), *kind, "{e}");
+            assert_eq!(dod_error_status(e), *status, "{e}");
+        }
+    }
+
+    /// Every HTTP-layer status the server can answer with has a stable
+    /// envelope kind — including the framing failures (408/413/431/505)
+    /// that never touch a route handler.
+    #[test]
+    fn http_error_kinds_are_pinned() {
+        let table = [
+            (400, "bad_request"),
+            (404, "not_found"),
+            (405, "method_not_allowed"),
+            (408, "timeout"),
+            (413, "payload_too_large"),
+            (429, "too_many_requests"),
+            (431, "headers_too_large"),
+            (501, "not_implemented"),
+            (503, "unavailable"),
+            (505, "unsupported_version"),
+        ];
+        for (status, kind) in table {
+            assert_eq!(http_error_kind(status), kind, "status {status}");
+        }
+        assert_eq!(http_error_kind(599), "http", "unknown statuses degrade");
+    }
+
+    /// The error body is the uniform envelope — and parses as one.
+    #[test]
+    fn error_bodies_are_envelopes() {
+        let body = error_body("not_found", "no engine named \"x\"");
+        let doc = parse_json(&body).expect("valid json");
+        let envelope = dod_wire::shapes::ErrorEnvelope::from_json(&doc).expect("envelope");
+        assert_eq!(envelope.kind, "not_found");
+        assert_eq!(envelope.message, "no engine named \"x\"");
+    }
+
+    #[test]
+    fn resource_paths_parse() {
+        use Resource::*;
+        let cases: Vec<(&str, Resource)> = vec![
+            ("/v1/query", Query),
+            ("/v1/ingest", Ingest),
+            ("/v1/report", Report),
+            ("/v1/engines", Engines),
+            ("/v1/engines/prod", Engine("prod")),
+            ("/v1/engines/prod/query", EngineQuery("prod")),
+            ("/v1/engines/a-b_3", Engine("a-b_3")),
+            ("/v1/sessions", Sessions),
+            ("/v1/sessions/s1", Session("s1")),
+            ("/v1/sessions/s1/ingest", SessionIngest("s1")),
+            ("/v1/sessions/s1/report", SessionReport("s1")),
+            ("/healthz", Healthz),
+            ("/metrics", Metrics),
+            // Malformed or hostile paths all fall to Unknown (→ 404).
+            ("/", Unknown),
+            ("/v1/engines/", Unknown),
+            ("/v1/engines/a/b", Unknown),
+            ("/v1/engines/prod/query/extra", Unknown),
+            ("/v1/engines/bad name", Unknown),
+            ("/v1/engines/../etc", Unknown),
+            ("/v1/sessions/s1/flush", Unknown),
+            ("/v2/engines", Unknown),
+        ];
+        for (path, want) in cases {
+            assert_eq!(Resource::parse(path), want, "{path}");
+        }
+        let long = format!("/v1/engines/{}", "a".repeat(65));
+        assert_eq!(Resource::parse(&long), Unknown, "names are length-capped");
+    }
+
+    /// Each mounted route pattern maps onto the Route metrics label its
+    /// Resource parses to — the API table and the label set cannot drift
+    /// apart.
+    #[test]
+    fn api_routes_cover_the_resource_space() {
+        for (method, pattern) in API_ROUTES {
+            let concrete = pattern.replace("{name}", "x").replace("{id}", "s1");
+            let resource = Resource::parse(&concrete);
+            assert_ne!(
+                resource,
+                Resource::Unknown,
+                "{method} {pattern} does not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn index_wire_names_cover_every_display_name() {
+        for (display, wire) in [
+            ("MRPG", "mrpg"),
+            ("NSW", "nsw"),
+            ("KGraph", "kgraph"),
+            ("VP-tree", "vptree"),
+            ("Nested-loop", "none"),
+        ] {
+            assert_eq!(index_wire_name(display), wire);
+            let spec: IndexSpec = wire.parse().expect("wire spelling parses");
+            let _ = spec; // the mapping lands inside the canonical grammar
+        }
     }
 }

@@ -9,10 +9,10 @@
 //! number arrays; a string-space session has no natural wire shape here
 //! and stays an in-process API.
 
-use dod_core::DodError;
-use dod_metrics::{Angular, L1, L2, L4};
-use dod_shard::{GhostRouteStats, IngestPipeline, ShardedStreamDetector};
-use dod_stream::{StreamStats, VectorSpace};
+use dod_core::{DodError, Query};
+use dod_metrics::{Angular, MetricKind, L1, L2, L4};
+use dod_shard::{GhostRouteStats, IngestPipeline, ShardSpec, ShardedStreamDetector};
+use dod_stream::{Backend, StreamStats, VectorSpace, WindowSpec};
 
 /// A sharded sliding-window detector over any served vector metric,
 /// ready to be mounted on a server. Build the concrete detector with
@@ -40,6 +40,93 @@ macro_rules! impl_from {
 impl_from!(L1, L2, L4, Angular);
 
 impl AnyStreamDetector {
+    /// Opens a sharded detector from wire-level configuration: the
+    /// metric by [`MetricKind`] instead of by type. This is how
+    /// `POST /v1/sessions` builds a session — the metric arrives as a
+    /// string, so the type dispatch has to happen at runtime, here.
+    ///
+    /// Only the vector metrics are servable ([`MetricKind::Edit`] has no
+    /// JSON point shape, and no served space uses
+    /// [`MetricKind::Chebyshev`]); others answer
+    /// [`DodError::InvalidSpec`].
+    pub fn open(
+        kind: MetricKind,
+        dim: usize,
+        query: Query,
+        window: WindowSpec,
+        backend: Backend,
+        spec: ShardSpec,
+    ) -> Result<Self, DodError> {
+        if dim == 0 {
+            return Err(DodError::InvalidSpec {
+                reason: "a session's vector dimension must be at least 1".to_string(),
+            });
+        }
+        Ok(match kind {
+            MetricKind::L1 => ShardedStreamDetector::open(
+                VectorSpace::new(L1, dim),
+                query,
+                window,
+                backend,
+                spec,
+            )?
+            .into(),
+            MetricKind::L2 => ShardedStreamDetector::open(
+                VectorSpace::new(L2, dim),
+                query,
+                window,
+                backend,
+                spec,
+            )?
+            .into(),
+            MetricKind::L4 => ShardedStreamDetector::open(
+                VectorSpace::new(L4, dim),
+                query,
+                window,
+                backend,
+                spec,
+            )?
+            .into(),
+            MetricKind::Angular => ShardedStreamDetector::open(
+                VectorSpace::new(Angular, dim),
+                query,
+                window,
+                backend,
+                spec,
+            )?
+            .into(),
+            other => {
+                return Err(DodError::InvalidSpec {
+                    reason: format!(
+                        "metric {:?} is not servable over HTTP; use one of l1, l2, l4, angular",
+                        other.wire_name()
+                    ),
+                })
+            }
+        })
+    }
+
+    /// Wire name of the session's metric (`l1`, `l2`, `l4`, `angular`).
+    pub(crate) fn metric_name(&self) -> &'static str {
+        match self {
+            AnyStreamDetector::L1(_) => MetricKind::L1.wire_name(),
+            AnyStreamDetector::L2(_) => MetricKind::L2.wire_name(),
+            AnyStreamDetector::L4(_) => MetricKind::L4.wire_name(),
+            AnyStreamDetector::Angular(_) => MetricKind::Angular.wire_name(),
+        }
+    }
+
+    /// Shards the window is partitioned across (listing metadata,
+    /// captured before the detector moves onto its pipeline threads).
+    pub(crate) fn shard_count(&self) -> usize {
+        match self {
+            AnyStreamDetector::L1(det) => det.spec().shards,
+            AnyStreamDetector::L2(det) => det.spec().shards,
+            AnyStreamDetector::L4(det) => det.spec().shards,
+            AnyStreamDetector::Angular(det) => det.spec().shards,
+        }
+    }
+
     /// The pinned vector dimension of the session's space — the
     /// validation boundary for wire points. (A wrong-length point must be
     /// rejected at the route, because `Space::prepare` enforces the

@@ -258,25 +258,39 @@ fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
     post(addr, "/v1/query", r#"{"queries":[{"r":60,"k":40}]}"#);
     let (status, text) = get(addr, "/metrics");
     assert_eq!(status, 200);
-    assert!(text.contains("dod_engine_queries_total 4"), "{text}");
-    assert!(text.contains("dod_engine_batches_total 2"), "{text}");
-    assert!(text.contains("dod_engine_query_errors_total 0"), "{text}");
+    // Engine series are labeled by registry name; a builder-mounted
+    // engine is the "default" one.
+    assert!(
+        text.contains("dod_engine_queries_total{engine=\"default\"} 4"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_engine_batches_total{engine=\"default\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_engine_query_errors_total{engine=\"default\"} 0"),
+        "{text}"
+    );
+    assert!(text.contains("dod_engine_resident 1"), "{text}");
     // Histogram: buckets, +Inf, sum and count; 3 timed observations (the
     // duplicate was answered by clone, not re-timed).
     assert!(
-        text.contains("dod_engine_query_latency_seconds_bucket{le=\"+Inf\"} 3"),
+        text.contains("dod_engine_query_latency_seconds_bucket{engine=\"default\",le=\"+Inf\"} 3"),
         "{text}"
     );
     assert!(
-        text.contains("dod_engine_query_latency_seconds_bucket{le=\"0.000001\"}"),
+        text.contains(
+            "dod_engine_query_latency_seconds_bucket{engine=\"default\",le=\"0.000001\"}"
+        ),
         "{text}"
     );
     assert!(
-        text.contains("dod_engine_query_latency_seconds_sum"),
+        text.contains("dod_engine_query_latency_seconds_sum{engine=\"default\"}"),
         "{text}"
     );
     assert!(
-        text.contains("dod_engine_query_latency_seconds_count 3"),
+        text.contains("dod_engine_query_latency_seconds_count{engine=\"default\"} 3"),
         "{text}"
     );
     // Request accounting by route and class.
@@ -297,8 +311,15 @@ fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
     let (_, _) = get(handle.addr(), "/v1/report"); // barrier: drain queues
     let (status, text) = get(handle.addr(), "/metrics");
     assert_eq!(status, 200);
-    assert!(text.contains("dod_stream_inserts_total"), "{text}");
-    assert!(text.contains("dod_stream_ghost_inserts_total"), "{text}");
+    assert!(
+        text.contains("dod_stream_inserts_total{session=\"default\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dod_stream_ghost_inserts_total{session=\"default\"}"),
+        "{text}"
+    );
+    assert!(text.contains("dod_session_active 1"), "{text}");
     // The boundary drifters must have ghosted across the shard pair, in
     // at least one direction.
     let ghost_lines: Vec<&str> = text
@@ -316,23 +337,32 @@ fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
         .sum();
     assert!(total_ghosts > 0, "boundary points must replicate: {text}");
     assert!(
-        text.contains("dod_shard_ghost_rate{owner=\"0\",target=\"1\"}"),
+        text.contains("dod_shard_ghost_rate{session=\"default\",owner=\"0\",target=\"1\"}"),
         "{text}"
     );
     assert!(
-        text.contains("dod_shard_ghost_rate{owner=\"1\",target=\"0\"}"),
+        text.contains("dod_shard_ghost_rate{session=\"default\",owner=\"1\",target=\"0\"}"),
         "{text}"
     );
     // Ghost rates are per-owner: rate[o][t] = routes[o][t] / owned[o],
     // and the owned counts partition the stream exactly.
-    let owned0 = metric_value(&text, "dod_shard_owned_points_total{shard=\"0\"}");
-    let owned1 = metric_value(&text, "dod_shard_owned_points_total{shard=\"1\"}");
+    let owned0 = metric_value(
+        &text,
+        "dod_shard_owned_points_total{session=\"default\",shard=\"0\"}",
+    );
+    let owned1 = metric_value(
+        &text,
+        "dod_shard_owned_points_total{session=\"default\",shard=\"1\"}",
+    );
     assert_eq!((owned0 + owned1) as usize, stream_points().len(), "{text}");
     let routes01 = metric_value(
         &text,
-        "dod_shard_ghost_routes_total{owner=\"0\",target=\"1\"}",
+        "dod_shard_ghost_routes_total{session=\"default\",owner=\"0\",target=\"1\"}",
     );
-    let rate01 = metric_value(&text, "dod_shard_ghost_rate{owner=\"0\",target=\"1\"}");
+    let rate01 = metric_value(
+        &text,
+        "dod_shard_ghost_rate{session=\"default\",owner=\"0\",target=\"1\"}",
+    );
     assert!(owned0 > 0.0 && owned1 > 0.0, "{text}");
     assert!(
         (rate01 - routes01 / owned0).abs() < 1e-9,
@@ -409,7 +439,10 @@ fn malformed_requests_get_typed_4xx_and_the_server_survives() {
     // After all of that abuse the server still answers.
     let (status, body) = get(addr, "/healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, r#"{"status":"ok","engine":true,"stream":true}"#);
+    assert_eq!(
+        body,
+        r#"{"status":"ok","engine":true,"stream":true,"engines":1,"sessions":1}"#
+    );
     // The stream session survived the rejected ingests untouched: no
     // point ever reached it.
     let (status, report) = get(addr, "/v1/report");

@@ -24,6 +24,8 @@
 //! assert_eq!(parse_json(&wire).unwrap(), v);
 //! ```
 
+pub mod shapes;
+
 use std::fmt::Write as _;
 
 /// A parsed or to-be-serialized JSON value.

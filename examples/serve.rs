@@ -1,19 +1,20 @@
-//! Serving the whole system over HTTP: one `DodServer` fronting a batch
-//! engine (`POST /v1/query`) and a sharded sliding-window session
-//! (`POST /v1/ingest` + `GET /v1/report`), scraped via `GET /metrics`.
+//! Serving the whole system over HTTP through the resource-oriented
+//! `/v1` API: an empty `DodServer` is populated entirely over the wire —
+//! two named engines (`PUT /v1/engines/{name}`) and a sharded
+//! sliding-window session (`POST /v1/sessions`) — then queried, fed,
+//! listed and scraped via `GET /metrics`.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example serve
 //! ```
 //!
-//! The example binds an ephemeral port, plays both a client and the
-//! operator: it queries the engine over real TCP, streams points in,
-//! reads the snapshot-consistent report, and prints a slice of the
-//! Prometheus scrape. Point `curl` at the printed address while it runs
-//! (it stays up for a few seconds at the end), e.g.:
+//! The example binds an ephemeral port and plays both client and
+//! operator. Point `curl` at the printed address while it runs (it stays
+//! up for a few seconds at the end), e.g.:
 //! ```text
-//! curl -d '{"queries":[{"r":60,"k":40}]}' http://127.0.0.1:<port>/v1/query
+//! curl http://127.0.0.1:<port>/v1/engines
+//! curl -d '{"queries":[{"r":60,"k":40}]}' http://127.0.0.1:<port>/v1/engines/sift-prod/query
 //! curl http://127.0.0.1:<port>/metrics
 //! ```
 
@@ -26,7 +27,6 @@ fn http(addr: std::net::SocketAddr, raw: String) -> std::io::Result<String> {
     let mut conn = TcpStream::connect(addr)?;
     conn.write_all(raw.as_bytes())?;
     let mut reader = BufReader::new(conn);
-    let mut head = String::new();
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -37,99 +37,129 @@ fn http(addr: std::net::SocketAddr, raw: String) -> std::io::Result<String> {
         if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
             content_length = v.trim().parse().unwrap_or(0);
         }
-        head.push_str(&line);
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(String::from_utf8_lossy(&body).into_owned())
 }
 
-fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> std::io::Result<String> {
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<String> {
     http(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
             body.len()
         ),
     )
 }
 
 fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
-    http(
-        addr,
-        format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
-    )
+    request(addr, "GET", path, "")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- 1. The batch engine: a SIFT-like dataset behind an MRPG --------
-    let gen = Family::Sift.generate(2_000, 42);
-    let r = gen.calibrate_default_r(300);
-    let engine: AnyEngine = gen
-        .data
-        .into_engine()
-        .index(IndexSpec::Mrpg(MrpgParams::new(8)))
-        .build()?;
-    println!(
-        "engine: {} objects behind {} ({} bytes of index)",
-        engine.len(),
-        engine.index_name(),
-        engine.index_bytes()
-    );
-
-    // --- 2. The stream session: 2-d window sharded across 2 shards ------
-    let stream = ShardedStreamDetector::open(
-        VectorSpace::new(L2, 2),
-        Query::new(3.0, 4)?,
-        WindowSpec::Count(256),
-        Backend::Exhaustive,
-        ShardSpec::new(2).with_warmup(32),
-    )?;
-
-    // --- 3. One server over both, on an ephemeral port ------------------
+    // --- 1. An empty server: every resource will arrive over the wire ---
     let handle = DodServer::builder()
-        .engine(engine)
-        .stream(stream)
         .workers(4)
+        .max_engines(4)
+        .max_sessions(4)
         .bind("127.0.0.1:0")?
         .start();
     let addr = handle.addr();
     println!("serving on http://{addr}\n");
 
-    // --- 4. Batch queries over the wire ----------------------------------
+    // --- 2. Two named engines from dataset specs -------------------------
+    let sift = r#"{"family":"sift","n":2000,"seed":42,"index":"mrpg:8"}"#;
+    println!("PUT /v1/engines/sift-prod {sift}");
+    println!(
+        "  -> {}",
+        request(addr, "PUT", "/v1/engines/sift-prod", sift)?
+    );
+    let glove = r#"{"family":"glove","n":1500,"seed":7,"index":"vptree"}"#;
+    println!("PUT /v1/engines/glove-exp {glove}");
+    println!(
+        "  -> {}\n",
+        request(addr, "PUT", "/v1/engines/glove-exp", glove)?
+    );
+    println!("GET /v1/engines\n  -> {}\n", get(addr, "/v1/engines")?);
+
+    // --- 3. Batch queries against each, by name --------------------------
+    // The radius is calibrated in-process from the same deterministic
+    // spec the server built from — the wire engine is that exact twin.
+    let r = Family::Sift.generate(2_000, 42).calibrate_default_r(300);
     let body = format!(
         "{{\"queries\":[{{\"r\":{r},\"k\":40}},{{\"r\":{},\"k\":40}}]}}",
         r * 2.0
     );
-    println!("POST /v1/query {body}");
-    println!("  -> {}\n", truncate(&post(addr, "/v1/query", &body)?, 120));
+    println!("POST /v1/engines/sift-prod/query {}", truncate(&body, 80));
+    println!(
+        "  -> {}",
+        truncate(
+            &request(addr, "POST", "/v1/engines/sift-prod/query", &body)?,
+            120
+        )
+    );
+    let gbody = r#"{"queries":[{"r":0.9,"k":50}]}"#;
+    println!("POST /v1/engines/glove-exp/query {gbody}");
+    println!(
+        "  -> {}\n",
+        truncate(
+            &request(addr, "POST", "/v1/engines/glove-exp/query", gbody)?,
+            120
+        )
+    );
 
-    // --- 5. Stream ingest + snapshot report ------------------------------
+    // --- 4. A sharded stream session, opened over the wire ---------------
+    let spec =
+        r#"{"metric":"l2","dim":2,"r":3.0,"k":4,"window":{"count":256},"shards":2,"warmup":32}"#;
+    println!("POST /v1/sessions {spec}");
+    let created = request(addr, "POST", "/v1/sessions", spec)?;
+    println!("  -> {created}");
+
     let points = dod::datasets::StreamScenario::new(2).generate(400, 7);
     let rows: Vec<String> = points
         .iter()
         .map(|p| format!("[{},{}]", p[0], p[1]))
         .collect();
     let ingest = format!("{{\"points\":[{}]}}", rows.join(","));
-    println!("POST /v1/ingest ({} points)", points.len());
-    println!("  -> {}", post(addr, "/v1/ingest", &ingest)?);
-    println!("GET /v1/report");
-    println!("  -> {}\n", truncate(&get(addr, "/v1/report")?, 120));
+    println!("POST /v1/sessions/s1/ingest ({} points)", points.len());
+    println!(
+        "  -> {}",
+        request(addr, "POST", "/v1/sessions/s1/ingest", &ingest)?
+    );
+    println!("GET /v1/sessions/s1/report");
+    println!(
+        "  -> {}\n",
+        truncate(&get(addr, "/v1/sessions/s1/report")?, 120)
+    );
 
-    // --- 6. The operator's view: /healthz and /metrics -------------------
+    // --- 5. The operator's view: /healthz and /metrics -------------------
     println!("GET /healthz\n  -> {}\n", get(addr, "/healthz")?);
     let metrics = get(addr, "/metrics")?;
-    println!("GET /metrics (engine + ghost-rate lines):");
+    println!("GET /metrics (registry, per-engine and ghost-rate lines):");
     for line in metrics.lines().filter(|l| {
         !l.starts_with('#')
-            && (l.starts_with("dod_engine_queries")
-                || l.starts_with("dod_engine_query_latency_seconds_count")
-                || l.starts_with("dod_shard_ghost_"))
+            && (l.starts_with("dod_engine_resident")
+                || l.starts_with("dod_session_active")
+                || l.starts_with("dod_engine_queries")
+                || l.starts_with("dod_shard_ghost_rate"))
     }) {
         println!("  {line}");
     }
 
-    println!("\nserver stays up for 3s — try curl http://{addr}/metrics");
+    // --- 6. Evict one engine by name, then bow out -----------------------
+    println!("\nDELETE /v1/engines/glove-exp");
+    println!(
+        "  -> {}",
+        request(addr, "DELETE", "/v1/engines/glove-exp", "")?
+    );
+
+    println!("\nserver stays up for 3s — try curl http://{addr}/v1/engines");
     std::thread::sleep(std::time::Duration::from_secs(3));
     handle.shutdown();
     println!("graceful shutdown complete");

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# CI gate: the README's HTTP API reference table must list exactly the
+# routes declared in `Route::API_ROUTES` (crates/server/src/routes.rs).
+# A route added to one side but not the other fails the build, so docs
+# and dispatch cannot drift apart silently.
+set -eu
+cd "$(dirname "$0")/.."
+
+routes_rs=crates/server/src/routes.rs
+readme=README.md
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# `("GET", "/v1/engines"),` -> `GET /v1/engines`
+sed -n '/pub const API_ROUTES/,/^];$/p' "$routes_rs" \
+    | sed -n 's/^ *("\([A-Z]*\)", "\([^"]*\)"),$/\1 \2/p' \
+    | sort >"$tmpdir/code"
+
+# `| `GET` | `/v1/engines` | ... |` -> `GET /v1/engines`
+sed -n '/<!-- api-table:begin -->/,/<!-- api-table:end -->/p' "$readme" \
+    | sed -n 's/^| `\([A-Z]*\)` | `\([^`]*\)`.*/\1 \2/p' \
+    | sort >"$tmpdir/doc"
+
+if ! [ -s "$tmpdir/code" ]; then
+    echo "check_api_table: found no routes in $routes_rs (pattern drift?)" >&2
+    exit 1
+fi
+if ! [ -s "$tmpdir/doc" ]; then
+    echo "check_api_table: found no table rows between the api-table markers in $readme" >&2
+    exit 1
+fi
+
+if ! diff -u "$tmpdir/code" "$tmpdir/doc" >"$tmpdir/drift"; then
+    echo "check_api_table: README API table disagrees with $routes_rs:" >&2
+    echo "  (-) only in $routes_rs   (+) only in $readme" >&2
+    grep '^[+-][A-Z]' "$tmpdir/drift" | sed 's/^/  /' >&2
+    exit 1
+fi
+
+echo "check_api_table: OK ($(wc -l <"$tmpdir/code" | tr -d ' ') routes match)"
