@@ -481,6 +481,27 @@ fn tables(
             writeln!(out, "(glove not in --families; skipped)\n")?;
         }
     }
+
+    if cfg.trace_summary {
+        writeln!(
+            out,
+            "### Trace summary — filter/verify phase breakdown (`--trace-summary`)\n"
+        )?;
+        let mut t = Table::new(["dataset", "graph", "filter", "verify", "filter share"]);
+        for m in &measurements {
+            for (i, graph) in ["NSW", "KGraph", "MRPG-basic", "MRPG"].iter().enumerate() {
+                let (filter, verify) = m.phase_secs[i];
+                t.row([
+                    m.family.to_string(),
+                    (*graph).to_string(),
+                    secs(filter),
+                    secs(verify),
+                    format!("{:.0}%", 100.0 * filter / (filter + verify).max(1e-12)),
+                ]);
+            }
+        }
+        writeln!(out, "{}", t.render())?;
+    }
     Ok(())
 }
 
@@ -802,6 +823,7 @@ fn stream_experiment(
     emit_row(json, "batch nested-loop", batch_secs);
 
     let mut measured: Vec<(&str, f64)> = Vec::new();
+    let mut phase_rows: Vec<(&str, f64, u64, u64)> = Vec::new();
     for (name, backend) in [
         ("stream exhaustive", Backend::Exhaustive),
         ("stream graph", Backend::Graph(GraphParams::default())),
@@ -831,6 +853,7 @@ fn stream_experiment(
             (stats.full_repairs + stats.incremental_repairs).to_string(),
         ]);
         measured.push((name, total));
+        phase_rows.push((name, total, stats.insert_nanos, stats.expiry_nanos));
         emit_row(json, name, total);
     }
     writeln!(out, "{}", t.render())?;
@@ -842,6 +865,26 @@ fn stream_experiment(
         )?;
     }
     writeln!(out)?;
+
+    if cfg.trace_summary {
+        writeln!(
+            out,
+            "### Trace summary — per-slide phase breakdown (`--trace-summary`)\n"
+        )?;
+        let mut t = Table::new(["engine", "insert", "expiry", "insert/slide", "insert share"]);
+        for (name, total, insert_nanos, expiry_nanos) in &phase_rows {
+            let insert = *insert_nanos as f64 / 1e9;
+            let expiry = *expiry_nanos as f64 / 1e9;
+            t.row([
+                (*name).to_string(),
+                secs(insert),
+                secs(expiry),
+                secs(insert / n as f64),
+                format!("{:.0}%", 100.0 * insert / total.max(1e-12)),
+            ]);
+        }
+        writeln!(out, "{}", t.render())?;
+    }
 
     if !cfg.shards.is_empty() {
         shard_grid(cfg, out, json, &scenario)?;

@@ -25,6 +25,10 @@ pub struct Config {
     /// Shard counts for the stream experiment's sharded-pipeline grid
     /// (`--shards 1,2,4`); empty = skip the grid.
     pub shards: Vec<usize>,
+    /// Print a per-phase time breakdown (filter/verify for the table
+    /// experiments, insert/expiry per slide for the stream experiment)
+    /// after the result tables (`--trace-summary`).
+    pub trace_summary: bool,
 }
 
 impl Default for Config {
@@ -39,6 +43,7 @@ impl Default for Config {
             calib_samples: 800,
             json: None,
             shards: Vec::new(),
+            trace_summary: false,
         }
     }
 }
@@ -77,6 +82,7 @@ impl Config {
                         .map_err(|e| format!("--build-threads: {e}"))?
                 }
                 "--json" => cfg.json = Some(next("--json")?),
+                "--trace-summary" => cfg.trace_summary = true,
                 "--shards" => {
                     let list = next("--shards")?;
                     cfg.shards = list
@@ -248,6 +254,13 @@ mod tests {
         assert_eq!(cfg.scale, 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.families, vec![Family::Glove, Family::Words]);
+    }
+
+    #[test]
+    fn trace_summary_flag_round_trips() {
+        assert!(!Config::from_args(&[]).unwrap().trace_summary);
+        let cfg = Config::from_args(&["--trace-summary".to_string()]).unwrap();
+        assert!(cfg.trace_summary);
     }
 
     #[test]

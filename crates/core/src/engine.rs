@@ -131,7 +131,7 @@ impl std::fmt::Display for IndexSpec {
     }
 }
 
-/// Parses the canonical wire spelling (see the [`Display`] impl):
+/// Parses the canonical wire spelling (see the [`Display`](std::fmt::Display) impl):
 /// `mrpg`, `nsw` and `kgraph` take an optional `:degree` suffix
 /// ([`IndexSpec::default_degree`] when absent), `vptree` and `none` take
 /// none. Anything else — unknown kinds, a degree on an index that has

@@ -34,6 +34,7 @@ pub mod parallel;
 pub mod params;
 pub mod snif;
 pub mod telemetry;
+pub mod trace;
 pub mod verify;
 pub mod vptree_dod;
 

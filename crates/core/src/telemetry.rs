@@ -214,6 +214,90 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_observations_sum_exactly() {
+        // 8 threads × 500 observations of exactly 1ms each: count and sum
+        // must land exactly (1ms · 1e9 is integral, so no rounding noise),
+        // and every observation must land in one bucket.
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        h.observe_secs(1e-3);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert!((snap.sum_secs - 4.0).abs() < 1e-9, "sum {}", snap.sum_secs);
+        assert_eq!(
+            snap.cumulative.last().unwrap().1,
+            4000,
+            "no observation fell into overflow"
+        );
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_documented_bucket() {
+        // The documented rule is "bucket i counts observations at or
+        // below 1µs · 4^i": an observation exactly on a bound belongs to
+        // that bucket, not the next one.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let h = Histogram::new();
+            h.observe_secs(bucket_bound_secs(i));
+            let snap = h.snapshot();
+            let cum_at = |j: usize| snap.cumulative[j].1;
+            assert_eq!(cum_at(i), 1, "bound {i} counts at its own bucket");
+            if i > 0 {
+                assert_eq!(cum_at(i - 1), 0, "bound {i} is above bucket {}", i - 1);
+            }
+        }
+        // ...and the value just above the top bound overflows.
+        let h = Histogram::new();
+        h.observe_secs(bucket_bound_secs(HISTOGRAM_BUCKETS - 1) * 1.01);
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative.last().unwrap().1, 0);
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn snapshot_under_load_never_underflows() {
+        // Snapshots race with writers by design; the invariants that must
+        // survive the race are: cumulative counts non-decreasing across
+        // buckets, the last finite cumulative never exceeds the +Inf
+        // count by more than the in-flight window, and nothing wraps.
+        let h = Histogram::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut v = 1e-6 * (t + 1) as f64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe_secs(v);
+                        v = if v > 1.0 { 1e-6 } else { v * 1.7 };
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let snap = h.snapshot();
+                assert!(
+                    snap.cumulative.windows(2).all(|w| w[0].1 <= w[1].1),
+                    "cumulative counts decreased mid-load"
+                );
+                assert!(snap.count < u64::MAX / 2, "count wrapped");
+                assert!(snap.sum_secs >= 0.0, "sum went negative");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent again: the finite buckets and +Inf must agree.
+        let snap = h.snapshot();
+        assert!(snap.cumulative.last().unwrap().1 <= snap.count);
+    }
+
+    #[test]
     fn bucket_bounds_are_log_spaced() {
         assert_eq!(bucket_bound_secs(0), 1e-6);
         assert_eq!(bucket_bound_secs(1), 4e-6);

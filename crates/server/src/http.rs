@@ -23,6 +23,8 @@ pub struct Request {
     pub method: String,
     /// The path, query string stripped.
     pub path: String,
+    /// The raw query string (after `?`, empty when absent).
+    pub query: String,
     /// Whether the request line said `HTTP/1.0` (keep-alive defaults
     /// differ between 1.0 and 1.1).
     pub http10: bool,
@@ -146,7 +148,10 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
             format!("unsupported version {version}"),
         ));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -168,6 +173,7 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
     let req = Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         http10: version == "HTTP/1.0",
         headers,
         body: Vec::new(),
@@ -229,20 +235,30 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes one response with explicit content-length framing.
+/// Writes one response with explicit content-length framing. A
+/// `request_id` (sanitized or server-generated — never raw client input)
+/// is echoed as `x-request-id` so clients can correlate answers with
+/// traces and access-log lines.
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],
     keep_alive: bool,
+    request_id: Option<&str>,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status_text(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if let Some(id) = request_id {
+        head.push_str("x-request-id: ");
+        head.push_str(id);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -265,6 +281,7 @@ mod tests {
                 .expect("some");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"body");
         assert!(req.keep_alive());
@@ -372,11 +389,22 @@ mod tests {
     #[test]
     fn responses_are_framed_with_content_length() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", b"{}", true).expect("write");
+        write_response(&mut out, 200, "application/json", b"{}", true, None).expect("write");
         let s = String::from_utf8(out).expect("utf8");
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
         assert!(s.contains("content-length: 2\r\n"), "{s}");
         assert!(s.contains("connection: keep-alive\r\n"), "{s}");
+        assert!(!s.contains("x-request-id"), "{s}");
+        assert!(s.ends_with("\r\n\r\n{}"), "{s}");
+    }
+
+    #[test]
+    fn responses_echo_the_request_id() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false, Some("r-9"))
+            .expect("write");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.contains("x-request-id: r-9\r\n"), "{s}");
         assert!(s.ends_with("\r\n\r\n{}"), "{s}");
     }
 }

@@ -36,7 +36,29 @@
 //! | `POST /v1/ingest` | as session ingest | alias for `/v1/sessions/default/ingest` |
 //! | `GET /v1/report` | — | alias for `/v1/sessions/default/report` |
 //! | `GET /healthz` | — | `{"status": "ok", …}` |
-//! | `GET /metrics` | — | Prometheus text: HTTP counters, per-engine query counters + latency histograms, per-session stream counters and ghost rates |
+//! | `GET /metrics` | — | Prometheus text: per-route×status HTTP counters + latency histograms, worker-pool and pipeline gauges, per-engine query telemetry, per-session stream counters and ghost rates |
+//! | `GET /v1/debug/traces` | — | the most recent request traces (`?min_ms=`, `?route=` filters) from an in-memory ring |
+//!
+//! # Observability
+//!
+//! Every request is traced end to end with
+//! [`dod_core::trace`]: the worker-pool queue wait, socket
+//! read, route dispatch, and — inside the engine and session handlers —
+//! the paper's filter/verify phase split and per-slide ingest work, each
+//! as a named span with typed fields. The request id is taken from an
+//! inbound `X-Request-Id` header (sanitized) or generated, and echoed on
+//! every response. Completed traces fan out to every configured sink:
+//!
+//! * a bounded in-memory ring served by `GET /v1/debug/traces`
+//!   ([`ServerBuilder::trace_capacity`]),
+//! * an optional JSON-lines access log ([`ServerBuilder::access_log`],
+//!   off by default) — one `dod_wire` object per line,
+//! * any custom [`TraceSink`] added with
+//!   [`ServerBuilder::trace_sink`].
+//!
+//! Requests rejected before routing (timeouts, oversized bodies, parse
+//! failures) are traced and counted too, under the synthetic route label
+//! `<parse>`, so `/metrics` totals add up to connections served.
 //!
 //! Responses are **deterministic**: query and report bodies carry no
 //! timings (latency lives in `/metrics`), so the HTTP answer for a given
@@ -87,13 +109,17 @@ mod http;
 mod prom;
 mod registry;
 pub mod routes;
+mod sink;
 mod streams;
 
 pub use routes::{dod_error_kind, dod_error_status, encode, error_body, http_error_kind};
 pub use streams::AnyStreamDetector;
 
-use dod_core::parallel::WorkerPool;
-use dod_core::telemetry::Counter;
+use dod_core::parallel::{PoolStats, WorkerPool};
+use dod_core::telemetry::{Counter, Histogram};
+use dod_core::trace::{
+    generate_request_id, sanitize_request_id, TraceContext, TraceRing, TraceSink,
+};
 use dod_core::{DodError, EngineMetrics, OutlierReport, Query};
 use dod_metrics::Dataset;
 use registry::{EngineRegistry, SessionEntry, SessionRegistry};
@@ -102,7 +128,7 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The engine name and session id the legacy singleton routes
 /// (`/v1/query`, `/v1/ingest`, `/v1/report`) alias: resources mounted by
@@ -162,17 +188,34 @@ pub(crate) struct State {
     pub(crate) max_query_threads: usize,
     /// Queue depth new wire-opened sessions inherit for their pipelines.
     pub(crate) pipeline_queue: usize,
+    /// The last-N completed request traces, served by
+    /// `GET /v1/debug/traces` (also registered in `sinks`).
+    pub(crate) trace_ring: Arc<TraceRing>,
+    /// Every sink a completed trace fans out to: the ring, the optional
+    /// access log, and any builder-supplied extras.
+    pub(crate) sinks: Vec<Arc<dyn TraceSink>>,
+    /// Saturation gauges of the connection worker pool.
+    pub(crate) pool_stats: Arc<PoolStats>,
     shutting_down: AtomicBool,
 }
 
-/// HTTP-layer counters: connections, and requests by route × status
-/// class (bounded label cardinality by construction).
+/// The exact response statuses this server emits, each its own
+/// `/metrics` label; anything else (future statuses) lands in the
+/// shared `"other"` slot, so cardinality stays `routes × 14` by
+/// construction.
+pub(crate) const TRACKED_STATUSES: [u16; 13] = [
+    200, 201, 400, 404, 405, 408, 413, 429, 431, 500, 501, 503, 505,
+];
+
+/// HTTP-layer telemetry: connections, requests by route × status, and
+/// request latency by route — plus the worker-pool queue wait, which
+/// has no route (it is paid before the request is even read).
 pub(crate) struct HttpMetrics {
     pub(crate) connections: Counter,
-    requests: Vec<[Counter; 3]>, // indexed by Route as usize
+    requests: Vec<[Counter; TRACKED_STATUSES.len() + 1]>, // indexed by Route as usize
+    latency: Vec<Histogram>,                              // indexed by Route as usize
+    pub(crate) queue_wait: Histogram,
 }
-
-const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
 
 impl HttpMetrics {
     fn new() -> Self {
@@ -180,25 +223,41 @@ impl HttpMetrics {
             connections: Counter::new(),
             requests: Route::ALL
                 .iter()
-                .map(|_| [Counter::new(), Counter::new(), Counter::new()])
+                .map(|_| std::array::from_fn(|_| Counter::new()))
                 .collect(),
+            latency: Route::ALL.iter().map(|_| Histogram::new()).collect(),
+            queue_wait: Histogram::new(),
         }
     }
 
-    fn record(&self, route: Route, status: u16) {
-        let class = match status {
-            200..=299 => 0,
-            400..=499 => 1,
-            _ => 2,
-        };
-        self.requests[route as usize][class].inc();
+    fn status_slot(status: u16) -> usize {
+        TRACKED_STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(TRACKED_STATUSES.len())
     }
 
-    pub(crate) fn by_class(&self, route: Route) -> impl Iterator<Item = (&'static str, &Counter)> {
-        CLASSES
+    fn record(&self, route: Route, status: u16, duration_secs: f64) {
+        self.requests[route as usize][Self::status_slot(status)].inc();
+        self.latency[route as usize].observe_secs(duration_secs);
+    }
+
+    /// `(status label, count)` per tracked status of the route; the
+    /// final slot is labeled `other`.
+    pub(crate) fn by_status(&self, route: Route) -> impl Iterator<Item = (String, u64)> + '_ {
+        self.requests[route as usize]
             .iter()
-            .zip(&self.requests[route as usize])
-            .map(|(&c, counter)| (c, counter))
+            .enumerate()
+            .map(|(i, counter)| {
+                let label = TRACKED_STATUSES
+                    .get(i)
+                    .map_or_else(|| "other".to_string(), u16::to_string);
+                (label, counter.get())
+            })
+    }
+
+    pub(crate) fn latency(&self, route: Route) -> &Histogram {
+        &self.latency[route as usize]
     }
 }
 
@@ -216,6 +275,9 @@ pub struct ServerBuilder {
     max_query_threads: usize,
     max_engines: usize,
     max_sessions: usize,
+    access_log: Option<Box<dyn std::io::Write + Send>>,
+    trace_capacity: usize,
+    extra_sinks: Vec<Arc<dyn TraceSink>>,
 }
 
 impl Default for ServerBuilder {
@@ -234,6 +296,9 @@ impl Default for ServerBuilder {
             max_query_threads: cores,
             max_engines: 8,
             max_sessions: 16,
+            access_log: None,
+            trace_capacity: 256,
+            extra_sinks: Vec::new(),
         }
     }
 }
@@ -348,6 +413,31 @@ impl ServerBuilder {
         self
     }
 
+    /// Writes a JSON-lines access log: one object per completed request
+    /// (request id, route, status, duration, and every span) in the
+    /// `dod_wire` dialect, flushed per line. Off by default — request
+    /// traces still reach the in-memory ring without it.
+    pub fn access_log(mut self, writer: impl std::io::Write + Send + 'static) -> Self {
+        self.access_log = Some(Box::new(writer));
+        self
+    }
+
+    /// Completed traces retained for `GET /v1/debug/traces` (default
+    /// 256, clamped to ≥ 1). Memory is bounded by this times the spans
+    /// per request, which the handlers keep small and fixed.
+    pub fn trace_capacity(mut self, n: usize) -> Self {
+        self.trace_capacity = n.max(1);
+        self
+    }
+
+    /// Adds a custom sink; every completed trace is delivered to it on
+    /// the worker that served the request, after the response is
+    /// written. Sinks must be cheap or hand off internally.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.extra_sinks.push(sink);
+        self
+    }
+
     /// Binds the listener (use port `0` for an ephemeral port) and stands
     /// the stream session up on its pipeline threads. The server is not
     /// accepting yet — call [`DodServer::start`] or [`DodServer::run`].
@@ -372,6 +462,17 @@ impl ServerBuilder {
                 .mount(DEFAULT_RESOURCE, entry)
                 .unwrap_or_else(|_| unreachable!("an empty registry has room (capacity ≥ 1)"));
         }
+        let trace_ring = Arc::new(TraceRing::new(self.trace_capacity));
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::with_capacity(2 + self.extra_sinks.len());
+        sinks.push(Arc::clone(&trace_ring) as Arc<dyn TraceSink>);
+        if let Some(writer) = self.access_log {
+            sinks.push(Arc::new(sink::AccessLog::new(writer)));
+        }
+        sinks.extend(self.extra_sinks);
+        // The pool is created at bind time (not in run()) so its
+        // saturation gauges are part of State and visible to /metrics
+        // from the first scrape.
+        let pool = WorkerPool::new(self.workers, self.queue);
         let state = Arc::new(State {
             engines: RwLock::new(engines),
             sessions: RwLock::new(sessions),
@@ -379,13 +480,15 @@ impl ServerBuilder {
             ingested_points: Counter::new(),
             max_query_threads: self.max_query_threads,
             pipeline_queue: self.queue,
+            trace_ring,
+            sinks,
+            pool_stats: pool.stats(),
             shutting_down: AtomicBool::new(false),
         });
         Ok(DodServer {
             listener,
             state,
-            workers: self.workers,
-            queue: self.queue,
+            pool,
             read_timeout: self.read_timeout,
             write_timeout: self.write_timeout,
             request_timeout: self.request_timeout,
@@ -400,8 +503,7 @@ impl ServerBuilder {
 pub struct DodServer {
     listener: TcpListener,
     state: Arc<State>,
-    workers: usize,
-    queue: usize,
+    pool: WorkerPool,
     read_timeout: Duration,
     write_timeout: Duration,
     request_timeout: Duration,
@@ -426,7 +528,7 @@ impl DodServer {
     /// Serves until [`ServerHandle::shutdown`] — blocking the calling
     /// thread. Most callers want [`start`](Self::start) instead.
     pub fn run(self) {
-        let pool = WorkerPool::new(self.workers, self.queue);
+        let pool = self.pool;
         let conn_cfg = ConnConfig {
             read_timeout: self.read_timeout,
             write_timeout: self.write_timeout,
@@ -440,7 +542,9 @@ impl DodServer {
             }
             let Ok(stream) = conn else { continue };
             let state = Arc::clone(&self.state);
-            let accepted = pool.execute(move || handle_connection(stream, &state, conn_cfg));
+            let submitted = Instant::now();
+            let accepted =
+                pool.execute(move || handle_connection(stream, &state, conn_cfg, submitted));
             if !accepted {
                 break;
             }
@@ -599,11 +703,19 @@ impl std::io::Write for DeadlineWriter {
     }
 }
 
-/// Serves one connection: a keep-alive loop of read → dispatch → write.
-/// Never panics on client input; on protocol errors it answers once and
-/// closes.
-fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
+/// Serves one connection: a keep-alive loop of read → dispatch → write,
+/// each request traced from the socket in. Never panics on client
+/// input; on protocol errors it answers once and closes.
+///
+/// `submitted` is when the accept loop enqueued the connection: its
+/// elapsed time at entry is the worker-pool queue wait, recorded once
+/// per connection (as a histogram observation and as the first
+/// request's `queue_wait` span).
+fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig, submitted: Instant) {
     state.http.connections.inc();
+    let queue_wait = submitted.elapsed();
+    state.http.queue_wait.observe_secs(queue_wait.as_secs_f64());
+    let mut first_request = true;
     let _ = stream.set_nodelay(true);
     // Socket timeouts are armed per op by the Deadline wrappers below.
     let Ok(read_half) = stream.try_clone() else {
@@ -629,32 +741,73 @@ fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
         // Each request gets a fresh deadline; within it, every read is
         // still individually bounded by cfg.read_timeout.
         reader.get_mut().deadline.arm(cfg.request_timeout);
+        let read_start = Instant::now();
         match http::read_request(&mut reader, cfg.max_body_bytes) {
             Ok(None) => break, // clean close between requests
             Ok(Some(req)) => {
                 let keep_alive = req.keep_alive()
                     && served + 1 < cfg.keep_alive_requests
                     && !state.shutting_down.load(Ordering::SeqCst);
-                let (route, resp) = routes::dispatch(state, &req);
-                state.http.record(route, resp.status);
+                let request_id = req
+                    .header("x-request-id")
+                    .and_then(sanitize_request_id)
+                    .map(str::to_string)
+                    .unwrap_or_else(generate_request_id);
+                let mut ctx = TraceContext::starting_at(request_id, read_start);
+                if std::mem::take(&mut first_request) {
+                    ctx.record("queue_wait", queue_wait, Vec::new());
+                }
+                ctx.record(
+                    "read",
+                    read_start.elapsed(),
+                    vec![("body_bytes", req.body.len().into())],
+                );
+                let dispatch_span = ctx.child("dispatch");
+                let (route, resp) = routes::dispatch(state, &req, &mut ctx);
+                dispatch_span.finish(&mut ctx);
+                // Account and publish the trace *before* the response
+                // goes out: once the client has its answer, a scrape of
+                // /metrics or /v1/debug/traces must already see this
+                // request. (The traced duration therefore excludes the
+                // response write.)
+                let trace = Arc::new(ctx.finish(route.pattern(), resp.status));
+                state
+                    .http
+                    .record(route, resp.status, trace.duration_nanos as f64 / 1e9);
+                for sink in &state.sinks {
+                    sink.record(Arc::clone(&trace));
+                }
                 writer.deadline.arm(cfg.request_timeout);
-                if http::write_response(
+                let wrote = http::write_response(
                     &mut writer,
                     resp.status,
                     resp.content_type,
                     &resp.body,
                     keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
+                    Some(&trace.request_id),
+                );
+                if wrote.is_err() || !keep_alive {
                     break;
                 }
             }
             Err(e) => {
                 // One typed answer (408 on timeouts, 4xx/5xx otherwise),
                 // then close: framing is unreliable after a parse error.
-                state.http.record(Route::Other, e.status);
+                // The request never reached routing, so it is traced and
+                // counted under the synthetic `<parse>` route — totals
+                // still add up.
+                let mut ctx = TraceContext::starting_at(generate_request_id(), read_start);
+                if std::mem::take(&mut first_request) {
+                    ctx.record("queue_wait", queue_wait, Vec::new());
+                }
+                ctx.record("read", read_start.elapsed(), Vec::new());
+                let trace = Arc::new(ctx.finish(Route::Parse.pattern(), e.status));
+                state
+                    .http
+                    .record(Route::Parse, e.status, trace.duration_nanos as f64 / 1e9);
+                for sink in &state.sinks {
+                    sink.record(Arc::clone(&trace));
+                }
                 let body = error_body(http_error_kind(e.status), &e.message);
                 writer.deadline.arm(cfg.request_timeout);
                 let _ = http::write_response(
@@ -663,6 +816,7 @@ fn handle_connection(stream: TcpStream, state: &State, cfg: ConnConfig) {
                     "application/json",
                     body.as_bytes(),
                     false,
+                    Some(&trace.request_id),
                 );
                 break;
             }

@@ -7,18 +7,51 @@
 //! `{session="id"}`.
 //!
 //! Label cardinality stays bounded by construction: `route` is a
-//! fieldless enum, `engine` is capped by `max_engines`, `session` by
-//! `max_sessions`, and shard pairs by the shard-spec cap. Names and ids
+//! fieldless enum, `status` is drawn from the fixed
+//! `TRACKED_STATUSES` set (everything else
+//! folds into one `"other"` slot), `engine` is capped by `max_engines`,
+//! `session` by `max_sessions`, and shard pairs by the shard-spec cap. Names and ids
 //! are registry-validated identifiers (`[A-Za-z0-9_-]{1,64}`), so they
 //! embed in label values without escaping.
 
 use crate::routes::Route;
 use crate::State;
+use dod_core::telemetry::HistogramSnapshot;
 use std::fmt::Write as _;
 
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders one histogram series (`_bucket`/`_sum`/`_count`) under
+/// `labels` (`key="value"` pairs without braces, possibly empty — `le`
+/// is appended).
+fn histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (bound, cumulative) in &snap.cumulative {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            dod_wire::render_number(*bound)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        snap.count
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", dod_wire::render_number(snap.sum_secs));
+        let _ = writeln!(out, "{name}_count {}", snap.count);
+    } else {
+        let _ = writeln!(
+            out,
+            "{name}_sum{{{labels}}} {}",
+            dod_wire::render_number(snap.sum_secs)
+        );
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+    }
 }
 
 pub(crate) fn render(state: &State) -> String {
@@ -38,19 +71,80 @@ pub(crate) fn render(state: &State) -> String {
     header(
         &mut out,
         "dod_http_requests_total",
-        "HTTP requests answered, by route and status class.",
+        "HTTP requests answered, by route pattern and status (pre-routing rejections count as route=\"<parse>\").",
         "counter",
     );
+    // Only touched route×status cells are rendered: the full matrix is
+    // mostly zeros and scrapers treat an absent counter as zero anyway.
     for route in Route::ALL {
-        for (class, counter) in state.http.by_class(route) {
-            let _ = writeln!(
-                out,
-                "dod_http_requests_total{{route=\"{}\",class=\"{class}\"}} {}",
-                route.name(),
-                counter.get()
+        for (status, count) in state.http.by_status(route) {
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "dod_http_requests_total{{route=\"{}\",status=\"{status}\"}} {count}",
+                    route.pattern()
+                );
+            }
+        }
+    }
+    header(
+        &mut out,
+        "dod_http_request_seconds",
+        "Wall time from first request byte to response ready, by route pattern.",
+        "histogram",
+    );
+    for route in Route::ALL {
+        let snap = state.http.latency(route).snapshot();
+        if snap.count > 0 {
+            histogram(
+                &mut out,
+                "dod_http_request_seconds",
+                &format!("route=\"{}\"", route.pattern()),
+                &snap,
             );
         }
     }
+    header(
+        &mut out,
+        "dod_http_queue_wait_seconds",
+        "Time accepted connections waited in the worker-pool queue.",
+        "histogram",
+    );
+    histogram(
+        &mut out,
+        "dod_http_queue_wait_seconds",
+        "",
+        &state.http.queue_wait.snapshot(),
+    );
+    header(
+        &mut out,
+        "dod_pool_queue_depth",
+        "Connections accepted but not yet picked up by a worker.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "dod_pool_queue_depth {}",
+        state.pool_stats.queue_depth()
+    );
+    header(
+        &mut out,
+        "dod_pool_busy_workers",
+        "Workers currently serving a connection.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "dod_pool_busy_workers {}",
+        state.pool_stats.busy_workers()
+    );
+    header(
+        &mut out,
+        "dod_pool_workers",
+        "Size of the connection worker pool.",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_pool_workers {}", state.pool_stats.workers());
 
     // Snapshot both registries up front (name-sorted, so scrapes are
     // deterministic) and render with no lock held: a slow scrape client
@@ -168,28 +262,11 @@ pub(crate) fn render(state: &State) -> String {
             "histogram",
         );
         for (name, entry) in &engines {
-            let snap = entry.engine.metrics().latency.snapshot();
-            for (bound, cumulative) in &snap.cumulative {
-                let _ = writeln!(
-                    out,
-                    "dod_engine_query_latency_seconds_bucket{{engine=\"{name}\",le=\"{}\"}} {cumulative}",
-                    dod_wire::render_number(*bound)
-                );
-            }
-            let _ = writeln!(
-                out,
-                "dod_engine_query_latency_seconds_bucket{{engine=\"{name}\",le=\"+Inf\"}} {}",
-                snap.count
-            );
-            let _ = writeln!(
-                out,
-                "dod_engine_query_latency_seconds_sum{{engine=\"{name}\"}} {}",
-                dod_wire::render_number(snap.sum_secs)
-            );
-            let _ = writeln!(
-                out,
-                "dod_engine_query_latency_seconds_count{{engine=\"{name}\"}} {}",
-                snap.count
+            histogram(
+                &mut out,
+                "dod_engine_query_latency_seconds",
+                &format!("engine=\"{name}\""),
+                &entry.engine.metrics().latency.snapshot(),
             );
         }
     }
@@ -243,6 +320,58 @@ pub(crate) fn render(state: &State) -> String {
             for (id, s) in &stats {
                 let _ = writeln!(out, "{metric}{{session=\"{id}\"}} {}", value(s));
             }
+        }
+        // Slide wall time, split into the paper's two phases: insert
+        // (discovery + repair) and expiry sweeps. Nanosecond counters on
+        // the shard pumps, rendered as seconds.
+        for (metric, help, nanos) in [
+            (
+                "dod_stream_insert_seconds_total",
+                "Wall time spent inserting into shard windows (discovery and repair).",
+                &|s: &dod_stream::StreamStats| s.insert_nanos,
+            ),
+            (
+                "dod_stream_expiry_seconds_total",
+                "Wall time spent expiring window residents.",
+                &|s: &dod_stream::StreamStats| s.expiry_nanos,
+            ),
+        ]
+            as [(&str, &str, &dyn Fn(&dod_stream::StreamStats) -> u64); 2]
+        {
+            header(&mut out, metric, help, "counter");
+            for (id, s) in &stats {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{session=\"{id}\"}} {}",
+                    dod_wire::render_number(nanos(s) as f64 / 1e9)
+                );
+            }
+        }
+        header(
+            &mut out,
+            "dod_ingest_queue_depth",
+            "Ingest commands enqueued on the session's pipeline but not yet routed.",
+            "gauge",
+        );
+        for (id, entry) in &sessions {
+            let _ = writeln!(
+                out,
+                "dod_ingest_queue_depth{{session=\"{id}\"}} {}",
+                entry.pipeline.queue_depth()
+            );
+        }
+        header(
+            &mut out,
+            "dod_shard_route_seconds_total",
+            "Wall time the session's router thread spent assigning points to shards.",
+            "counter",
+        );
+        for (id, entry) in &sessions {
+            let _ = writeln!(
+                out,
+                "dod_shard_route_seconds_total{{session=\"{id}\"}} {}",
+                dod_wire::render_number(entry.pipeline.route_nanos() as f64 / 1e9)
+            );
         }
         let ghosts: Vec<_> = sessions
             .iter()

@@ -16,6 +16,7 @@ use crate::registry::SessionEntry;
 use crate::streams::AnyStreamDetector;
 use crate::{State, DEFAULT_RESOURCE};
 use dod_core::telemetry::Counter;
+use dod_core::trace::TraceContext;
 use dod_core::{DodError, IndexSpec, OutlierReport, Query};
 use dod_datasets::{EngineSpec, Family};
 use dod_metrics::MetricKind;
@@ -54,12 +55,18 @@ pub(crate) enum Route {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /v1/debug/traces`
+    DebugTraces,
+    /// Requests rejected before routing (framing failures, timeouts,
+    /// oversized bodies) — a synthetic label so `/metrics` error rates
+    /// include requests that never reached a handler.
+    Parse,
     /// Everything else.
     Other,
 }
 
 impl Route {
-    pub(crate) const ALL: [Route; 13] = [
+    pub(crate) const ALL: [Route; 15] = [
         Route::Query,
         Route::Ingest,
         Route::Report,
@@ -72,24 +79,32 @@ impl Route {
         Route::SessionReport,
         Route::Healthz,
         Route::Metrics,
+        Route::DebugTraces,
+        Route::Parse,
         Route::Other,
     ];
 
-    pub(crate) fn name(self) -> &'static str {
+    /// The route's path pattern — the `route` label in `/metrics`,
+    /// access-log lines and traces. Path parameters appear as
+    /// placeholders, and the two synthetic labels (`<parse>`, `<other>`)
+    /// are spelled so they can never collide with a real path.
+    pub(crate) fn pattern(self) -> &'static str {
         match self {
-            Route::Query => "query",
-            Route::Ingest => "ingest",
-            Route::Report => "report",
-            Route::Engines => "engines",
-            Route::Engine => "engine",
-            Route::EngineQuery => "engine_query",
-            Route::Sessions => "sessions",
-            Route::Session => "session",
-            Route::SessionIngest => "session_ingest",
-            Route::SessionReport => "session_report",
-            Route::Healthz => "healthz",
-            Route::Metrics => "metrics",
-            Route::Other => "other",
+            Route::Query => "/v1/query",
+            Route::Ingest => "/v1/ingest",
+            Route::Report => "/v1/report",
+            Route::Engines => "/v1/engines",
+            Route::Engine => "/v1/engines/{name}",
+            Route::EngineQuery => "/v1/engines/{name}/query",
+            Route::Sessions => "/v1/sessions",
+            Route::Session => "/v1/sessions/{id}",
+            Route::SessionIngest => "/v1/sessions/{id}/ingest",
+            Route::SessionReport => "/v1/sessions/{id}/report",
+            Route::Healthz => "/healthz",
+            Route::Metrics => "/metrics",
+            Route::DebugTraces => "/v1/debug/traces",
+            Route::Parse => "<parse>",
+            Route::Other => "<other>",
         }
     }
 }
@@ -114,6 +129,7 @@ pub const API_ROUTES: &[(&str, &str)] = &[
     ("GET", "/v1/report"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
+    ("GET", "/v1/debug/traces"),
 ];
 
 /// A parsed request path: which resource, with path parameters borrowed
@@ -132,6 +148,7 @@ pub(crate) enum Resource<'a> {
     SessionReport(&'a str),
     Healthz,
     Metrics,
+    DebugTraces,
     Unknown,
 }
 
@@ -153,6 +170,7 @@ impl<'a> Resource<'a> {
             "/v1/sessions" => return Resource::Sessions,
             "/healthz" => return Resource::Healthz,
             "/metrics" => return Resource::Metrics,
+            "/v1/debug/traces" => return Resource::DebugTraces,
             _ => {}
         }
         if let Some(rest) = path.strip_prefix("/v1/engines/") {
@@ -188,6 +206,7 @@ impl<'a> Resource<'a> {
             Resource::SessionReport(_) => Route::SessionReport,
             Resource::Healthz => Route::Healthz,
             Resource::Metrics => Route::Metrics,
+            Resource::DebugTraces => Route::DebugTraces,
             Resource::Unknown => Route::Other,
         }
     }
@@ -496,10 +515,12 @@ fn not_found(message: &str) -> Response {
     Response::json(404, error_body("not_found", message))
 }
 
-/// Answers one request. Infallible by construction: every failure path is
-/// a 4xx/5xx response, so a malformed request can never take the worker
-/// (or the connection pool) down.
-pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
+/// Answers one request, recording handler-level spans (engine compute,
+/// filter/verify, ingest) into the request's trace. Infallible by
+/// construction: every failure path is a 4xx/5xx response, so a
+/// malformed request can never take the worker (or the connection pool)
+/// down.
+pub(crate) fn dispatch(state: &State, req: &Request, ctx: &mut TraceContext) -> (Route, Response) {
     let resource = Resource::parse(&req.path);
     let route = resource.route();
     let method = req.method.as_str();
@@ -509,7 +530,9 @@ pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
         // server "was started without" it), not a 404 — these routes
         // predate the registry and their bodies are pinned.
         Resource::Query => match method {
-            "POST" => handle_engine_query(state, DEFAULT_RESOURCE, req, unavailable("an engine")),
+            "POST" => {
+                handle_engine_query(state, DEFAULT_RESOURCE, req, unavailable("an engine"), ctx)
+            }
             _ => method_not_allowed("POST"),
         },
         Resource::Ingest => match method {
@@ -518,6 +541,7 @@ pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
                 DEFAULT_RESOURCE,
                 req,
                 unavailable("a stream session"),
+                ctx,
             ),
             _ => method_not_allowed("POST"),
         },
@@ -538,7 +562,7 @@ pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
             _ => method_not_allowed("PUT, GET or DELETE"),
         },
         Resource::EngineQuery(name) => match method {
-            "POST" => handle_engine_query(state, name, req, no_engine(name)),
+            "POST" => handle_engine_query(state, name, req, no_engine(name), ctx),
             _ => method_not_allowed("POST"),
         },
         Resource::Sessions => match method {
@@ -552,7 +576,7 @@ pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
             _ => method_not_allowed("GET or DELETE"),
         },
         Resource::SessionIngest(id) => match method {
-            "POST" => handle_session_ingest(state, id, req, no_session(id)),
+            "POST" => handle_session_ingest(state, id, req, no_session(id), ctx),
             _ => method_not_allowed("POST"),
         },
         Resource::SessionReport(id) => match method {
@@ -565,6 +589,10 @@ pub(crate) fn dispatch(state: &State, req: &Request) -> (Route, Response) {
         },
         Resource::Metrics => match method {
             "GET" => Response::text(200, crate::prom::render(state)),
+            _ => method_not_allowed("GET"),
+        },
+        Resource::DebugTraces => match method {
+            "GET" => handle_debug_traces(state, req),
             _ => method_not_allowed("GET"),
         },
         Resource::Unknown => not_found(&format!("no route {}", req.path)),
@@ -743,7 +771,13 @@ fn handle_engine_delete(state: &State, name: &str) -> Response {
     }
 }
 
-fn handle_engine_query(state: &State, name: &str, req: &Request, missing: Response) -> Response {
+fn handle_engine_query(
+    state: &State,
+    name: &str,
+    req: &Request,
+    missing: Response,
+    ctx: &mut TraceContext,
+) -> Response {
     // get, not peek: answering queries is exactly what "recently used"
     // means for the LRU bound.
     let Some(entry) = state
@@ -758,8 +792,41 @@ fn handle_engine_query(state: &State, name: &str, req: &Request, missing: Respon
         Ok(q) => q,
         Err(resp) => return resp,
     };
-    match entry.engine.query_many(&queries) {
-        Ok(reports) => Response::json(200, encode::query_response(&reports)),
+    let span = ctx.child("engine").with_field("queries", queries.len());
+    let answered = entry.engine.query_many(&queries);
+    span.finish(ctx);
+    match answered {
+        Ok(reports) => {
+            // The engine's own phase split, surfaced as sibling spans: the
+            // reports carry wall-clock filter/verify timings and counts, so
+            // the trace shows the paper's cost split per request.
+            let (mut filter_secs, mut verify_secs) = (0.0f64, 0.0f64);
+            let (mut candidates, mut decided, mut false_pos) = (0usize, 0usize, 0usize);
+            for rep in &reports {
+                filter_secs += rep.filter_secs;
+                verify_secs += rep.verify_secs;
+                candidates += rep.candidates;
+                decided += rep.decided_in_filter;
+                false_pos += rep.false_positives;
+            }
+            ctx.record(
+                "filter",
+                std::time::Duration::from_secs_f64(filter_secs.max(0.0)),
+                vec![
+                    ("candidates", candidates.into()),
+                    ("decided_in_filter", decided.into()),
+                ],
+            );
+            ctx.record(
+                "verify",
+                std::time::Duration::from_secs_f64(verify_secs.max(0.0)),
+                vec![
+                    ("verified", candidates.saturating_sub(decided).into()),
+                    ("false_positives", false_pos.into()),
+                ],
+            );
+            Response::json(200, encode::query_response(&reports))
+        }
         Err(e) => dod_error_response(&e),
     }
 }
@@ -912,7 +979,13 @@ fn handle_session_delete(state: &State, id: &str) -> Response {
     }
 }
 
-fn handle_session_ingest(state: &State, id: &str, req: &Request, missing: Response) -> Response {
+fn handle_session_ingest(
+    state: &State,
+    id: &str,
+    req: &Request,
+    missing: Response,
+    ctx: &mut TraceContext,
+) -> Response {
     let Some(entry) = state
         .sessions
         .read()
@@ -926,7 +999,13 @@ fn handle_session_ingest(state: &State, id: &str, req: &Request, missing: Respon
         Err(resp) => return resp,
     };
     let accepted = points.len();
-    match entry.pipeline.insert_many(points) {
+    let span = ctx
+        .child("ingest")
+        .with_field("points", accepted)
+        .with_field("queue_depth", entry.pipeline.queue_depth());
+    let enqueued = entry.pipeline.insert_many(points);
+    span.finish(ctx);
+    match enqueued {
         Ok(()) => {
             // Counted only once the pipeline has the points: a dead
             // pipeline answering 5xx must not inflate the accept counter.
@@ -936,6 +1015,92 @@ fn handle_session_ingest(state: &State, id: &str, req: &Request, missing: Respon
         }
         Err(e) => dod_error_response(&e),
     }
+}
+
+// ---- debug traces --------------------------------------------------------
+
+/// Decodes `k=v&k2=v2` pairs with minimal percent-decoding (`%XX` and
+/// `+` → space). Bad escapes pass through literally — a debug endpoint
+/// should show what the client sent, not reject it.
+fn query_params(query: &str) -> Vec<(String, String)> {
+    fn pct_decode(s: &str) -> String {
+        let bytes = s.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'+' => {
+                    out.push(b' ');
+                    i += 1;
+                }
+                b'%' if i + 2 < bytes.len() => {
+                    let hex = |b: u8| (b as char).to_digit(16);
+                    match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                        (Some(hi), Some(lo)) => {
+                            out.push((hi * 16 + lo) as u8);
+                            i += 3;
+                        }
+                        _ => {
+                            out.push(b'%');
+                            i += 1;
+                        }
+                    }
+                }
+                b => {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (pct_decode(k), pct_decode(v))
+        })
+        .collect()
+}
+
+/// `GET /v1/debug/traces[?min_ms=..][&route=..]`: the ring buffer of
+/// recently completed traces, newest first, optionally filtered to slow
+/// requests (`min_ms`) and/or one route pattern (`route`, exact match on
+/// the pattern spelling — percent-encode the slashes or not, both work).
+fn handle_debug_traces(state: &State, req: &Request) -> Response {
+    let mut min_nanos = 0u64;
+    let mut route_filter: Option<String> = None;
+    for (k, v) in query_params(&req.query) {
+        match k.as_str() {
+            "min_ms" => match v.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms >= 0.0 => min_nanos = (ms * 1e6) as u64,
+                _ => {
+                    return bad_request(&format!("min_ms must be a non-negative number, got {v:?}"))
+                }
+            },
+            "route" => route_filter = Some(v),
+            // Unknown parameters are ignored, as query parameters usually
+            // are; the two known ones are validated strictly.
+            _ => {}
+        }
+    }
+    let mut traces = state.trace_ring.snapshot();
+    traces.retain(|t| {
+        t.duration_nanos >= min_nanos && route_filter.as_deref().is_none_or(|want| want == t.route)
+    });
+    traces.reverse(); // ring order is oldest-first; debugging wants newest
+    Response::json(
+        200,
+        JsonValue::obj([
+            (
+                "traces",
+                JsonValue::Arr(traces.iter().map(|t| crate::sink::trace_json(t)).collect()),
+            ),
+            ("capacity", JsonValue::from(state.trace_ring.capacity())),
+        ])
+        .render(),
+    )
 }
 
 fn handle_session_report(state: &State, id: &str, missing: Response) -> Response {
@@ -1069,6 +1234,7 @@ mod tests {
             ("/v1/sessions/s1/report", SessionReport("s1")),
             ("/healthz", Healthz),
             ("/metrics", Metrics),
+            ("/v1/debug/traces", DebugTraces),
             // Malformed or hostile paths all fall to Unknown (→ 404).
             ("/", Unknown),
             ("/v1/engines/", Unknown),
@@ -1100,6 +1266,38 @@ mod tests {
                 "{method} {pattern} does not parse"
             );
         }
+    }
+
+    #[test]
+    fn query_params_decode_pairs_and_escapes() {
+        assert_eq!(query_params(""), vec![]);
+        assert_eq!(
+            query_params("min_ms=1.5&route=%2Fv1%2Fquery"),
+            vec![
+                ("min_ms".to_string(), "1.5".to_string()),
+                ("route".to_string(), "/v1/query".to_string()),
+            ]
+        );
+        assert_eq!(query_params("a+b=c+d"), vec![("a b".into(), "c d".into())]);
+        assert_eq!(query_params("flag"), vec![("flag".into(), String::new())]);
+        // Bad escapes pass through literally, truncated ones included.
+        assert_eq!(query_params("x=%zz"), vec![("x".into(), "%zz".into())]);
+        assert_eq!(query_params("x=%2"), vec![("x".into(), "%2".into())]);
+    }
+
+    #[test]
+    fn route_patterns_are_unique_and_bounded() {
+        let mut seen = std::collections::HashSet::new();
+        for route in Route::ALL {
+            assert!(
+                seen.insert(route.pattern()),
+                "duplicate {}",
+                route.pattern()
+            );
+        }
+        // The synthetic labels can never collide with a served path.
+        assert!(Route::Parse.pattern().starts_with('<'));
+        assert!(Route::Other.pattern().starts_with('<'));
     }
 
     #[test]

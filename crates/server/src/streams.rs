@@ -213,4 +213,26 @@ impl AnyPipeline {
             InnerPipeline::Angular(p) => p.ghost_route_stats(),
         }
     }
+
+    /// The pipeline's live queue/routing gauges (lock-free reads, never
+    /// block on the pipeline threads).
+    fn gauges(&self) -> std::sync::Arc<dod_shard::PipelineGauges> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.gauges(),
+            InnerPipeline::L2(p) => p.gauges(),
+            InnerPipeline::L4(p) => p.gauges(),
+            InnerPipeline::Angular(p) => p.gauges(),
+        }
+    }
+
+    /// Commands enqueued but not yet routed — the per-session queue
+    /// depth gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.gauges().queue_depth()
+    }
+
+    /// Cumulative router-thread routing time, in nanoseconds.
+    pub fn route_nanos(&self) -> u64 {
+        self.gauges().route_nanos()
+    }
 }

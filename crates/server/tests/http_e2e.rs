@@ -293,11 +293,18 @@ fn metrics_expose_query_counters_latency_buckets_and_ghost_rates() {
         text.contains("dod_engine_query_latency_seconds_count{engine=\"default\"} 3"),
         "{text}"
     );
-    // Request accounting by route and class.
+    // Request accounting by route pattern and status, plus the per-route
+    // latency histogram and pool gauges that ride along.
     assert!(
-        text.contains("dod_http_requests_total{route=\"query\",class=\"2xx\"} 2"),
+        text.contains("dod_http_requests_total{route=\"/v1/query\",status=\"200\"} 2"),
         "{text}"
     );
+    assert!(
+        text.contains("dod_http_request_seconds_count{route=\"/v1/query\"} 2"),
+        "{text}"
+    );
+    assert!(text.contains("dod_http_queue_wait_seconds_count"), "{text}");
+    assert!(text.contains("dod_pool_workers "), "{text}");
     handle.shutdown();
 
     // Stream-backed server: ghost-pair counters and rates after load.

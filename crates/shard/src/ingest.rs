@@ -27,7 +27,9 @@ use crate::shard::{Shard, ShardAnswer};
 use dod_core::{DodError, OutlierReport};
 use dod_stream::{Backend, Space, StreamStats};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum RouterCmd<P> {
@@ -71,17 +73,59 @@ fn closed() -> DodError {
     ))
 }
 
+/// Live telemetry of a pipeline's bounded command queue, shared (`Arc`)
+/// between every handle, the router thread, and scrapers. Relaxed
+/// atomics: monitoring signals, not synchronization edges.
+#[derive(Debug, Default)]
+pub struct PipelineGauges {
+    queued: AtomicU64,
+    route_nanos: AtomicU64,
+}
+
+impl PipelineGauges {
+    /// Commands enqueued but not yet taken by the router thread (a
+    /// producer blocked on the full channel counts too, so this can read
+    /// queue-capacity + 1 under saturation).
+    pub fn queue_depth(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall time the router thread has spent routing points
+    /// (pivot distances, ghost-replication decisions), in nanoseconds.
+    pub fn route_nanos(&self) -> u64 {
+        self.route_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// The one enqueue path: counts the command before the (possibly
+/// blocking) send so a full queue is visible as nonzero depth, and
+/// un-counts on failure so a dead pipeline settles back to its true
+/// backlog.
+fn send_counted<P>(
+    tx: &SyncSender<RouterCmd<P>>,
+    gauges: &PipelineGauges,
+    cmd: RouterCmd<P>,
+) -> Result<(), DodError> {
+    gauges.queued.fetch_add(1, Ordering::Relaxed);
+    tx.send(cmd).map_err(|_| {
+        gauges.queued.fetch_sub(1, Ordering::Relaxed);
+        closed()
+    })
+}
+
 /// A cloneable, bounded-queue producer handle onto an
 /// [`IngestPipeline`]. `insert` blocks when the queue is full — that is
 /// the backpressure contract — and fails only when the pipeline is gone.
 pub struct IngestHandle<P> {
     tx: SyncSender<RouterCmd<P>>,
+    gauges: Arc<PipelineGauges>,
 }
 
 impl<P> Clone for IngestHandle<P> {
     fn clone(&self) -> Self {
         IngestHandle {
             tx: self.tx.clone(),
+            gauges: Arc::clone(&self.gauges),
         }
     }
 }
@@ -89,30 +133,26 @@ impl<P> Clone for IngestHandle<P> {
 impl<P> IngestHandle<P> {
     /// Enqueues a point for the next unit-spaced tick.
     pub fn insert(&self, point: P) -> Result<(), DodError> {
-        self.tx.send(RouterCmd::Insert(point)).map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::Insert(point))
     }
 
     /// Enqueues a run of points for consecutive unit-spaced ticks with a
     /// single queue handoff — the path for producers whose throughput
     /// would otherwise be bounded by per-point queue synchronization.
     pub fn insert_many(&self, points: Vec<P>) -> Result<(), DodError> {
-        self.tx
-            .send(RouterCmd::InsertMany(points))
-            .map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::InsertMany(points))
     }
 
     /// Enqueues a point at an explicit timestamp. Timestamps must be
     /// non-decreasing *in queue order*: with several handles racing, the
     /// arrival order at the router is the order that counts.
     pub fn insert_at(&self, point: P, time: f64) -> Result<(), DodError> {
-        self.tx
-            .send(RouterCmd::InsertAt(point, time))
-            .map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::InsertAt(point, time))
     }
 
     /// Enqueues a clock advance (time-based windows).
     pub fn advance_to(&self, time: f64) -> Result<(), DodError> {
-        self.tx.send(RouterCmd::Advance(time)).map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::Advance(time))
     }
 }
 
@@ -122,6 +162,7 @@ impl<P> IngestHandle<P> {
 /// synchronous detector by [`finish`](IngestPipeline::finish).
 pub struct IngestPipeline<S: Space + Clone + 'static> {
     tx: SyncSender<RouterCmd<S::Point>>,
+    gauges: Arc<PipelineGauges>,
     router_thread: Option<JoinHandle<Router<S>>>,
     pump_threads: Vec<JoinHandle<Shard<S>>>,
     backend: Backend,
@@ -148,13 +189,16 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
                 shard
             }));
         }
+        let gauges = Arc::new(PipelineGauges::default());
+        let router_gauges = Arc::clone(&gauges);
         let router_thread = std::thread::spawn(move || {
             let mut router = router;
-            router_loop(&mut router, rx, pump_txs);
+            router_loop(&mut router, rx, pump_txs, &router_gauges);
             router
         });
         IngestPipeline {
             tx,
+            gauges,
             router_thread: Some(router_thread),
             pump_threads,
             backend,
@@ -167,33 +211,37 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
     pub fn handle(&self) -> IngestHandle<S::Point> {
         IngestHandle {
             tx: self.tx.clone(),
+            gauges: Arc::clone(&self.gauges),
         }
+    }
+
+    /// The pipeline's live queue/routing telemetry, shareable with a
+    /// scraper (outlives the pipeline harmlessly — the gauges just stop
+    /// moving).
+    pub fn gauges(&self) -> Arc<PipelineGauges> {
+        Arc::clone(&self.gauges)
     }
 
     /// Enqueues a point for the next unit-spaced tick (blocking when the
     /// queue is full).
     pub fn insert(&self, point: S::Point) -> Result<(), DodError> {
-        self.tx.send(RouterCmd::Insert(point)).map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::Insert(point))
     }
 
     /// Enqueues a run of points for consecutive unit-spaced ticks with a
     /// single queue handoff (see [`IngestHandle::insert_many`]).
     pub fn insert_many(&self, points: Vec<S::Point>) -> Result<(), DodError> {
-        self.tx
-            .send(RouterCmd::InsertMany(points))
-            .map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::InsertMany(points))
     }
 
     /// Enqueues a point at an explicit timestamp.
     pub fn insert_at(&self, point: S::Point, time: f64) -> Result<(), DodError> {
-        self.tx
-            .send(RouterCmd::InsertAt(point, time))
-            .map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::InsertAt(point, time))
     }
 
     /// Enqueues a clock advance (time-based windows).
     pub fn advance_to(&self, time: f64) -> Result<(), DodError> {
-        self.tx.send(RouterCmd::Advance(time)).map_err(|_| closed())
+        send_counted(&self.tx, &self.gauges, RouterCmd::Advance(time))
     }
 
     /// A snapshot-consistent merged [`OutlierReport`] at the current
@@ -218,18 +266,14 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
 
     fn collect(&self) -> Result<(u64, OutlierReport), DodError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(RouterCmd::Report(reply_tx))
-            .map_err(|_| closed())?;
+        send_counted(&self.tx, &self.gauges, RouterCmd::Report(reply_tx))?;
         reply_rx.recv().map_err(|_| closed())
     }
 
     /// Summed lifetime counters across shards, snapshot-consistent.
     pub fn stats(&self) -> Result<StreamStats, DodError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(RouterCmd::Stats(reply_tx))
-            .map_err(|_| closed())?;
+        send_counted(&self.tx, &self.gauges, RouterCmd::Stats(reply_tx))?;
         reply_rx.recv().map_err(|_| closed())
     }
 
@@ -246,9 +290,7 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
     /// [`ShardedStreamDetector::ghost_route_stats`].
     pub fn ghost_route_stats(&self) -> Result<GhostRouteStats, DodError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(RouterCmd::GhostStats(reply_tx))
-            .map_err(|_| closed())?;
+        send_counted(&self.tx, &self.gauges, RouterCmd::GhostStats(reply_tx))?;
         reply_rx.recv().map_err(|_| closed())
     }
 
@@ -257,7 +299,7 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
     /// ready for `audit()`, further synchronous use, or a later
     /// `into_pipeline` again.
     pub fn finish(mut self) -> Result<ShardedStreamDetector<S>, DodError> {
-        let _ = self.tx.send(RouterCmd::Stop);
+        let _ = send_counted(&self.tx, &self.gauges, RouterCmd::Stop);
         let router = self
             .router_thread
             .take()
@@ -280,7 +322,7 @@ impl<S: Space + Clone + 'static> Drop for IngestPipeline<S> {
     fn drop(&mut self) {
         // finish() already detached the threads; otherwise stop and join
         // so no detached worker outlives the pipeline.
-        let _ = self.tx.send(RouterCmd::Stop);
+        let _ = send_counted(&self.tx, &self.gauges, RouterCmd::Stop);
         if let Some(t) = self.router_thread.take() {
             let _ = t.join();
         }
@@ -305,6 +347,7 @@ fn router_loop<S: Space>(
     router: &mut Router<S>,
     rx: Receiver<RouterCmd<S::Point>>,
     pump_txs: Vec<SyncSender<PumpCmd<S::Point>>>,
+    gauges: &PipelineGauges,
 ) {
     let mut batches: Vec<Vec<ShardOp<S::Point>>> =
         (0..pump_txs.len()).map(|_| Vec::new()).collect();
@@ -312,29 +355,40 @@ fn router_loop<S: Space>(
                     batches: &mut Vec<Vec<ShardOp<S::Point>>>,
                     cmd: RouterCmd<S::Point>|
      -> Option<RouterCmd<S::Point>> {
+        // Every dequeued command settles the queue-depth gauge here, the
+        // single entry point of the loop bodies below.
+        gauges.queued.fetch_sub(1, Ordering::Relaxed);
         // Data commands accumulate into the per-shard batches; control
-        // commands bounce back to the main loop.
+        // commands bounce back to the main loop. Routing work (pivot
+        // distances, ghost decisions) is timed into the gauges.
+        let route = |router: &mut Router<S>,
+                     batches: &mut Vec<Vec<ShardOp<S::Point>>>,
+                     p: S::Point,
+                     t: f64| {
+            let t0 = std::time::Instant::now();
+            let ops = router.ingest(p, t).ops;
+            gauges
+                .route_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            for (s, op) in ops {
+                batches[s].push(op);
+            }
+        };
         match cmd {
             RouterCmd::Insert(p) => {
                 let t = router.next_tick();
-                for (s, op) in router.ingest(p, t).ops {
-                    batches[s].push(op);
-                }
+                route(router, batches, p, t);
                 None
             }
             RouterCmd::InsertMany(points) => {
                 for p in points {
                     let t = router.next_tick();
-                    for (s, op) in router.ingest(p, t).ops {
-                        batches[s].push(op);
-                    }
+                    route(router, batches, p, t);
                 }
                 None
             }
             RouterCmd::InsertAt(p, t) => {
-                for (s, op) in router.ingest(p, t).ops {
-                    batches[s].push(op);
-                }
+                route(router, batches, p, t);
                 None
             }
             RouterCmd::Advance(t) => {

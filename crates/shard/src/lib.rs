@@ -115,6 +115,6 @@ mod shard;
 mod spec;
 
 pub use detector::{ShardSlideReport, ShardedStreamDetector};
-pub use ingest::{IngestHandle, IngestPipeline};
+pub use ingest::{IngestHandle, IngestPipeline, PipelineGauges};
 pub use router::GhostRouteStats;
 pub use spec::ShardSpec;

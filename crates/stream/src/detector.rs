@@ -151,6 +151,13 @@ pub struct StreamStats {
     pub full_repairs: u64,
     /// Suffix-only exact repairs performed by queries.
     pub incremental_repairs: u64,
+    /// Wall time spent inside [`ingest`](StreamDetector::insert)
+    /// (neighbor discovery, index insert) *excluding* expiry, in
+    /// nanoseconds. With [`expiry_nanos`](Self::expiry_nanos) this gives
+    /// scrapes the per-slide insert/expiry time split.
+    pub insert_nanos: u64,
+    /// Wall time spent expiring due residents, in nanoseconds.
+    pub expiry_nanos: u64,
 }
 
 impl StreamStats {
@@ -165,6 +172,8 @@ impl StreamStats {
             safe_promotions,
             full_repairs,
             incremental_repairs,
+            insert_nanos,
+            expiry_nanos,
         } = other;
         self.inserts += inserts;
         self.ghost_inserts += ghost_inserts;
@@ -172,6 +181,8 @@ impl StreamStats {
         self.safe_promotions += safe_promotions;
         self.full_repairs += full_repairs;
         self.incremental_repairs += incremental_repairs;
+        self.insert_nanos += insert_nanos;
+        self.expiry_nanos += expiry_nanos;
     }
 }
 
@@ -323,6 +334,8 @@ impl<S: Space> StreamDetector<S> {
     /// Shared insertion path: expire, push, discover, fold counts. `ghost`
     /// skips only the new point's own neighbor state.
     fn ingest(&mut self, point: S::Point, time: f64, ghost: bool) -> SlideReport {
+        let t0 = std::time::Instant::now();
+        let expiry_before = self.stats.expiry_nanos;
         let point = self.space.prepare(point);
         self.win.advance_clock(time);
         let expired = self.expire_due(true);
@@ -355,6 +368,10 @@ impl<S: Space> StreamDetector<S> {
                 );
             }
         }
+        // Insert time is the slide minus whatever expire_due just booked,
+        // so the two phase counters partition the slide's wall time.
+        let expiry_within = self.stats.expiry_nanos - expiry_before;
+        self.stats.insert_nanos += (t0.elapsed().as_nanos() as u64).saturating_sub(expiry_within);
         SlideReport {
             seq,
             expired,
@@ -373,6 +390,7 @@ impl<S: Space> StreamDetector<S> {
     }
 
     fn expire_due(&mut self, incoming: bool) -> Vec<u64> {
+        let t0 = std::time::Instant::now();
         let mut expired = Vec::new();
         while self.win.front_due(self.params.window, incoming) {
             let e = self.win.pop_front().expect("due implies non-empty");
@@ -384,6 +402,7 @@ impl<S: Space> StreamDetector<S> {
             self.stats.expirations += 1;
             expired.push(e.seq);
         }
+        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
         expired
     }
 
@@ -658,6 +677,25 @@ mod tests {
             // The second query repaired nothing new.
             assert_eq!(before.full_repairs, after.full_repairs);
         }
+    }
+
+    #[test]
+    fn phase_timing_counters_accumulate_and_absorb() {
+        let mut d = det(0.5, 2, 4, Backend::Exhaustive);
+        for i in 0..12 {
+            d.insert(vec![i as f32 * 0.1]);
+        }
+        let s = d.stats();
+        assert!(s.insert_nanos > 0, "inserts took measurable time");
+        assert!(
+            s.expirations > 0,
+            "window of 4 after 12 inserts must have expired"
+        );
+        let mut total = StreamStats::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.insert_nanos, 2 * s.insert_nanos);
+        assert_eq!(total.expiry_nanos, 2 * s.expiry_nanos);
     }
 
     #[test]
