@@ -33,7 +33,13 @@ const METRICS: &[(&str, Direction)] = &[
 /// observations (ghost replica counts, false-positive tallies). Folding
 /// them into the identity key would make rows unmatchable across runs —
 /// the exact failure mode a regression gate must not have.
-const INFORMATIONAL: &[&str] = &["ghosts", "false_positives"];
+const INFORMATIONAL: &[&str] = &[
+    "ghosts",
+    "false_positives",
+    "overhead_vs_none",
+    "fsyncs",
+    "wal_bytes",
+];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {

@@ -25,6 +25,10 @@ pub struct Config {
     /// Shard counts for the stream experiment's sharded-pipeline grid
     /// (`--shards 1,2,4`); empty = skip the grid.
     pub shards: Vec<usize>,
+    /// Durability policies for the stream experiment's WAL-overhead grid
+    /// (`--durability none,everyN,always`); empty = skip the grid.
+    /// `none` is the no-WAL baseline; the rest are WAL sync policies.
+    pub durability: Vec<String>,
     /// Print a per-phase time breakdown (filter/verify for the table
     /// experiments, insert/expiry per slide for the stream experiment)
     /// after the result tables (`--trace-summary`).
@@ -43,6 +47,7 @@ impl Default for Config {
             calib_samples: 800,
             json: None,
             shards: Vec::new(),
+            durability: Vec::new(),
             trace_summary: false,
         }
     }
@@ -96,6 +101,21 @@ impl Config {
                     if cfg.shards.contains(&0) {
                         return Err("--shards entries must be >= 1".into());
                     }
+                }
+                "--durability" => {
+                    let list = next("--durability")?;
+                    cfg.durability = list
+                        .split(',')
+                        .map(|s| {
+                            let s = s.trim();
+                            match s {
+                                "none" | "everyN" | "always" | "never" => Ok(s.to_string()),
+                                _ => Err(format!(
+                                    "--durability {s:?}: expected none, everyN, always or never"
+                                )),
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
                 }
                 "--families" => {
                     let list = next("--families")?;
@@ -280,10 +300,22 @@ mod tests {
             vec!["--scale".to_string()],
             vec!["--scale".to_string(), "-1".to_string()],
             vec!["--families".to_string(), "nope".to_string()],
+            vec!["--durability".to_string(), "fsync".to_string()],
             vec!["--wat".to_string()],
         ] {
             assert!(Config::from_args(&bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn durability_flag_round_trips() {
+        assert!(Config::from_args(&[]).unwrap().durability.is_empty());
+        let args: Vec<String> = ["--durability", "none, everyN,always"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = Config::from_args(&args).unwrap();
+        assert_eq!(cfg.durability, vec!["none", "everyN", "always"]);
     }
 
     #[test]

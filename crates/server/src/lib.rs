@@ -36,7 +36,7 @@
 //! | `POST /v1/ingest` | as session ingest | alias for `/v1/sessions/default/ingest` |
 //! | `GET /v1/report` | — | alias for `/v1/sessions/default/report` |
 //! | `GET /healthz` | — | `{"status": "ok", …}` |
-//! | `GET /metrics` | — | Prometheus text: per-route×status HTTP counters + latency histograms, worker-pool and pipeline gauges, per-engine query telemetry, per-session stream counters and ghost rates |
+//! | `GET /metrics` | — | Prometheus text: per-route×status HTTP counters + latency histograms, worker-pool and pipeline gauges, per-engine query telemetry, per-session stream counters, ghost rates and WAL counters |
 //! | `GET /v1/debug/traces` | — | the most recent request traces (`?min_ms=`, `?route=` filters) from an in-memory ring |
 //!
 //! # Observability
@@ -105,6 +105,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod durable;
 mod http;
 mod prom;
 mod registry;
@@ -126,6 +127,7 @@ use registry::{EngineRegistry, SessionEntry, SessionRegistry};
 use routes::Route;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -188,6 +190,9 @@ pub(crate) struct State {
     pub(crate) max_query_threads: usize,
     /// Queue depth new wire-opened sessions inherit for their pipelines.
     pub(crate) pipeline_queue: usize,
+    /// Root of durable-session storage (`{data_dir}/sessions/{id}`);
+    /// `None` means durable session creation answers 503.
+    pub(crate) data_dir: Option<PathBuf>,
     /// The last-N completed request traces, served by
     /// `GET /v1/debug/traces` (also registered in `sinks`).
     pub(crate) trace_ring: Arc<TraceRing>,
@@ -275,6 +280,7 @@ pub struct ServerBuilder {
     max_query_threads: usize,
     max_engines: usize,
     max_sessions: usize,
+    data_dir: Option<PathBuf>,
     access_log: Option<Box<dyn std::io::Write + Send>>,
     trace_capacity: usize,
     extra_sinks: Vec<Arc<dyn TraceSink>>,
@@ -296,6 +302,7 @@ impl Default for ServerBuilder {
             max_query_threads: cores,
             max_engines: 8,
             max_sessions: 16,
+            data_dir: None,
             access_log: None,
             trace_capacity: 256,
             extra_sinks: Vec::new(),
@@ -344,6 +351,21 @@ impl ServerBuilder {
     /// sliding window is stream state the client cannot re-send.
     pub fn max_sessions(mut self, n: usize) -> Self {
         self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Enables **durable sessions**: a `POST /v1/sessions` body carrying
+    /// `"durable": true` gets a write-ahead log, periodic window
+    /// snapshots and a spec manifest under `{dir}/sessions/{id}`, and
+    /// [`bind`](Self::bind) recovers every session found there — same
+    /// id, same window, same clock — before the server accepts a single
+    /// connection. Without a data directory, durable creation answers
+    /// `503`. Recovery failures (structural corruption, capacity
+    /// exhaustion — *not* torn log tails, which are truncated as normal
+    /// crash artifacts) fail the bind rather than silently dropping
+    /// state.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
         self
     }
 
@@ -457,10 +479,14 @@ impl ServerBuilder {
                 metric,
                 shards,
                 ingested: Counter::new(),
+                durable: None,
             };
             sessions
                 .mount(DEFAULT_RESOURCE, entry)
                 .unwrap_or_else(|_| unreachable!("an empty registry has room (capacity ≥ 1)"));
+        }
+        if let Some(data_dir) = &self.data_dir {
+            durable::recover_sessions(data_dir, self.queue, &mut sessions)?;
         }
         let trace_ring = Arc::new(TraceRing::new(self.trace_capacity));
         let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::with_capacity(2 + self.extra_sinks.len());
@@ -480,6 +506,7 @@ impl ServerBuilder {
             ingested_points: Counter::new(),
             max_query_threads: self.max_query_threads,
             pipeline_queue: self.queue,
+            data_dir: self.data_dir,
             trace_ring,
             sinks,
             pool_stats: pool.stats(),

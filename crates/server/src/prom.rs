@@ -435,6 +435,110 @@ pub(crate) fn render(state: &State) -> String {
                 }
             }
         }
+        header(
+            &mut out,
+            "dod_session_durable",
+            "1 for sessions backed by a write-ahead log, 0 for in-memory sessions.",
+            "gauge",
+        );
+        for (id, entry) in &sessions {
+            let _ = writeln!(
+                out,
+                "dod_session_durable{{session=\"{id}\"}} {}",
+                u8::from(entry.durable.is_some())
+            );
+        }
+        // WAL counters, only for durable sessions. The telemetry Arcs are
+        // shared with each session's router thread, so scrapes read live
+        // values without touching the pipeline.
+        let wals: Vec<_> = sessions
+            .iter()
+            .filter_map(|(id, entry)| {
+                entry
+                    .durable
+                    .as_ref()
+                    .map(|d| (id.clone(), std::sync::Arc::clone(&d.telemetry)))
+            })
+            .collect();
+        if !wals.is_empty() {
+            for (metric, help, value) in [
+                (
+                    "dod_wal_appended_records_total",
+                    "WAL frames appended (one per committed ingest batch).",
+                    &|t: &dod_shard::WalTelemetry| t.appended_records.get(),
+                ),
+                (
+                    "dod_wal_appended_ops_total",
+                    "Stream operations (inserts and clock advances) appended to the WAL.",
+                    &|t: &dod_shard::WalTelemetry| t.appended_ops.get(),
+                ),
+                (
+                    "dod_wal_appended_bytes_total",
+                    "Bytes appended to the WAL, framing included.",
+                    &|t: &dod_shard::WalTelemetry| t.appended_bytes.get(),
+                ),
+                (
+                    "dod_wal_fsyncs_total",
+                    "fsync calls issued by the WAL (appends and snapshots).",
+                    &|t: &dod_shard::WalTelemetry| t.fsyncs.get(),
+                ),
+                (
+                    "dod_wal_snapshots_total",
+                    "Window snapshots installed (each truncates the log tail).",
+                    &|t: &dod_shard::WalTelemetry| t.snapshots.get(),
+                ),
+                (
+                    "dod_wal_replayed_records_total",
+                    "WAL frames replayed at the last open.",
+                    &|t: &dod_shard::WalTelemetry| t.replayed_records.get(),
+                ),
+                (
+                    "dod_wal_replayed_ops_total",
+                    "Stream operations replayed at the last open.",
+                    &|t: &dod_shard::WalTelemetry| t.replayed_ops.get(),
+                ),
+                (
+                    "dod_wal_torn_tails_total",
+                    "Torn log tails truncated on open (expected crash artifacts).",
+                    &|t: &dod_shard::WalTelemetry| t.torn_tails.get(),
+                ),
+                (
+                    "dod_wal_io_errors_total",
+                    "WAL I/O failures; nonzero means the session degraded to in-memory (alarm on this).",
+                    &|t: &dod_shard::WalTelemetry| t.io_errors.get(),
+                ),
+            ]
+                as [(&str, &str, &dyn Fn(&dod_shard::WalTelemetry) -> u64); 9]
+            {
+                header(&mut out, metric, help, "counter");
+                for (id, t) in &wals {
+                    let _ = writeln!(out, "{metric}{{session=\"{id}\"}} {}", value(t));
+                }
+            }
+            for (metric, help, nanos) in [
+                (
+                    "dod_wal_snapshot_seconds_total",
+                    "Wall time spent installing window snapshots.",
+                    &|t: &dod_shard::WalTelemetry| t.snapshot_nanos.get(),
+                ),
+                (
+                    "dod_wal_replay_seconds_total",
+                    "Wall time spent replaying the WAL at open.",
+                    &|t: &dod_shard::WalTelemetry| t.replay_nanos.get(),
+                ),
+            ]
+                as [(&str, &str, &dyn Fn(&dod_shard::WalTelemetry) -> u64); 2]
+            {
+                header(&mut out, metric, help, "counter");
+                for (id, t) in &wals {
+                    let _ = writeln!(
+                        out,
+                        "{metric}{{session=\"{id}\"}} {}",
+                        dod_wire::render_number(nanos(t) as f64 / 1e9)
+                    );
+                }
+            }
+        }
     }
     out
 }

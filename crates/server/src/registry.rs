@@ -23,7 +23,9 @@
 use crate::streams::AnyPipeline;
 use crate::QueryEngine;
 use dod_core::telemetry::Counter;
+use dod_shard::WalTelemetry;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -142,6 +144,17 @@ pub(crate) struct SessionEntry {
     pub shards: usize,
     /// Points this session accepted over HTTP.
     pub ingested: Counter,
+    /// Present iff the session is durable: its WAL counters (shared with
+    /// the router thread) and the on-disk directory `DELETE` reclaims.
+    pub durable: Option<DurableInfo>,
+}
+
+/// The server-side face of a durable session's WAL.
+pub(crate) struct DurableInfo {
+    /// The session's WAL counters, scraped by `/metrics`.
+    pub telemetry: Arc<WalTelemetry>,
+    /// Directory holding `wal.log`, `snapshot.bin` and `manifest.json`.
+    pub dir: PathBuf,
 }
 
 /// Identified ingest sessions under a hard capacity bound.
@@ -187,8 +200,27 @@ impl SessionRegistry {
         Ok((id, entry))
     }
 
+    /// Reserves the next `s{n}` id without inserting anything — the
+    /// durable-create path needs the id *before* the entry exists (the
+    /// session's directory is named after it), and must not hold the
+    /// registry lock through the disk work. At capacity the reservation
+    /// is refused (the later [`mount`](Self::mount) re-checks anyway, in
+    /// case sessions were created in between). Skipped ids are fine: ids
+    /// are opaque, only uniqueness matters.
+    pub fn reserve(&mut self) -> Option<String> {
+        if self.entries.len() >= self.capacity {
+            return None;
+        }
+        let id = format!("s{}", self.next_id);
+        self.next_id += 1;
+        Some(id)
+    }
+
     /// Mounts a session under a caller-chosen id (the builder's
-    /// `"default"` alias target). Same capacity rule as [`open`](Self::open).
+    /// `"default"` alias target, a reserved durable id, or an id
+    /// recovered from disk). Same capacity rule as [`open`](Self::open).
+    /// A recovered `s{n}` id pushes `next_id` past `n`, so fresh opens
+    /// can never collide with sessions that survived a restart.
     pub fn mount(
         &mut self,
         id: &str,
@@ -196,6 +228,9 @@ impl SessionRegistry {
     ) -> Result<Arc<SessionEntry>, Box<SessionEntry>> {
         if self.entries.len() >= self.capacity && !self.entries.contains_key(id) {
             return Err(Box::new(entry));
+        }
+        if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+            self.next_id = self.next_id.max(n + 1);
         }
         let entry = Arc::new(entry);
         self.entries.insert(id.to_string(), Arc::clone(&entry));

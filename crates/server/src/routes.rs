@@ -153,8 +153,9 @@ pub(crate) enum Resource<'a> {
 }
 
 /// Resource names are short identifiers — no separators, no escapes —
-/// so a name is also safe to echo into error messages and metric labels.
-fn valid_name(s: &str) -> bool {
+/// so a name is also safe to echo into error messages and metric labels
+/// (and, for durable sessions, to use as a directory name).
+pub(crate) fn valid_name(s: &str) -> bool {
     (1..=64).contains(&s.len())
         && s.bytes()
             .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
@@ -840,6 +841,7 @@ fn session_summary(id: &str, entry: &SessionEntry) -> JsonValue {
         dim: entry.pipeline.dim() as u64,
         shards: entry.shards as u64,
         ingested: entry.ingested.get(),
+        durable: entry.durable.is_some(),
     }
     .to_json()
 }
@@ -911,6 +913,9 @@ fn handle_session_create(state: &State, req: &Request) -> Response {
     if let Some(pivots) = create.pivots_per_shard {
         shard_spec = shard_spec.with_pivots_per_shard(pivots as usize);
     }
+    if create.durable {
+        return handle_durable_session_create(state, &create);
+    }
     // Exhaustive per-shard backend: wire sessions promise exact answers.
     let detector = match AnyStreamDetector::open(
         kind,
@@ -930,6 +935,7 @@ fn handle_session_create(state: &State, req: &Request) -> Response {
         metric,
         shards,
         ingested: Counter::new(),
+        durable: None,
     };
     let opened = state
         .sessions
@@ -939,20 +945,71 @@ fn handle_session_create(state: &State, req: &Request) -> Response {
     match opened {
         Ok((id, entry)) => Response::json(201, session_summary(&id, &entry).render()),
         Err(refused_entry) => {
-            let capacity = state
-                .sessions
-                .read()
-                .expect("session registry lock")
-                .capacity();
             // The refused pipeline's threads join here, outside the lock.
             drop(refused_entry);
-            Response::json(
-                429,
-                error_body(
-                    "too_many_requests",
-                    &format!("session capacity of {capacity} reached; delete a session first"),
-                ),
-            )
+            session_capacity_response(state)
+        }
+    }
+}
+
+fn session_capacity_response(state: &State) -> Response {
+    let capacity = state
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .capacity();
+    Response::json(
+        429,
+        error_body(
+            "too_many_requests",
+            &format!("session capacity of {capacity} reached; delete a session first"),
+        ),
+    )
+}
+
+/// `POST /v1/sessions` with `"durable": true`: reserve the id (the
+/// session's directory is named after it), build the WAL-backed session
+/// and write its manifest with no registry lock held, then mount it.
+fn handle_durable_session_create(state: &State, create: &SessionCreateRequest) -> Response {
+    let Some(data_dir) = &state.data_dir else {
+        return unavailable("a data directory (durable sessions)");
+    };
+    let Some(id) = state
+        .sessions
+        .write()
+        .expect("session registry lock")
+        .reserve()
+    else {
+        return session_capacity_response(state);
+    };
+    let dir = data_dir.join("sessions").join(&id);
+    // The expensive, fallible part — creating the directory, fsyncing
+    // the log header and first snapshot — runs with no lock held. On any
+    // failure the half-made directory is reclaimed before answering.
+    let built = crate::durable::open_session(create, &dir)
+        .and_then(|sess| crate::durable::write_manifest(&dir, create).map(|()| sess));
+    let session = match built {
+        Ok(s) => s,
+        Err(e) => {
+            crate::durable::remove_session_dir(&dir);
+            return dod_error_response(&e);
+        }
+    };
+    let entry = crate::durable::session_entry(session, &dir, state.pipeline_queue);
+    let mounted = state
+        .sessions
+        .write()
+        .expect("session registry lock")
+        .mount(&id, entry);
+    match mounted {
+        Ok(entry) => Response::json(201, session_summary(&id, &entry).render()),
+        Err(refused) => {
+            // Concurrent creates filled the registry between reserve and
+            // mount. Dropping the entry joins the pipeline (final WAL
+            // close), then the freshly-made files are reclaimed.
+            drop(refused);
+            crate::durable::remove_session_dir(&dir);
+            session_capacity_response(state)
         }
     }
 }
@@ -969,10 +1026,21 @@ fn handle_session_delete(state: &State, id: &str) -> Response {
                 200,
                 JsonValue::obj([("deleted", JsonValue::from(id))]).render(),
             );
+            let dir = entry.durable.as_ref().map(|d| d.dir.clone());
             // The last Arc drop joins the pipeline's threads — after the
             // lock is gone, and possibly deferred to an in-flight handler
             // still holding a clone.
             drop(entry);
+            // DELETE means the stream state is no longer wanted: the WAL,
+            // snapshot and manifest go with the session, so a restart
+            // does not resurrect it. (If an in-flight handler deferred
+            // the drop above, the files are unlinked while the pipeline
+            // winds down — its writes land on anonymous inodes and the
+            // directory itself is swept on a later delete or by the
+            // operator; nothing recoverable remains either way.)
+            if let Some(dir) = dir {
+                crate::durable::remove_session_dir(&dir);
+            }
             resp
         }
         None => no_session(id),
@@ -1064,30 +1132,61 @@ fn query_params(query: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// The validated filter of a `GET /v1/debug/traces` request.
+#[derive(Debug, PartialEq, Eq)]
+struct TraceFilter {
+    min_nanos: u64,
+    route: Option<String>,
+}
+
+/// Parses and strictly validates the traces query string. Every
+/// parameter is checked: unknown keys and route values that match no
+/// mounted pattern are 400s rather than silently ignored — on a debug
+/// endpoint, a typoed `?min_mss=5` quietly returning *everything* (or a
+/// misspelled route returning nothing) sends the operator down the wrong
+/// path exactly when they are debugging.
+fn parse_trace_filter(query: &str) -> Result<TraceFilter, String> {
+    let mut filter = TraceFilter {
+        min_nanos: 0,
+        route: None,
+    };
+    for (k, v) in query_params(query) {
+        match k.as_str() {
+            "min_ms" => match v.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms >= 0.0 => filter.min_nanos = (ms * 1e6) as u64,
+                _ => return Err(format!("min_ms must be a non-negative number, got {v:?}")),
+            },
+            "route" => {
+                if !Route::ALL.iter().any(|r| r.pattern() == v) {
+                    let known: Vec<&str> = Route::ALL.iter().map(|r| r.pattern()).collect();
+                    return Err(format!("unknown route {v:?}; one of: {}", known.join(", ")));
+                }
+                filter.route = Some(v);
+            }
+            _ => {
+                return Err(format!(
+                    "unknown query parameter {k:?}; supported: min_ms, route"
+                ))
+            }
+        }
+    }
+    Ok(filter)
+}
+
 /// `GET /v1/debug/traces[?min_ms=..][&route=..]`: the ring buffer of
 /// recently completed traces, newest first, optionally filtered to slow
 /// requests (`min_ms`) and/or one route pattern (`route`, exact match on
 /// the pattern spelling — percent-encode the slashes or not, both work).
+/// Malformed or unknown parameters answer 400 with the mistake named.
 fn handle_debug_traces(state: &State, req: &Request) -> Response {
-    let mut min_nanos = 0u64;
-    let mut route_filter: Option<String> = None;
-    for (k, v) in query_params(&req.query) {
-        match k.as_str() {
-            "min_ms" => match v.parse::<f64>() {
-                Ok(ms) if ms.is_finite() && ms >= 0.0 => min_nanos = (ms * 1e6) as u64,
-                _ => {
-                    return bad_request(&format!("min_ms must be a non-negative number, got {v:?}"))
-                }
-            },
-            "route" => route_filter = Some(v),
-            // Unknown parameters are ignored, as query parameters usually
-            // are; the two known ones are validated strictly.
-            _ => {}
-        }
-    }
+    let filter = match parse_trace_filter(&req.query) {
+        Ok(f) => f,
+        Err(msg) => return bad_request(&msg),
+    };
     let mut traces = state.trace_ring.snapshot();
     traces.retain(|t| {
-        t.duration_nanos >= min_nanos && route_filter.as_deref().is_none_or(|want| want == t.route)
+        t.duration_nanos >= filter.min_nanos
+            && filter.route.as_deref().is_none_or(|want| want == t.route)
     });
     traces.reverse(); // ring order is oldest-first; debugging wants newest
     Response::json(
@@ -1283,6 +1382,58 @@ mod tests {
         // Bad escapes pass through literally, truncated ones included.
         assert_eq!(query_params("x=%zz"), vec![("x".into(), "%zz".into())]);
         assert_eq!(query_params("x=%2"), vec![("x".into(), "%2".into())]);
+    }
+
+    /// The traces filter is strict: every accepted spelling and every
+    /// rejection is pinned here, because operators curl this endpoint by
+    /// hand and a silently-ignored typo misleads a debugging session.
+    #[test]
+    fn trace_filters_parse_strictly() {
+        assert_eq!(
+            parse_trace_filter(""),
+            Ok(TraceFilter {
+                min_nanos: 0,
+                route: None
+            })
+        );
+        assert_eq!(
+            parse_trace_filter("min_ms=1.5&route=%2Fv1%2Fquery"),
+            Ok(TraceFilter {
+                min_nanos: 1_500_000,
+                route: Some("/v1/query".to_string())
+            })
+        );
+        // Unencoded slashes and the synthetic labels work too.
+        assert_eq!(
+            parse_trace_filter("route=/v1/sessions/{id}/ingest")
+                .unwrap()
+                .route
+                .as_deref(),
+            Some("/v1/sessions/{id}/ingest")
+        );
+        assert!(parse_trace_filter("route=%3Cparse%3E").is_ok());
+        // A non-numeric min_ms is a named 400, not a silent zero.
+        let err = parse_trace_filter("min_ms=abc").unwrap_err();
+        assert_eq!(err, "min_ms must be a non-negative number, got \"abc\"");
+        for bad in ["min_ms=-1", "min_ms=inf", "min_ms="] {
+            assert!(parse_trace_filter(bad).is_err(), "{bad}");
+        }
+        // A route matching no mounted pattern is a named 400, not an
+        // empty 200.
+        let err = parse_trace_filter("route=/v1/quary").unwrap_err();
+        assert!(
+            err.starts_with("unknown route \"/v1/quary\"; one of: "),
+            "{err}"
+        );
+        assert!(err.contains("/v1/query"), "{err}");
+        // Unknown keys are named too (the old behavior ignored them).
+        let err = parse_trace_filter("min_mss=5").unwrap_err();
+        assert_eq!(
+            err,
+            "unknown query parameter \"min_mss\"; supported: min_ms, route"
+        );
+        // The first offending pair wins; valid ones before it are fine.
+        assert!(parse_trace_filter("min_ms=2&oops=1").is_err());
     }
 
     #[test]

@@ -11,8 +11,13 @@
 
 use dod_core::{DodError, Query};
 use dod_metrics::{Angular, MetricKind, L1, L2, L4};
-use dod_shard::{GhostRouteStats, IngestPipeline, ShardSpec, ShardedStreamDetector};
+use dod_shard::{
+    DurabilityPolicy, DurableSession, GhostRouteStats, IngestPipeline, RecoveryStats, ShardSpec,
+    ShardedStreamDetector, WalTelemetry,
+};
 use dod_stream::{Backend, StreamStats, VectorSpace, WindowSpec};
+use std::path::Path;
+use std::sync::Arc;
 
 /// A sharded sliding-window detector over any served vector metric,
 /// ready to be mounted on a server. Build the concrete detector with
@@ -147,6 +152,147 @@ impl AnyStreamDetector {
             AnyStreamDetector::L2(det) => InnerPipeline::L2(det.into_pipeline(queue)),
             AnyStreamDetector::L4(det) => InnerPipeline::L4(det.into_pipeline(queue)),
             AnyStreamDetector::Angular(det) => InnerPipeline::Angular(det.into_pipeline(queue)),
+        };
+        AnyPipeline { dim, inner }
+    }
+}
+
+/// A *durable* wire session: the same metric erasure as
+/// [`AnyStreamDetector`], wrapped around [`DurableSession`] so every
+/// accepted operation is WAL-logged and the session can be rebuilt from
+/// its directory after a restart (see `dod_shard::DurableSession`).
+pub(crate) enum AnyDurableSession {
+    L1(DurableSession<VectorSpace<L1>>),
+    L2(DurableSession<VectorSpace<L2>>),
+    L4(DurableSession<VectorSpace<L4>>),
+    Angular(DurableSession<VectorSpace<Angular>>),
+}
+
+impl AnyDurableSession {
+    /// Opens (or recovers) a durable sharded session in `dir` from
+    /// wire-level configuration — the durable twin of
+    /// [`AnyStreamDetector::open`], with identical validation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn open(
+        kind: MetricKind,
+        dim: usize,
+        query: Query,
+        window: WindowSpec,
+        backend: Backend,
+        spec: ShardSpec,
+        dir: &Path,
+        policy: DurabilityPolicy,
+    ) -> Result<(Self, RecoveryStats), DodError> {
+        if dim == 0 {
+            return Err(DodError::InvalidSpec {
+                reason: "a session's vector dimension must be at least 1".to_string(),
+            });
+        }
+        Ok(match kind {
+            MetricKind::L1 => {
+                let (s, stats) = DurableSession::open(
+                    VectorSpace::new(L1, dim),
+                    query,
+                    window,
+                    backend,
+                    spec,
+                    dir,
+                    policy,
+                )?;
+                (AnyDurableSession::L1(s), stats)
+            }
+            MetricKind::L2 => {
+                let (s, stats) = DurableSession::open(
+                    VectorSpace::new(L2, dim),
+                    query,
+                    window,
+                    backend,
+                    spec,
+                    dir,
+                    policy,
+                )?;
+                (AnyDurableSession::L2(s), stats)
+            }
+            MetricKind::L4 => {
+                let (s, stats) = DurableSession::open(
+                    VectorSpace::new(L4, dim),
+                    query,
+                    window,
+                    backend,
+                    spec,
+                    dir,
+                    policy,
+                )?;
+                (AnyDurableSession::L4(s), stats)
+            }
+            MetricKind::Angular => {
+                let (s, stats) = DurableSession::open(
+                    VectorSpace::new(Angular, dim),
+                    query,
+                    window,
+                    backend,
+                    spec,
+                    dir,
+                    policy,
+                )?;
+                (AnyDurableSession::Angular(s), stats)
+            }
+            other => {
+                return Err(DodError::InvalidSpec {
+                    reason: format!(
+                        "metric {:?} is not servable over HTTP; use one of l1, l2, l4, angular",
+                        other.wire_name()
+                    ),
+                })
+            }
+        })
+    }
+
+    /// Wire name of the session's metric.
+    pub(crate) fn metric_name(&self) -> &'static str {
+        match self {
+            AnyDurableSession::L1(_) => MetricKind::L1.wire_name(),
+            AnyDurableSession::L2(_) => MetricKind::L2.wire_name(),
+            AnyDurableSession::L4(_) => MetricKind::L4.wire_name(),
+            AnyDurableSession::Angular(_) => MetricKind::Angular.wire_name(),
+        }
+    }
+
+    /// Shards the window is partitioned across.
+    pub(crate) fn shard_count(&self) -> usize {
+        match self {
+            AnyDurableSession::L1(s) => s.detector().spec().shards,
+            AnyDurableSession::L2(s) => s.detector().spec().shards,
+            AnyDurableSession::L4(s) => s.detector().spec().shards,
+            AnyDurableSession::Angular(s) => s.detector().spec().shards,
+        }
+    }
+
+    /// The session's WAL counters, shareable with `/metrics` scrapers
+    /// after the session moves onto its pipeline threads.
+    pub(crate) fn telemetry(&self) -> Arc<WalTelemetry> {
+        match self {
+            AnyDurableSession::L1(s) => s.telemetry(),
+            AnyDurableSession::L2(s) => s.telemetry(),
+            AnyDurableSession::L4(s) => s.telemetry(),
+            AnyDurableSession::Angular(s) => s.telemetry(),
+        }
+    }
+
+    /// Moves the session onto its pipeline threads; the WAL rides on the
+    /// router thread (append-before-ack at batch boundaries).
+    pub(crate) fn into_pipeline(self, queue: usize) -> AnyPipeline {
+        let dim = match &self {
+            AnyDurableSession::L1(s) => s.detector().space().dim(),
+            AnyDurableSession::L2(s) => s.detector().space().dim(),
+            AnyDurableSession::L4(s) => s.detector().space().dim(),
+            AnyDurableSession::Angular(s) => s.detector().space().dim(),
+        };
+        let inner = match self {
+            AnyDurableSession::L1(s) => InnerPipeline::L1(s.into_pipeline(queue)),
+            AnyDurableSession::L2(s) => InnerPipeline::L2(s.into_pipeline(queue)),
+            AnyDurableSession::L4(s) => InnerPipeline::L4(s.into_pipeline(queue)),
+            AnyDurableSession::Angular(s) => InnerPipeline::Angular(s.into_pipeline(queue)),
         };
         AnyPipeline { dim, inner }
     }

@@ -240,6 +240,16 @@ fn debug_traces_filter_by_route_and_min_ms() {
     // A malformed floor is a client error, not a shrug.
     let (status, _, body) = get(addr, "/v1/debug/traces?min_ms=soon");
     assert_eq!(status, 400, "{body}");
+
+    // Unknown parameters and routes matching no mounted pattern are
+    // named 400 envelopes too — not silently ignored filters.
+    for q in ["?min_mss=5", "?route=/v1/quary"] {
+        let (status, _, body) = get(addr, &format!("/v1/debug/traces{q}"));
+        assert_eq!(status, 400, "{q}: {body}");
+        let doc = dod_wire::parse_json(&body).expect("json");
+        let env = dod_wire::shapes::ErrorEnvelope::from_json(&doc).expect("envelope");
+        assert_eq!(env.kind, "bad_request", "{q}");
+    }
     handle.shutdown();
 }
 

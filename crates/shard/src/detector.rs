@@ -74,8 +74,15 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
 
     /// Ingests a point at the next unit-spaced tick (`0, 1, 2, …`).
     pub fn insert(&mut self, point: S::Point) -> ShardSlideReport {
-        let t = self.router.next_tick();
+        let t = self.next_tick();
         self.insert_at(point, t)
+    }
+
+    /// The timestamp [`insert`](Self::insert) would assign next — what a
+    /// durable session logs for auto-ticked insertions so replay can use
+    /// the explicit-timestamp path.
+    pub(crate) fn next_tick(&self) -> f64 {
+        self.router.next_tick()
     }
 
     /// Ingests a point at an explicit timestamp.
@@ -312,6 +319,18 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
     /// Approximate heap bytes across all shard state.
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.size_bytes()).sum()
+    }
+
+    /// Oldest live global seq (the next seq to assign when the window is
+    /// empty) — the base durable snapshots are keyed on.
+    pub(crate) fn front_seq(&self) -> u64 {
+        self.router.front_seq()
+    }
+
+    /// Restarts the global seq clock for durable-session recovery (see
+    /// [`Router::set_seq_origin`]).
+    pub(crate) fn set_seq_origin(&mut self, seq: u64) {
+        self.router.set_seq_origin(seq);
     }
 
     pub(crate) fn into_parts(self) -> (Router<S>, Vec<Shard<S>>, Backend) {

@@ -22,6 +22,7 @@
 //! report was requested.
 
 use crate::detector::{merge_answers, ShardedStreamDetector};
+use crate::durable::DurabilityHook;
 use crate::router::{GhostRouteStats, Router, ShardOp};
 use crate::shard::{Shard, ShardAnswer};
 use dod_core::{DodError, OutlierReport};
@@ -176,6 +177,24 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
     /// The detector may already hold window state — the threads simply
     /// continue from it.
     pub fn into_pipeline(self, queue: usize) -> IngestPipeline<S> {
+        self.spawn_pipeline(queue, None)
+    }
+
+    /// The durable variant: the WAL hook rides on the router thread and
+    /// commits each batch before it is handed to any pump.
+    pub(crate) fn into_pipeline_durable(
+        self,
+        queue: usize,
+        durable: Box<dyn DurabilityHook<S::Point>>,
+    ) -> IngestPipeline<S> {
+        self.spawn_pipeline(queue, Some(durable))
+    }
+
+    fn spawn_pipeline(
+        self,
+        queue: usize,
+        durable: Option<Box<dyn DurabilityHook<S::Point>>>,
+    ) -> IngestPipeline<S> {
         let queue = queue.max(1);
         let (router, shards, backend) = self.into_parts();
         let (tx, rx) = sync_channel::<RouterCmd<S::Point>>(queue);
@@ -193,7 +212,8 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
         let router_gauges = Arc::clone(&gauges);
         let router_thread = std::thread::spawn(move || {
             let mut router = router;
-            router_loop(&mut router, rx, pump_txs, &router_gauges);
+            let mut durable = durable;
+            router_loop(&mut router, rx, pump_txs, &router_gauges, &mut durable);
             router
         });
         IngestPipeline {
@@ -348,11 +368,14 @@ fn router_loop<S: Space>(
     rx: Receiver<RouterCmd<S::Point>>,
     pump_txs: Vec<SyncSender<PumpCmd<S::Point>>>,
     gauges: &PipelineGauges,
+    durable: &mut Option<Box<dyn DurabilityHook<S::Point>>>,
 ) {
+    type Hook<P> = Option<Box<dyn DurabilityHook<P>>>;
     let mut batches: Vec<Vec<ShardOp<S::Point>>> =
         (0..pump_txs.len()).map(|_| Vec::new()).collect();
     let batch_up = |router: &mut Router<S>,
                     batches: &mut Vec<Vec<ShardOp<S::Point>>>,
+                    durable: &mut Hook<S::Point>,
                     cmd: RouterCmd<S::Point>|
      -> Option<RouterCmd<S::Point>> {
         // Every dequeued command settles the queue-depth gauge here, the
@@ -360,45 +383,64 @@ fn router_loop<S: Space>(
         gauges.queued.fetch_sub(1, Ordering::Relaxed);
         // Data commands accumulate into the per-shard batches; control
         // commands bounce back to the main loop. Routing work (pivot
-        // distances, ghost decisions) is timed into the gauges.
+        // distances, ghost decisions) is timed into the gauges. A durable
+        // hook sees every accepted op (with its resolved timestamp, so
+        // replay never depends on auto-tick state) before the batch can
+        // be flushed.
         let route = |router: &mut Router<S>,
                      batches: &mut Vec<Vec<ShardOp<S::Point>>>,
+                     durable: &mut Hook<S::Point>,
                      p: S::Point,
                      t: f64| {
+            let keep = durable.as_ref().map(|_| p.clone());
             let t0 = std::time::Instant::now();
-            let ops = router.ingest(p, t).ops;
+            let ing = router.ingest(p, t);
             gauges
                 .route_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            for (s, op) in ops {
+            if let (Some(d), Some(keep)) = (durable.as_mut(), keep) {
+                d.note_insert(t, keep, ing.expired.len());
+            }
+            for (s, op) in ing.ops {
                 batches[s].push(op);
             }
         };
         match cmd {
             RouterCmd::Insert(p) => {
                 let t = router.next_tick();
-                route(router, batches, p, t);
+                route(router, batches, durable, p, t);
                 None
             }
             RouterCmd::InsertMany(points) => {
                 for p in points {
                     let t = router.next_tick();
-                    route(router, batches, p, t);
+                    route(router, batches, durable, p, t);
                 }
                 None
             }
             RouterCmd::InsertAt(p, t) => {
-                route(router, batches, p, t);
+                route(router, batches, durable, p, t);
                 None
             }
             RouterCmd::Advance(t) => {
-                router.advance(t);
+                let expired = router.advance(t);
+                if let Some(d) = durable.as_mut() {
+                    d.note_advance(t, expired.len());
+                }
                 None
             }
             ctrl => Some(ctrl),
         }
     };
-    let flush = |batches: &mut Vec<Vec<ShardOp<S::Point>>>| {
+    let flush = |router: &Router<S>,
+                 batches: &mut Vec<Vec<ShardOp<S::Point>>>,
+                 durable: &mut Hook<S::Point>| {
+        // Append-before-ack: the WAL commit lands before any pump can
+        // make this batch's effects observable. Control barriers (report,
+        // stats) flush first, so everything they describe is durable.
+        if let Some(d) = durable.as_mut() {
+            d.commit(router.now(), router.front_seq());
+        }
         for (s, batch) in batches.iter_mut().enumerate() {
             if !batch.is_empty() {
                 // A dead pump means a pump panicked; the router keeps
@@ -409,7 +451,7 @@ fn router_loop<S: Space>(
     };
 
     'outer: while let Ok(cmd) = rx.recv() {
-        let mut ctrl = batch_up(router, &mut batches, cmd);
+        let mut ctrl = batch_up(router, &mut batches, durable, cmd);
         // Greedy drain: keep batching while more data is instantly
         // available and no control command is pending.
         while ctrl.is_none() {
@@ -417,11 +459,11 @@ fn router_loop<S: Space>(
                 break;
             }
             match rx.try_recv() {
-                Ok(cmd) => ctrl = batch_up(router, &mut batches, cmd),
+                Ok(cmd) => ctrl = batch_up(router, &mut batches, durable, cmd),
                 Err(_) => break,
             }
         }
-        flush(&mut batches);
+        flush(router, &mut batches, durable);
         match ctrl {
             None => {}
             Some(RouterCmd::Report(reply)) => {
@@ -488,6 +530,11 @@ fn router_loop<S: Space>(
             Some(RouterCmd::Stop) => break 'outer,
             Some(_) => unreachable!("data commands never bounce"),
         }
+    }
+    // A clean stop is not a crash: commit anything still pending, cut a
+    // final snapshot, and sync, so the next open replays nothing.
+    if let Some(d) = durable.as_mut() {
+        d.close(router.now(), router.front_seq());
     }
     // Dropping the pump senders closes the pump channels; the pumps
     // finish their queues and return their shards.

@@ -109,12 +109,17 @@
 //! ```
 
 mod detector;
+mod durable;
 mod ingest;
 mod router;
 mod shard;
 mod spec;
 
 pub use detector::{ShardSlideReport, ShardedStreamDetector};
+pub use durable::{DurabilityPolicy, DurableSession, RecoveryStats};
 pub use ingest::{IngestHandle, IngestPipeline, PipelineGauges};
 pub use router::GhostRouteStats;
 pub use spec::ShardSpec;
+// Durable sessions are configured in the WAL's vocabulary; re-exported so
+// callers need not depend on `dod_wal` directly.
+pub use dod_wal::{SyncPolicy, WalPoint, WalTelemetry};

@@ -161,6 +161,21 @@ impl<S: Space> Router<S> {
         self.pivots.is_some()
     }
 
+    /// Restarts the global seq clock at `seq`, so points replayed by
+    /// durable-session recovery reacquire their original seqs (reports
+    /// are keyed by global seq; recovery must not renumber the window).
+    ///
+    /// # Panics
+    /// Panics if anything was already ingested — the origin is a
+    /// construction-time property.
+    pub fn set_seq_origin(&mut self, seq: u64) {
+        assert!(
+            self.next_seq == 0 && self.live.is_empty() && self.buffer.is_empty(),
+            "seq origin must be set before any ingestion"
+        );
+        self.next_seq = seq;
+    }
+
     /// Total ghost replicas routed so far.
     pub fn ghost_routes(&self) -> u64 {
         self.ghost_routes

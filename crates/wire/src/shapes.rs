@@ -111,6 +111,8 @@ pub struct SessionSummary {
     pub shards: u64,
     /// Points accepted over HTTP so far.
     pub ingested: u64,
+    /// Whether the session writes a WAL and survives restarts.
+    pub durable: bool,
 }
 
 impl SessionSummary {
@@ -122,10 +124,12 @@ impl SessionSummary {
             ("dim", JsonValue::from(self.dim)),
             ("shards", JsonValue::from(self.shards)),
             ("ingested", JsonValue::from(self.ingested)),
+            ("durable", JsonValue::from(self.durable)),
         ])
     }
 
-    /// Parses a summary out of a listing entry.
+    /// Parses a summary out of a listing entry. `durable` defaults to
+    /// `false` when absent, so pre-durability listings still parse.
     pub fn from_json(v: &JsonValue) -> Option<Self> {
         Some(SessionSummary {
             id: v.get("id")?.as_str()?.to_string(),
@@ -133,6 +137,10 @@ impl SessionSummary {
             dim: v.get("dim")?.as_f64()? as u64,
             shards: v.get("shards")?.as_f64()? as u64,
             ingested: v.get("ingested")?.as_f64()? as u64,
+            durable: v
+                .get("durable")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -218,6 +226,48 @@ pub enum WindowShape {
     Time(f64),
 }
 
+/// The `"sync"` field of a durable session-creation body: when appended
+/// WAL frames are forced to disk. `"always"`, `"never"`, or a positive
+/// integer (fsync every N appends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncShape {
+    /// fsync after every append — an acked point survives any crash.
+    Always,
+    /// fsync every `n` appends — bounded loss, amortized cost.
+    EveryN(u64),
+    /// Never fsync explicitly; the OS flushes on its own schedule.
+    Never,
+}
+
+impl SyncShape {
+    /// Parses the wire value: the strings `"always"`/`"never"`, or a
+    /// positive integer meaning every-N.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "always" => Ok(SyncShape::Always),
+                "never" => Ok(SyncShape::Never),
+                _ => Err(format!(
+                    "\"sync\" must be \"always\", \"never\" or a positive integer, got {s:?}"
+                )),
+            };
+        }
+        match v.as_usize() {
+            Some(n) if n >= 1 => Ok(SyncShape::EveryN(n as u64)),
+            _ => Err("\"sync\" must be \"always\", \"never\" or a positive integer".to_string()),
+        }
+    }
+
+    /// The value as it travels on the wire.
+    pub fn to_json(self) -> JsonValue {
+        match self {
+            SyncShape::Always => JsonValue::from("always"),
+            SyncShape::Never => JsonValue::from("never"),
+            SyncShape::EveryN(n) => JsonValue::from(n),
+        }
+    }
+}
+
 /// The `POST /v1/sessions` request body: the stream's space, query and
 /// sharding.
 #[derive(Debug, Clone, PartialEq)]
@@ -238,6 +288,15 @@ pub struct SessionCreateRequest {
     pub warmup: Option<u64>,
     /// Pivot oversampling override; `None` keeps the shard-spec default.
     pub pivots_per_shard: Option<u64>,
+    /// Whether the session writes a WAL and is recovered on restart
+    /// (default `false`; requires the server to have a data directory).
+    pub durable: bool,
+    /// WAL sync policy; `None` keeps the server default (`"always"` —
+    /// a durable wire session's ack means the point is on disk).
+    pub sync: Option<SyncShape>,
+    /// Snapshot (and log-truncate) after this many logged operations;
+    /// `None` keeps the server default.
+    pub snapshot_ops: Option<u64>,
 }
 
 impl SessionCreateRequest {
@@ -280,6 +339,14 @@ impl SessionCreateRequest {
                 .map(|s| Some(s as u64))
                 .ok_or(format!("\"{key}\" must be a non-negative integer")),
         };
+        let durable = match v.get("durable") {
+            None => false,
+            Some(b) => b.as_bool().ok_or("\"durable\" must be a boolean")?,
+        };
+        let sync = match v.get("sync") {
+            None => None,
+            Some(s) => Some(SyncShape::from_json(s)?),
+        };
         Ok(SessionCreateRequest {
             metric,
             dim,
@@ -289,6 +356,9 @@ impl SessionCreateRequest {
             shards: field_u64("shards")?.unwrap_or(1),
             warmup: field_u64("warmup")?,
             pivots_per_shard: field_u64("pivots_per_shard")?,
+            durable,
+            sync,
+            snapshot_ops: field_u64("snapshot_ops")?,
         })
     }
 
@@ -311,6 +381,15 @@ impl SessionCreateRequest {
         }
         if let Some(p) = self.pivots_per_shard {
             fields.push(("pivots_per_shard".to_string(), JsonValue::from(p)));
+        }
+        if self.durable {
+            fields.push(("durable".to_string(), JsonValue::from(true)));
+        }
+        if let Some(sync) = self.sync {
+            fields.push(("sync".to_string(), sync.to_json()));
+        }
+        if let Some(n) = self.snapshot_ops {
+            fields.push(("snapshot_ops".to_string(), JsonValue::from(n)));
         }
         JsonValue::Obj(fields)
     }
@@ -349,8 +428,12 @@ mod tests {
             dim: 3,
             shards: 2,
             ingested: 77,
+            durable: true,
         };
         assert_eq!(SessionSummary::from_json(&s.to_json()), Some(s));
+        // Listings from before durability parse with durable = false.
+        let v = parse_json(r#"{"id":"s1","metric":"l2","dim":3,"shards":2,"ingested":0}"#).unwrap();
+        assert!(!SessionSummary::from_json(&v).unwrap().durable);
     }
 
     #[test]
@@ -393,5 +476,49 @@ mod tests {
         // A window must be exactly one of count/time.
         let v = parse_json(r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{}}"#).unwrap();
         assert!(SessionCreateRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn session_create_parses_durability_fields() {
+        let v = parse_json(
+            r#"{"metric":"l2","dim":2,"r":1,"k":2,"window":{"count":32},"durable":true,"sync":"always","snapshot_ops":64}"#,
+        )
+        .unwrap();
+        let req = SessionCreateRequest::from_json(&v).unwrap();
+        assert!(req.durable);
+        assert_eq!(req.sync, Some(SyncShape::Always));
+        assert_eq!(req.snapshot_ops, Some(64));
+        assert_eq!(SessionCreateRequest::from_json(&req.to_json()), Ok(req));
+        // Numeric sync means every-N; absent durability fields default off.
+        let v = parse_json(r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"sync":16}"#)
+            .unwrap();
+        let req = SessionCreateRequest::from_json(&v).unwrap();
+        assert_eq!(
+            (req.durable, req.sync),
+            (false, Some(SyncShape::EveryN(16)))
+        );
+        assert_eq!(SessionCreateRequest::from_json(&req.to_json()), Ok(req));
+        // Mistyped durability fields are named.
+        for (body, field) in [
+            (
+                r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"durable":1}"#,
+                "durable",
+            ),
+            (
+                r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"sync":"lazy"}"#,
+                "sync",
+            ),
+            (
+                r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"sync":0}"#,
+                "sync",
+            ),
+            (
+                r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"snapshot_ops":-1}"#,
+                "snapshot_ops",
+            ),
+        ] {
+            let err = SessionCreateRequest::from_json(&parse_json(body).unwrap()).unwrap_err();
+            assert!(err.contains(field), "{body}: {err}");
+        }
     }
 }

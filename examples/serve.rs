@@ -17,6 +17,13 @@
 //! curl -d '{"queries":[{"r":60,"k":40}]}' http://127.0.0.1:<port>/v1/engines/sift-prod/query
 //! curl http://127.0.0.1:<port>/metrics
 //! ```
+//!
+//! Three environment variables repurpose the example as a long-lived
+//! test server (`scripts/crash_smoke.sh` drives it this way):
+//! `DOD_LISTEN` fixes the bind address (default `127.0.0.1:0`),
+//! `DOD_DATA_DIR` enables durable sessions (the walkthrough session
+//! becomes `"durable": true` and survives restarts over the same
+//! directory), and `DOD_SERVE_SECS` stretches the stay-up window.
 
 use dod::prelude::*;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -64,14 +71,29 @@ fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. An empty server: every resource will arrive over the wire ---
-    let handle = DodServer::builder()
+    let listen = std::env::var("DOD_LISTEN").unwrap_or_else(|_| "127.0.0.1:0".into());
+    let data_dir = std::env::var_os("DOD_DATA_DIR").map(std::path::PathBuf::from);
+    let serve_secs: u64 = std::env::var("DOD_SERVE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let mut builder = DodServer::builder()
         .workers(4)
         .max_engines(4)
-        .max_sessions(4)
-        .bind("127.0.0.1:0")?
-        .start();
+        .max_sessions(4);
+    if let Some(dir) = &data_dir {
+        builder = builder.data_dir(dir);
+    }
+    let handle = builder.bind(&listen)?.start();
     let addr = handle.addr();
     println!("serving on http://{addr}\n");
+    if let Some(dir) = &data_dir {
+        println!(
+            "durable sessions enabled under {} (recovered: {})\n",
+            dir.display(),
+            get(addr, "/v1/sessions")?
+        );
+    }
 
     // --- 2. Two named engines from dataset specs -------------------------
     let sift = r#"{"family":"sift","n":2000,"seed":42,"index":"mrpg:8"}"#;
@@ -115,11 +137,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 4. A sharded stream session, opened over the wire ---------------
-    let spec =
-        r#"{"metric":"l2","dim":2,"r":3.0,"k":4,"window":{"count":256},"shards":2,"warmup":32}"#;
+    // With a data directory the session is durable: every accepted ingest
+    // batch is WAL-logged before the ack, and a restart over the same
+    // directory recovers it (see `scripts/crash_smoke.sh`).
+    let spec = format!(
+        r#"{{"metric":"l2","dim":2,"r":3.0,"k":4,"window":{{"count":256}},"shards":2,"warmup":32{}}}"#,
+        if data_dir.is_some() {
+            r#","durable":true"#
+        } else {
+            ""
+        }
+    );
     println!("POST /v1/sessions {spec}");
-    let created = request(addr, "POST", "/v1/sessions", spec)?;
+    let created = request(addr, "POST", "/v1/sessions", &spec)?;
     println!("  -> {created}");
+    // Recovered sessions keep their ids, so a restarted walkthrough gets
+    // a fresh id — read it from the response rather than assuming "s1".
+    let sid = created
+        .split(r#""id":""#)
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .ok_or("session create did not return an id")?
+        .to_string();
 
     let points = dod::datasets::StreamScenario::new(2).generate(400, 7);
     let rows: Vec<String> = points
@@ -127,15 +166,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|p| format!("[{},{}]", p[0], p[1]))
         .collect();
     let ingest = format!("{{\"points\":[{}]}}", rows.join(","));
-    println!("POST /v1/sessions/s1/ingest ({} points)", points.len());
+    println!("POST /v1/sessions/{sid}/ingest ({} points)", points.len());
     println!(
         "  -> {}",
-        request(addr, "POST", "/v1/sessions/s1/ingest", &ingest)?
+        request(addr, "POST", &format!("/v1/sessions/{sid}/ingest"), &ingest)?
     );
-    println!("GET /v1/sessions/s1/report");
+    println!("GET /v1/sessions/{sid}/report");
     println!(
         "  -> {}\n",
-        truncate(&get(addr, "/v1/sessions/s1/report")?, 120)
+        truncate(&get(addr, &format!("/v1/sessions/{sid}/report"))?, 120)
     );
 
     // --- 5. The operator's view: /healthz and /metrics -------------------
@@ -147,7 +186,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             && (l.starts_with("dod_engine_resident")
                 || l.starts_with("dod_session_active")
                 || l.starts_with("dod_engine_queries")
-                || l.starts_with("dod_shard_ghost_rate"))
+                || l.starts_with("dod_shard_ghost_rate")
+                || l.starts_with("dod_wal_appended")
+                || l.starts_with("dod_wal_fsyncs"))
     }) {
         println!("  {line}");
     }
@@ -159,8 +200,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         request(addr, "DELETE", "/v1/engines/glove-exp", "")?
     );
 
-    println!("\nserver stays up for 3s — try curl http://{addr}/v1/engines");
-    std::thread::sleep(std::time::Duration::from_secs(3));
+    println!("\nserver stays up for {serve_secs}s — try curl http://{addr}/v1/engines");
+    std::thread::sleep(std::time::Duration::from_secs(serve_secs));
     handle.shutdown();
     println!("graceful shutdown complete");
     Ok(())

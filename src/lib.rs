@@ -205,6 +205,7 @@ pub use dod_server as server;
 pub use dod_shard as shard;
 pub use dod_stream as stream;
 pub use dod_vptree as vptree;
+pub use dod_wal as wal;
 pub use dod_wire as wire;
 
 /// One-stop imports for typical use.
@@ -217,7 +218,10 @@ pub mod prelude {
     pub use dod_graph::{GraphKind, MrpgParams, ProximityGraph};
     pub use dod_metrics::{Angular, Dataset, StringSet, VectorSet, L1, L2, L4};
     pub use dod_server::{AnyStreamDetector, DodServer, QueryEngine, ServerHandle};
-    pub use dod_shard::{IngestHandle, IngestPipeline, ShardSpec, ShardedStreamDetector};
+    pub use dod_shard::{
+        DurabilityPolicy, DurableSession, IngestHandle, IngestPipeline, RecoveryStats, ShardSpec,
+        ShardedStreamDetector, SyncPolicy,
+    };
     pub use dod_stream::{
         Backend, GraphParams, SlideReport, StreamDetector, StreamParams, StringSpace, VectorSpace,
         WindowSpec,
