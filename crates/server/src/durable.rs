@@ -86,11 +86,24 @@ pub(crate) fn open_session(
 }
 
 /// Persists the creation body as the session's manifest, atomically
-/// (tmp → rename): a half-written manifest must never look recoverable.
+/// (tmp → fsync → rename → dir sync): a half-written manifest must
+/// never look recoverable. Without the fsync before the rename, an OS
+/// crash can leave the *renamed* file empty — the rename is atomic in
+/// the namespace but says nothing about the data blocks — and a
+/// zero-byte manifest reads as `Corrupt`, refusing the whole bind.
 pub(crate) fn write_manifest(dir: &Path, create: &SessionCreateRequest) -> Result<(), DodError> {
+    use std::io::Write;
     let tmp = dir.join("manifest.tmp");
-    std::fs::write(&tmp, create.to_json().render())?;
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(create.to_json().render().as_bytes())?;
+    f.sync_all()?;
+    drop(f);
     std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    // Make the rename itself durable. Best-effort, like the WAL's own
+    // snapshot commit: directory fsync is not supported everywhere.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
 }
 
@@ -107,12 +120,35 @@ pub(crate) fn read_manifest(dir: &Path) -> Result<SessionCreateRequest, DodError
     })
 }
 
-/// Best-effort removal of everything a durable session put on disk: the
-/// manifest, the WAL files, and (if then empty) the directory itself.
-pub(crate) fn remove_session_dir(dir: &Path) {
-    let _ = std::fs::remove_file(dir.join(MANIFEST_FILE));
-    let _ = std::fs::remove_file(dir.join("manifest.tmp"));
-    let _ = dod_wal::remove_session_dir(dir);
+/// Removes everything a durable session put on disk: the manifest, the
+/// WAL files, and (if then empty) the directory itself. Already-gone
+/// files are fine (deletion is idempotent); any other failure
+/// propagates — callers go through [`reclaim_session_dir`], which turns
+/// it into a counted, logged event instead of silently leaving
+/// recoverable state behind.
+pub(crate) fn remove_session_dir(dir: &Path) -> std::io::Result<()> {
+    for f in [MANIFEST_FILE, "manifest.tmp"] {
+        match std::fs::remove_file(dir.join(f)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    dod_wal::remove_session_dir(dir)
+}
+
+/// [`remove_session_dir`] as the handlers use it: the HTTP response does
+/// not change on failure (the session itself is already gone from the
+/// registry), but the failure is counted (`dod_session_cleanup_errors_total`)
+/// and logged so leftover on-disk state is an alarm, not a silence.
+pub(crate) fn reclaim_session_dir(dir: &Path, cleanup_errors: &Counter) {
+    if let Err(e) = remove_session_dir(dir) {
+        cleanup_errors.inc();
+        eprintln!(
+            "dod_server: failed to remove session directory {}: {e}",
+            dir.display()
+        );
+    }
 }
 
 /// Builds the registry entry for an opened durable session (shared by
@@ -149,6 +185,7 @@ pub(crate) fn recover_sessions(
     data_dir: &Path,
     queue: usize,
     sessions: &mut SessionRegistry,
+    cleanup_errors: &Counter,
 ) -> Result<Vec<String>, DodError> {
     let root = data_dir.join("sessions");
     if !root.is_dir() {
@@ -160,8 +197,17 @@ pub(crate) fn recover_sessions(
         let id = entry.file_name().to_string_lossy().into_owned();
         // Only registry-valid ids with a manifest are sessions; anything
         // else in the directory is not ours to touch.
-        if crate::routes::valid_name(&id) && entry.path().join(MANIFEST_FILE).is_file() {
-            ids.push(id);
+        if crate::routes::valid_name(&id) {
+            if entry.path().join(MANIFEST_FILE).is_file() {
+                ids.push(id);
+            } else if entry.path().is_dir() {
+                // A valid session id with no manifest is an aborted
+                // creation: the 201 only goes out after `write_manifest`
+                // succeeds, so nothing in here was ever promised to a
+                // client. Reclaim it rather than stranding WAL files
+                // that will never be replayed.
+                reclaim_session_dir(&entry.path(), cleanup_errors);
+            }
         }
     }
     // Recover in listing order (s1, s2, …, s10 — numeric before

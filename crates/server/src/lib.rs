@@ -30,7 +30,7 @@
 //! | `GET /v1/sessions` | — | `{"sessions": [{id, metric, dim, shards, ingested}, …], "capacity"}` |
 //! | `GET /v1/sessions/{id}` | — | one session summary |
 //! | `DELETE /v1/sessions/{id}` | — | `{"deleted": id}` — joins the session's pipeline |
-//! | `POST /v1/sessions/{id}/ingest` | `{"points": [[…], …]}` | `{"accepted": n}` — enqueued into the [`IngestPipeline`](dod_shard::IngestPipeline) |
+//! | `POST /v1/sessions/{id}/ingest` | `{"points": [[…], …]}` | `{"accepted": n}` — enqueued into the [`IngestPipeline`](dod_shard::IngestPipeline); durable sessions add `"durable": bool` and answer only after a WAL commit barrier |
 //! | `GET /v1/sessions/{id}/report` | — | `{"outliers": [seq, …]}`, snapshot-consistent with every prior ingest |
 //! | `POST /v1/query` | as engine query | alias for `/v1/engines/default/query` |
 //! | `POST /v1/ingest` | as session ingest | alias for `/v1/sessions/default/ingest` |
@@ -201,6 +201,10 @@ pub(crate) struct State {
     pub(crate) sinks: Vec<Arc<dyn TraceSink>>,
     /// Saturation gauges of the connection worker pool.
     pub(crate) pool_stats: Arc<PoolStats>,
+    /// Failed removals of durable-session directories (DELETE or the
+    /// bind-time sweep of aborted creations). Non-zero means on-disk
+    /// state the operator believes deleted may still exist.
+    pub(crate) cleanup_errors: Counter,
     shutting_down: AtomicBool,
 }
 
@@ -485,8 +489,9 @@ impl ServerBuilder {
                 .mount(DEFAULT_RESOURCE, entry)
                 .unwrap_or_else(|_| unreachable!("an empty registry has room (capacity ≥ 1)"));
         }
+        let cleanup_errors = Counter::new();
         if let Some(data_dir) = &self.data_dir {
-            durable::recover_sessions(data_dir, self.queue, &mut sessions)?;
+            durable::recover_sessions(data_dir, self.queue, &mut sessions, &cleanup_errors)?;
         }
         let trace_ring = Arc::new(TraceRing::new(self.trace_capacity));
         let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::with_capacity(2 + self.extra_sinks.len());
@@ -510,6 +515,7 @@ impl ServerBuilder {
             trace_ring,
             sinks,
             pool_stats: pool.stats(),
+            cleanup_errors,
             shutting_down: AtomicBool::new(false),
         });
         Ok(DodServer {

@@ -540,5 +540,20 @@ pub(crate) fn render(state: &State) -> String {
             }
         }
     }
+    // Always emitted (even with zero live sessions): the error that
+    // matters most is the one that happened while *deleting* the last
+    // session.
+    header(
+        &mut out,
+        "dod_session_cleanup_errors_total",
+        "Failed removals of durable-session directories; nonzero means \
+         on-disk state believed deleted may still exist.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "dod_session_cleanup_errors_total {}",
+        state.cleanup_errors.get()
+    );
     out
 }

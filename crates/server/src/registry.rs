@@ -157,6 +157,15 @@ pub(crate) struct DurableInfo {
     pub dir: PathBuf,
 }
 
+impl DurableInfo {
+    /// `true` once the session's WAL has failed and latched into
+    /// fail-open: every append and snapshot error bumps `io_errors`, and
+    /// the first one stops the log for the session's lifetime.
+    pub fn degraded(&self) -> bool {
+        self.telemetry.io_errors.get() > 0
+    }
+}
+
 /// Identified ingest sessions under a hard capacity bound.
 pub(crate) struct SessionRegistry {
     capacity: usize,

@@ -374,6 +374,18 @@ pub mod encode {
     pub fn ingest_response(accepted: usize) -> String {
         JsonValue::obj([("accepted", JsonValue::from(accepted))]).render()
     }
+
+    /// The durable-session ingest response body. `durable` reports the
+    /// commit barrier's verdict: `true` means the batch is WAL-committed
+    /// per the session's sync policy, `false` means the WAL has latched
+    /// into fail-open and the batch lives only in memory.
+    pub fn durable_ingest_response(accepted: usize, durable: bool) -> String {
+        JsonValue::obj([
+            ("accepted", JsonValue::from(accepted)),
+            ("durable", JsonValue::Bool(durable)),
+        ])
+        .render()
+    }
 }
 
 /// Decodes a query body into validated queries. A wire-supplied
@@ -842,6 +854,12 @@ fn session_summary(id: &str, entry: &SessionEntry) -> JsonValue {
         shards: entry.shards as u64,
         ingested: entry.ingested.get(),
         durable: entry.durable.is_some(),
+        // Clients relying on the durability promise read the health here
+        // rather than scraping dod_wal_io_errors_total off /metrics.
+        durability: entry
+            .durable
+            .as_ref()
+            .map(|d| if d.degraded() { "degraded" } else { "ok" }.to_string()),
     }
     .to_json()
 }
@@ -991,7 +1009,7 @@ fn handle_durable_session_create(state: &State, create: &SessionCreateRequest) -
     let session = match built {
         Ok(s) => s,
         Err(e) => {
-            crate::durable::remove_session_dir(&dir);
+            crate::durable::reclaim_session_dir(&dir, &state.cleanup_errors);
             return dod_error_response(&e);
         }
     };
@@ -1008,7 +1026,7 @@ fn handle_durable_session_create(state: &State, create: &SessionCreateRequest) -
             // mount. Dropping the entry joins the pipeline (final WAL
             // close), then the freshly-made files are reclaimed.
             drop(refused);
-            crate::durable::remove_session_dir(&dir);
+            crate::durable::reclaim_session_dir(&dir, &state.cleanup_errors);
             session_capacity_response(state)
         }
     }
@@ -1039,7 +1057,7 @@ fn handle_session_delete(state: &State, id: &str) -> Response {
             // directory itself is swept on a later delete or by the
             // operator; nothing recoverable remains either way.)
             if let Some(dir) = dir {
-                crate::durable::remove_session_dir(&dir);
+                crate::durable::reclaim_session_dir(&dir, &state.cleanup_errors);
             }
             resp
         }
@@ -1071,15 +1089,31 @@ fn handle_session_ingest(
         .child("ingest")
         .with_field("points", accepted)
         .with_field("queue_depth", entry.pipeline.queue_depth());
-    let enqueued = entry.pipeline.insert_many(points);
+    // For a durable session the 200 is a durability promise, so the
+    // handler blocks on a commit barrier: the router flushes every op
+    // enqueued before the barrier through the WAL (append + sync per
+    // policy) before answering. Volatile sessions skip the round-trip.
+    let result = entry.pipeline.insert_many(points).and_then(|()| {
+        if entry.durable.is_some() {
+            entry.pipeline.commit().map(Some)
+        } else {
+            Ok(None)
+        }
+    });
     span.finish(ctx);
-    match enqueued {
-        Ok(()) => {
+    match result {
+        Ok(ack) => {
             // Counted only once the pipeline has the points: a dead
             // pipeline answering 5xx must not inflate the accept counter.
             entry.ingested.add(accepted as u64);
             state.ingested_points.add(accepted as u64);
-            Response::json(200, encode::ingest_response(accepted))
+            let body = match ack {
+                None => encode::ingest_response(accepted),
+                Some(a) => {
+                    encode::durable_ingest_response(accepted, a == dod_shard::CommitAck::Durable)
+                }
+            };
+            Response::json(200, body)
         }
         Err(e) => dod_error_response(&e),
     }

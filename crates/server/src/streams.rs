@@ -12,8 +12,8 @@
 use dod_core::{DodError, Query};
 use dod_metrics::{Angular, MetricKind, L1, L2, L4};
 use dod_shard::{
-    DurabilityPolicy, DurableSession, GhostRouteStats, IngestPipeline, RecoveryStats, ShardSpec,
-    ShardedStreamDetector, WalTelemetry,
+    CommitAck, DurabilityPolicy, DurableSession, GhostRouteStats, IngestPipeline, RecoveryStats,
+    ShardSpec, ShardedStreamDetector, WalTelemetry,
 };
 use dod_stream::{Backend, StreamStats, VectorSpace, WindowSpec};
 use std::path::Path;
@@ -326,6 +326,19 @@ impl AnyPipeline {
             InnerPipeline::L2(p) => p.insert_many(points),
             InnerPipeline::L4(p) => p.insert_many(points),
             InnerPipeline::Angular(p) => p.insert_many(points),
+        }
+    }
+
+    /// Commit barrier: blocks until every op enqueued before the call is
+    /// WAL-committed (see [`IngestPipeline::commit`]). The durable ingest
+    /// route answers 200 only after this returns — the ack *is* the
+    /// durability promise.
+    pub fn commit(&self) -> Result<CommitAck, DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.commit(),
+            InnerPipeline::L2(p) => p.commit(),
+            InnerPipeline::L4(p) => p.commit(),
+            InnerPipeline::Angular(p) => p.commit(),
         }
     }
 

@@ -286,6 +286,129 @@ fn mistyped_durability_fields_are_named_400s() {
 }
 
 #[test]
+fn acked_ingests_report_their_durability() {
+    let data_dir = scratch("ack");
+    let handle = serve(&data_dir);
+    let addr = handle.addr();
+    let (status, _) = post(addr, "/v1/sessions", CREATE);
+    assert_eq!(status, 201);
+    // A durable session's 200 carries the barrier's verdict: these
+    // points are WAL-committed by the time the ack is on the wire.
+    let (status, body) = post(addr, "/v1/sessions/s1/ingest", &points_body(0, 12));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, r#"{"accepted":12,"durable":true}"#);
+    // And the session reports healthy durability.
+    let (_, body) = get(addr, "/v1/sessions/s1");
+    assert!(body.contains(r#""durability":"ok""#), "{body}");
+
+    // Volatile sessions make no such promise, so their ack carries no
+    // durability verdict at all.
+    let (status, _) = post(
+        addr,
+        "/v1/sessions",
+        r#"{"metric":"l2","dim":2,"r":1,"k":2,"window":{"count":8},"warmup":2}"#,
+    );
+    assert_eq!(status, 201);
+    let (status, body) = post(addr, "/v1/sessions/s2/ingest", &points_body(0, 5));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, r#"{"accepted":5}"#);
+    let (_, body) = get(addr, "/v1/sessions/s2");
+    assert!(!body.contains("durability"), "{body}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn wal_failures_degrade_acks_listing_and_metrics() {
+    let data_dir = scratch("degraded");
+    let handle = serve(&data_dir);
+    let addr = handle.addr();
+    // snapshot_ops=1: the first committed batch triggers a snapshot.
+    let create = CREATE.replace(r#""snapshot_ops":16"#, r#""snapshot_ops":1"#);
+    let (status, body) = post(addr, "/v1/sessions", &create);
+    assert_eq!(status, 201, "{body}");
+    let (_, body) = get(addr, "/v1/sessions/s1");
+    assert!(body.contains(r#""durability":"ok""#), "{body}");
+
+    // Sabotage the WAL's snapshot path: `snapshot.tmp` is now a
+    // directory, so the snapshot install fails and the WAL latches into
+    // fail-open. (Works as root, where permission bits would not.)
+    std::fs::create_dir(data_dir.join("sessions").join("s1").join("snapshot.tmp"))
+        .expect("plant tmp dir");
+
+    // The ingest still answers 200 — fail-open keeps the stream alive —
+    // but the ack must say the batch is *not* durable.
+    let (status, body) = post(addr, "/v1/sessions/s1/ingest", &points_body(0, 12));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, r#"{"accepted":12,"durable":false}"#);
+
+    // The degradation is visible on the resource and on /metrics.
+    let (_, body) = get(addr, "/v1/sessions/s1");
+    assert!(body.contains(r#""durability":"degraded""#), "{body}");
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        !metrics.contains("dod_wal_io_errors_total{session=\"s1\"} 0"),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn aborted_creations_are_swept_at_bind() {
+    let data_dir = scratch("sweep");
+    // A session directory with WAL files but no manifest is an aborted
+    // creation: no 201 ever went out for it (the manifest write is what
+    // completes creation), so recovery reclaims it instead of stranding
+    // the files forever.
+    let orphan = data_dir.join("sessions").join("s3");
+    std::fs::create_dir_all(&orphan).expect("orphan dir");
+    std::fs::write(orphan.join("wal.log"), b"half-made").expect("orphan log");
+    // A non-session name in the same tree is not ours to touch.
+    let foreign = data_dir.join("sessions").join("not a session!");
+    std::fs::create_dir_all(&foreign).expect("foreign dir");
+
+    let handle = serve(&data_dir);
+    assert!(!orphan.exists(), "aborted creation reclaimed at bind");
+    assert!(foreign.exists(), "foreign directory left alone");
+    let (status, _) = get(handle.addr(), "/v1/sessions/s3");
+    assert_eq!(status, 404);
+    let (_, metrics) = get(handle.addr(), "/metrics");
+    assert!(
+        metrics.contains("dod_session_cleanup_errors_total 0"),
+        "{metrics}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn failed_session_cleanup_is_counted() {
+    let data_dir = scratch("cleanup_err");
+    let handle = serve(&data_dir);
+    let addr = handle.addr();
+    let (status, _) = post(addr, "/v1/sessions", CREATE);
+    assert_eq!(status, 201);
+    // Make the directory unreclaimable: `manifest.tmp` as a directory
+    // cannot be `remove_file`d.
+    std::fs::create_dir(data_dir.join("sessions").join("s1").join("manifest.tmp"))
+        .expect("plant tmp dir");
+    // DELETE still succeeds — the session is gone from the registry —
+    // but the leftover files are an alarm, not a silence.
+    let (status, body) = request(addr, "DELETE", "/v1/sessions/s1", "");
+    assert_eq!(status, 200, "{body}");
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("dod_session_cleanup_errors_total 1"),
+        "{metrics}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
 fn listing_marks_durable_and_volatile_sessions() {
     let data_dir = scratch("listing");
     let handle = serve(&data_dir);

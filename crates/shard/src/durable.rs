@@ -74,6 +74,23 @@ impl DurabilityPolicy {
     }
 }
 
+/// The reply of an explicit commit barrier
+/// ([`crate::IngestPipeline::commit`]): what "everything enqueued before
+/// the barrier" now means on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitAck {
+    /// The pipeline has no durability configured — nothing to persist,
+    /// the barrier only proves the router processed the preceding ops.
+    Volatile,
+    /// Every operation enqueued before the barrier is appended to the
+    /// WAL and synced per the session's [`SyncPolicy`] (under
+    /// [`SyncPolicy::Always`], on stable storage).
+    Durable,
+    /// The WAL failed earlier (disk full, permission lost): the session
+    /// still serves from memory, but nothing is being logged anymore.
+    Degraded,
+}
+
 /// What [`DurableSession::open`] found and replayed.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryStats {
@@ -121,6 +138,9 @@ pub(crate) trait DurabilityHook<P>: Send {
     /// Persist everything accepted so far — the ack barrier. Runs before
     /// any effect of the pending ops becomes observable.
     fn commit(&mut self, now: f64, front_seq: u64);
+    /// `false` once a WAL I/O failure latched the session into
+    /// fail-open: it keeps serving, but appends have stopped.
+    fn healthy(&self) -> bool;
     /// Final commit + snapshot + sync at shutdown.
     fn close(&mut self, now: f64, front_seq: u64);
 }
@@ -165,6 +185,10 @@ impl<P: WalPoint + Send> DurabilityHook<P> for DurableState<P> {
         if self.ops_since_snapshot >= self.policy.snapshot_ops.max(1) {
             self.snapshot(now, front_seq);
         }
+    }
+
+    fn healthy(&self) -> bool {
+        !self.failed
     }
 
     fn close(&mut self, now: f64, front_seq: u64) {
@@ -358,9 +382,12 @@ where
 
     /// Moves the session onto threads: same topology as
     /// [`ShardedStreamDetector::into_pipeline`], with the WAL riding on
-    /// the router thread — appends happen at batch boundaries, before the
-    /// batch is handed to any pump (append-before-ack), and a final
-    /// commit + snapshot runs when the pipeline stops.
+    /// the router thread — appends happen at batch boundaries, before
+    /// the batch is handed to any pump, and a final commit + snapshot
+    /// runs when the pipeline stops. Note that enqueueing alone is *not*
+    /// durable: a producer that must promise persistence follows its
+    /// inserts with [`IngestPipeline::commit`](crate::IngestPipeline::commit)
+    /// and acknowledges only on the barrier's reply.
     pub fn into_pipeline(self, queue: usize) -> crate::IngestPipeline<S> {
         self.det.into_pipeline_durable(queue, Box::new(self.state))
     }

@@ -22,7 +22,7 @@
 //! report was requested.
 
 use crate::detector::{merge_answers, ShardedStreamDetector};
-use crate::durable::DurabilityHook;
+use crate::durable::{CommitAck, DurabilityHook};
 use crate::router::{GhostRouteStats, Router, ShardOp};
 use crate::shard::{Shard, ShardAnswer};
 use dod_core::{DodError, OutlierReport};
@@ -52,6 +52,12 @@ enum RouterCmd<P> {
     /// Collect the router's routing telemetry (per-shard owned counts +
     /// per-shard-pair ghost-replication counters).
     GhostStats(Sender<GhostRouteStats>),
+    /// Commit barrier: replies once every op enqueued before it has
+    /// passed through the durability hook's WAL commit (append + sync
+    /// per policy). The ack-before-disk gap closes here — a durable
+    /// producer that must promise persistence sends this after its
+    /// inserts and acknowledges only on the reply.
+    Commit(Sender<CommitAck>),
     /// Tear down: drain, stop pumps, return state to `finish`.
     Stop,
 }
@@ -154,6 +160,15 @@ impl<P> IngestHandle<P> {
     /// Enqueues a clock advance (time-based windows).
     pub fn advance_to(&self, time: f64) -> Result<(), DodError> {
         send_counted(&self.tx, &self.gauges, RouterCmd::Advance(time))
+    }
+
+    /// Commit barrier: blocks until every op this handle (or any other
+    /// producer) enqueued before the call is WAL-committed — see
+    /// [`IngestPipeline::commit`].
+    pub fn commit(&self) -> Result<CommitAck, DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        send_counted(&self.tx, &self.gauges, RouterCmd::Commit(reply_tx))?;
+        reply_rx.recv().map_err(|_| closed())
     }
 }
 
@@ -311,6 +326,24 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
     pub fn ghost_route_stats(&self) -> Result<GhostRouteStats, DodError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         send_counted(&self.tx, &self.gauges, RouterCmd::GhostStats(reply_tx))?;
+        reply_rx.recv().map_err(|_| closed())
+    }
+
+    /// Commit barrier: blocks until every operation enqueued before this
+    /// call has passed through the WAL commit on the router thread —
+    /// appended and synced per the session's [`dod_wal::SyncPolicy`].
+    /// This is the durability ack: a producer that must promise "your
+    /// point is on disk" (e.g. an HTTP 200 on a durable session) calls
+    /// this after its inserts and answers only on the reply.
+    ///
+    /// On a pipeline without durability the barrier still drains the
+    /// router up to the call and replies [`CommitAck::Volatile`];
+    /// [`CommitAck::Degraded`] means a WAL I/O failure latched the
+    /// session into fail-open — it keeps serving, but nothing is logged
+    /// anymore.
+    pub fn commit(&self) -> Result<CommitAck, DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        send_counted(&self.tx, &self.gauges, RouterCmd::Commit(reply_tx))?;
         reply_rx.recv().map_err(|_| closed())
     }
 
@@ -526,6 +559,16 @@ fn router_loop<S: Space>(
                 // Router-local state: no pump involvement, but the flush
                 // above keeps it consistent with every preceding insert.
                 let _ = reply.send(router.ghost_route_stats());
+            }
+            Some(RouterCmd::Commit(reply)) => {
+                // The flush above already ran the WAL commit for every
+                // op enqueued before this barrier; only the verdict is
+                // left to report.
+                let _ = reply.send(match durable.as_ref() {
+                    None => CommitAck::Volatile,
+                    Some(d) if d.healthy() => CommitAck::Durable,
+                    Some(_) => CommitAck::Degraded,
+                });
             }
             Some(RouterCmd::Stop) => break 'outer,
             Some(_) => unreachable!("data commands never bounce"),

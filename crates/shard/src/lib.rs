@@ -116,7 +116,7 @@ mod shard;
 mod spec;
 
 pub use detector::{ShardSlideReport, ShardedStreamDetector};
-pub use durable::{DurabilityPolicy, DurableSession, RecoveryStats};
+pub use durable::{CommitAck, DurabilityPolicy, DurableSession, RecoveryStats};
 pub use ingest::{IngestHandle, IngestPipeline, PipelineGauges};
 pub use router::GhostRouteStats;
 pub use spec::ShardSpec;

@@ -19,7 +19,9 @@
 use dod_core::Query;
 use dod_datasets::StreamScenario;
 use dod_metrics::L2;
-use dod_shard::{DurabilityPolicy, DurableSession, ShardSpec, ShardedStreamDetector, SyncPolicy};
+use dod_shard::{
+    CommitAck, DurabilityPolicy, DurableSession, ShardSpec, ShardedStreamDetector, SyncPolicy,
+};
 use dod_stream::{Backend, VectorSpace, WindowSpec};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -366,5 +368,100 @@ fn pipeline_sessions_recover_after_stop() {
         recovered.insert(p.clone());
     }
     assert_state_identical(&mut recovered, &mut uninterrupted, "pipeline continuation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ack-is-durability contract: a batch followed by a commit barrier
+/// survives a kill with *no* clean stop. `mem::forget` leaks the
+/// pipeline — no `Stop`, no final flush, no exit snapshot — so the only
+/// persistence is what the barrier already promised when it returned
+/// [`CommitAck::Durable`]. (The leaked router and pump threads idle
+/// until the process exits; acceptable in a test.)
+#[test]
+fn commit_barrier_makes_acked_points_survive_a_router_kill() {
+    let dir = scratch();
+    let policy = DurabilityPolicy {
+        sync: SyncPolicy::Always,
+        snapshot_ops: 1 << 20, // pure log replay: no snapshot ever helps
+    };
+    let pts = points(40, 13);
+
+    let (session, _) = DurableSession::open(
+        VectorSpace::new(L2, DIM),
+        Query::new(R, K).expect("valid query"),
+        WindowSpec::Count(24),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(4),
+        &dir,
+        policy,
+    )
+    .expect("open");
+    let pipeline = session.into_pipeline(16);
+    for chunk in pts.chunks(8) {
+        pipeline.insert_many(chunk.to_vec()).expect("insert");
+    }
+    let ack = pipeline.commit().expect("commit barrier");
+    assert_eq!(ack, CommitAck::Durable, "healthy WAL acks durable");
+    std::mem::forget(pipeline);
+
+    let (mut recovered, stats) = DurableSession::open(
+        VectorSpace::new(L2, DIM),
+        Query::new(R, K).expect("valid query"),
+        WindowSpec::Count(24),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(4),
+        &dir,
+        policy,
+    )
+    .expect("reopen");
+    assert!(!stats.is_fresh(), "recovery found the acked batches");
+    let mut uninterrupted = ShardedStreamDetector::open(
+        VectorSpace::new(L2, DIM),
+        Query::new(R, K).expect("valid query"),
+        WindowSpec::Count(24),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(4),
+    )
+    .expect("open plain");
+    for p in &pts {
+        uninterrupted.insert(p.clone());
+    }
+    assert_state_identical(&mut recovered, &mut uninterrupted, "acked batch after kill");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Once the WAL latches into fail-open, the barrier must say so: the
+/// server turns [`CommitAck::Degraded`] into `"durable": false` on the
+/// ingest ack, which is the client's only honest signal.
+#[test]
+fn commit_barrier_reports_degraded_after_wal_failure() {
+    let dir = scratch();
+    let policy = DurabilityPolicy {
+        sync: SyncPolicy::Always,
+        snapshot_ops: 1, // snapshot on the first commit
+    };
+    let (session, _) = DurableSession::open(
+        VectorSpace::new(L2, DIM),
+        Query::new(R, K).expect("valid query"),
+        WindowSpec::Count(24),
+        Backend::Exhaustive,
+        ShardSpec::new(2).with_warmup(4),
+        &dir,
+        policy,
+    )
+    .expect("open");
+    let telemetry = session.telemetry();
+    let pipeline = session.into_pipeline(16);
+    // Sabotage the snapshot commit path: its tmp file path is now a
+    // directory, so `File::create` fails even when running as root (a
+    // chmod-based trick would not: root bypasses permission bits).
+    std::fs::create_dir(dir.join("snapshot.tmp")).expect("plant tmp dir");
+
+    pipeline.insert_many(points(8, 17)).expect("insert");
+    let ack = pipeline.commit().expect("commit barrier");
+    assert_eq!(ack, CommitAck::Degraded, "latched WAL must not ack durable");
+    assert!(telemetry.io_errors.get() > 0, "failure was counted");
+    drop(pipeline);
     let _ = std::fs::remove_dir_all(&dir);
 }

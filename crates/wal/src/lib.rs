@@ -528,19 +528,29 @@ impl<P: WalPoint> Drop for SessionWal<P> {
 
 /// Removes a session's durable files (log, snapshot, any orphaned tmp)
 /// and the directory itself. Used by `DELETE /v1/sessions/{id}`.
+///
+/// Two outcomes are *not* errors: a file or directory already gone
+/// (`NotFound` — deletion is idempotent), and a directory still holding
+/// files this module does not own (`DirectoryNotEmpty` — e.g. a
+/// manifest the caller removes separately). Everything else — a
+/// permission failure, `wal.log` somehow being a directory — propagates:
+/// a delete that leaves recoverable state on disk must not report
+/// success.
 pub fn remove_session_dir(dir: &Path) -> std::io::Result<()> {
+    use std::io::ErrorKind;
     for f in [LOG_FILE, SNAPSHOT_FILE, "snapshot.tmp"] {
-        let p = dir.join(f);
-        if p.exists() {
-            fs::remove_file(&p)?;
+        match fs::remove_file(dir.join(f)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
         }
     }
-    // Leaves non-WAL files (e.g. a manifest) to the caller; the
-    // directory removal below fails harmlessly if any remain.
     match fs::remove_dir(dir) {
         Ok(()) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-        Err(_) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::NotFound || e.kind() == ErrorKind::DirectoryNotEmpty => {
+            Ok(())
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -761,6 +771,39 @@ mod tests {
             vec![ins(0.0, 1.0), ins(1.0, 2.0), WalOp::Advance { time: 5.0 }]
         );
         assert_eq!(wal.ops_appended(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_session_dir_is_idempotent_and_leaves_foreign_files() {
+        let dir = tmp_dir("remove");
+        let (wal, _) = SessionWal::<Vec<f32>>::open(&dir, SyncPolicy::Never).unwrap();
+        drop(wal);
+        fs::write(dir.join("manifest.json"), b"{}").unwrap();
+
+        // WAL files go; the foreign file — and therefore the directory —
+        // stay, and neither is an error.
+        remove_session_dir(&dir).unwrap();
+        assert!(!dir.join(LOG_FILE).exists(), "log removed");
+        assert!(dir.join("manifest.json").exists(), "foreign file kept");
+
+        fs::remove_file(dir.join("manifest.json")).unwrap();
+        remove_session_dir(&dir).unwrap();
+        assert!(!dir.exists(), "empty directory removed");
+        // Already gone is success too: deletion is idempotent.
+        remove_session_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_session_dir_propagates_real_failures() {
+        // `wal.log` as a *directory* cannot be `remove_file`d — a real
+        // failure that must surface, not be swallowed as success. (A
+        // permission-bit trick would not work here: tests may run as
+        // root, which bypasses DAC checks.)
+        let dir = tmp_dir("remove_fail");
+        fs::create_dir_all(dir.join(LOG_FILE)).unwrap();
+        let err = remove_session_dir(&dir).expect_err("undeletable log must error");
+        assert_ne!(err.kind(), std::io::ErrorKind::NotFound);
         fs::remove_dir_all(&dir).unwrap();
     }
 

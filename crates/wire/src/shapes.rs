@@ -113,23 +113,33 @@ pub struct SessionSummary {
     pub ingested: u64,
     /// Whether the session writes a WAL and survives restarts.
     pub durable: bool,
+    /// Durable sessions only: `"ok"` while the WAL is being written,
+    /// `"degraded"` after an I/O failure latched the session into
+    /// fail-open (it keeps serving from memory, nothing is logged
+    /// anymore). Absent for volatile sessions.
+    pub durability: Option<String>,
 }
 
 impl SessionSummary {
     /// The summary as a [`JsonValue`] object.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
-            ("id", JsonValue::from(self.id.as_str())),
-            ("metric", JsonValue::from(self.metric.as_str())),
-            ("dim", JsonValue::from(self.dim)),
-            ("shards", JsonValue::from(self.shards)),
-            ("ingested", JsonValue::from(self.ingested)),
-            ("durable", JsonValue::from(self.durable)),
-        ])
+        let mut fields = vec![
+            ("id".to_string(), JsonValue::from(self.id.as_str())),
+            ("metric".to_string(), JsonValue::from(self.metric.as_str())),
+            ("dim".to_string(), JsonValue::from(self.dim)),
+            ("shards".to_string(), JsonValue::from(self.shards)),
+            ("ingested".to_string(), JsonValue::from(self.ingested)),
+            ("durable".to_string(), JsonValue::from(self.durable)),
+        ];
+        if let Some(d) = &self.durability {
+            fields.push(("durability".to_string(), JsonValue::from(d.as_str())));
+        }
+        JsonValue::Obj(fields)
     }
 
     /// Parses a summary out of a listing entry. `durable` defaults to
-    /// `false` when absent, so pre-durability listings still parse.
+    /// `false` (and `durability` to absent) when missing, so
+    /// pre-durability listings still parse.
     pub fn from_json(v: &JsonValue) -> Option<Self> {
         Some(SessionSummary {
             id: v.get("id")?.as_str()?.to_string(),
@@ -141,6 +151,10 @@ impl SessionSummary {
                 .get("durable")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(false),
+            durability: v
+                .get("durability")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -429,7 +443,20 @@ mod tests {
             shards: 2,
             ingested: 77,
             durable: true,
+            durability: Some("degraded".into()),
         };
+        assert_eq!(SessionSummary::from_json(&s.to_json()), Some(s));
+        // Volatile summaries omit the durability health field entirely.
+        let s = SessionSummary {
+            id: "s2".into(),
+            metric: "l2".into(),
+            dim: 3,
+            shards: 1,
+            ingested: 0,
+            durable: false,
+            durability: None,
+        };
+        assert!(!s.to_json().render().contains("durability"));
         assert_eq!(SessionSummary::from_json(&s.to_json()), Some(s));
         // Listings from before durability parse with durable = false.
         let v = parse_json(r#"{"id":"s1","metric":"l2","dim":3,"shards":2,"ingested":0}"#).unwrap();

@@ -88,3 +88,45 @@ grep -q 'dod_wal_replayed_records_total{session="s1"}' <(curl -sf "${BASE}/metri
     exit 1
 }
 echo "OK: post-restart /v1/report is byte-identical to the pre-kill snapshot"
+
+echo "== life 2 continued: acked-only batch, then SIGKILL with no barrier =="
+# The ack-is-durability contract, with nothing to hide behind: ingest one
+# full window (the session's window is count=256) with three planted far
+# points and SIGKILL the moment the 200 lands — no /v1/report, nothing
+# that would flush the pipeline as a side effect. The ack itself is the
+# only promise the points get.
+#
+# The walkthrough ingested exactly 400 points (seqs 0..399), so this
+# batch is seqs 400..655 and the planted indices 10/100/200 are global
+# seqs 410/500/600 — the exact post-restart outlier set: the identical
+# cluster points all have 252 neighbors within r, and each far point has
+# only the other two (< k=4).
+PTS=""
+for i in $(seq 0 255); do
+    case $i in
+    10 | 100 | 200) P="[1000.0,1000.0]" ;;
+    *) P="[0.5,0.5]" ;;
+    esac
+    PTS="${PTS:+$PTS,}$P"
+done
+ACK="$(curl -sf -X POST "${BASE}/v1/sessions/s1/ingest" -d "{\"points\":[$PTS]}")"
+echo "ingest ack: $ACK"
+echo "$ACK" | grep -q '"durable":true' || {
+    echo "FAIL: durable ingest ack did not promise durability" >&2
+    exit 1
+}
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== life 3: the acked batch must be there =="
+start_server life3.log
+wait_for /healthz "the re-restarted server"
+wait_for /v1/sessions/s1 "the re-recovered session"
+REPORT="$(curl -sf "${BASE}/v1/sessions/s1/report")"
+if [ "$REPORT" != '{"outliers":[410,500,600]}' ]; then
+    echo "FAIL: acked batch lost or mangled; report: $REPORT" >&2
+    exit 1
+fi
+echo "OK: acked-only batch survived SIGKILL; planted outliers recovered"
