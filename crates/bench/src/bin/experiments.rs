@@ -22,6 +22,10 @@
 //!                       pipeline at these shard counts (e.g. 1,2,4)
 //!   --trace-summary     tables/stream: print a per-phase time breakdown
 //!                       (filter/verify, insert/expiry) after the tables
+//!   --health            stream experiment only: run the index-health
+//!                       grid (recall-audit overhead, graph-health
+//!                       trajectory over a churning stream, shard-balance
+//!                       skew), e.g. for BENCH_health.json
 //!
 //! compare diffs two --json artifacts row by row and exits nonzero when
 //! any timing metric regressed by more than --threshold (default 0.25,
@@ -36,7 +40,7 @@ fn usage() -> ! {
         "usage: experiments <tables|table3|table4|table5|table6|table7|table8|\
          fig6_7|fig8_9|fig10|ablation|hnsw|stream|all> [--scale F] [--seed N] \
          [--threads N] [--build-threads N] [--families a,b,c] [--json PATH] \
-         [--shards 1,2,4] [--trace-summary]\n       \
+         [--shards 1,2,4] [--trace-summary] [--health]\n       \
          experiments compare <baseline.json> <candidate.json> [--threshold F]"
     );
     std::process::exit(2);

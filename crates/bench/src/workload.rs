@@ -33,6 +33,11 @@ pub struct Config {
     /// experiments, insert/expiry per slide for the stream experiment)
     /// after the result tables (`--trace-summary`).
     pub trace_summary: bool,
+    /// Run the stream experiment's index-health grid (`--health`): a
+    /// long churning stream tracking recall audits, tombstone ratio and
+    /// repair counters over stream position, the audit-on vs audit-off
+    /// overhead comparison, and shard-balance skew.
+    pub health: bool,
 }
 
 impl Default for Config {
@@ -49,6 +54,7 @@ impl Default for Config {
             shards: Vec::new(),
             durability: Vec::new(),
             trace_summary: false,
+            health: false,
         }
     }
 }
@@ -88,6 +94,7 @@ impl Config {
                 }
                 "--json" => cfg.json = Some(next("--json")?),
                 "--trace-summary" => cfg.trace_summary = true,
+                "--health" => cfg.health = true,
                 "--shards" => {
                     let list = next("--shards")?;
                     cfg.shards = list
@@ -281,6 +288,13 @@ mod tests {
         assert!(!Config::from_args(&[]).unwrap().trace_summary);
         let cfg = Config::from_args(&["--trace-summary".to_string()]).unwrap();
         assert!(cfg.trace_summary);
+    }
+
+    #[test]
+    fn health_flag_round_trips() {
+        assert!(!Config::from_args(&[]).unwrap().health);
+        let cfg = Config::from_args(&["--health".to_string()]).unwrap();
+        assert!(cfg.health);
     }
 
     #[test]

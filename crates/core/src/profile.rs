@@ -1,0 +1,362 @@
+//! A std-only thread-phase sampling profiler.
+//!
+//! Worker threads (shard pumps, the ingest router, HTTP query workers)
+//! publish their *current phase* — one relaxed `u8` store per phase
+//! change — into a per-thread [`ThreadProfile`]. A single [`Sampler`]
+//! thread scrapes every registered profile at a configurable frequency,
+//! bumping one [`Counter`] per observation.
+//! The result is a flamegraph-shaped wall-time breakdown
+//! (`samples[phase] / hz ≈ seconds spent in phase`) whose hot-path cost
+//! is a single relaxed atomic store, independent of the sampling rate.
+//!
+//! The design is deliberately sampling-based rather than
+//! instrumentation-based: timing every phase transition with
+//! `Instant::now` would put two clock reads on paths that process one
+//! point each, while a 97 Hz sampler observes the same distribution for
+//! the cost of nothing at all on the measured threads.
+
+use crate::error::DodError;
+use crate::telemetry::Counter;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a profiled thread is doing right now. `Idle` is the resting
+/// state between commands; the rest name the work loops worth telling
+/// apart when diagnosing a saturated pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Parked or waiting on a queue.
+    Idle = 0,
+    /// Routing points to shards (pivot distances, ghost decisions).
+    Route = 1,
+    /// Applying inserts to a window/index.
+    Insert = 2,
+    /// Expiring due residents and compacting.
+    Expiry = 3,
+    /// Appending records to a write-ahead log.
+    WalAppend = 4,
+    /// Waiting on an fsync/fdatasync.
+    Fsync = 5,
+    /// Answering a detection query.
+    Query = 6,
+}
+
+/// Number of distinct phases (the length of [`PHASES`]).
+pub const PHASE_COUNT: usize = 7;
+
+/// Every phase, in `repr` order — the iteration order scrapes use.
+pub const PHASES: [Phase; PHASE_COUNT] = [
+    Phase::Idle,
+    Phase::Route,
+    Phase::Insert,
+    Phase::Expiry,
+    Phase::WalAppend,
+    Phase::Fsync,
+    Phase::Query,
+];
+
+impl Phase {
+    /// Stable snake_case name, used as the Prometheus `phase` label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Route => "route",
+            Phase::Insert => "insert",
+            Phase::Expiry => "expiry",
+            Phase::WalAppend => "wal_append",
+            Phase::Fsync => "fsync",
+            Phase::Query => "query",
+        }
+    }
+
+    fn from_u8(v: u8) -> Phase {
+        PHASES.get(v as usize).copied().unwrap_or(Phase::Idle)
+    }
+}
+
+/// One thread's published phase plus its accumulated sample counts.
+/// The owning thread stores into `phase`; the sampler thread reads it
+/// and bumps `samples` — no locks anywhere near the measured code.
+#[derive(Debug)]
+pub struct ThreadProfile {
+    name: String,
+    phase: AtomicU8,
+    samples: [Counter; PHASE_COUNT],
+}
+
+impl ThreadProfile {
+    fn new(name: String) -> Self {
+        ThreadProfile {
+            name,
+            phase: AtomicU8::new(Phase::Idle as u8),
+            samples: [const { Counter::new() }; PHASE_COUNT],
+        }
+    }
+
+    /// The registered thread name (the Prometheus `thread` label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phase published most recently.
+    pub fn current(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::Relaxed))
+    }
+
+    /// Publishes `phase` and returns a guard that restores the previous
+    /// phase on drop, so nested scopes (a WAL append inside a routing
+    /// round) unwind correctly. One relaxed store each way.
+    pub fn enter(&self, phase: Phase) -> PhaseGuard<'_> {
+        let prev = self.phase.swap(phase as u8, Ordering::Relaxed);
+        PhaseGuard {
+            profile: self,
+            prev,
+        }
+    }
+
+    /// Samples observed in `phase` so far.
+    pub fn samples(&self, phase: Phase) -> u64 {
+        self.samples[phase as usize].get()
+    }
+}
+
+/// Restores the previously published phase when dropped.
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    profile: &'a ThreadProfile,
+    prev: u8,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.profile.phase.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Convenience for optional profiling: enters `phase` iff a profile is
+/// attached. Call sites hold the returned guard for the scope's length.
+pub fn enter_opt<'a>(
+    profile: &'a Option<Arc<ThreadProfile>>,
+    phase: Phase,
+) -> Option<PhaseGuard<'a>> {
+    profile.as_ref().map(|p| p.enter(phase))
+}
+
+/// The registry of profiled threads. Registration takes a mutex (cold
+/// path, once per thread); the sampling and publishing paths never do.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    slots: Mutex<Vec<Arc<ThreadProfile>>>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-attaches to) the profile named `name`.
+    /// Idempotent by name: a pipeline rebuilt after `finish()` finds its
+    /// old counters and keeps accumulating instead of forking a
+    /// duplicate label.
+    pub fn register(&self, name: &str) -> Arc<ThreadProfile> {
+        let mut slots = self.slots.lock().expect("profiler mutex poisoned");
+        if let Some(p) = slots.iter().find(|p| p.name == name) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(ThreadProfile::new(name.to_string()));
+        slots.push(Arc::clone(&p));
+        p
+    }
+
+    /// Every registered profile, name-sorted for deterministic scrapes.
+    pub fn profiles(&self) -> Vec<Arc<ThreadProfile>> {
+        let mut all = self.slots.lock().expect("profiler mutex poisoned").clone();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Drops every profile named `{prefix}/…` (and `prefix` itself).
+    /// Called when the owner of a thread family is deleted — without
+    /// this, a server creating and deleting sessions all day would
+    /// accumulate dead `thread` labels without bound. Threads still
+    /// holding an `Arc` to a dropped profile keep publishing into it
+    /// harmlessly; it just stops being scraped.
+    pub fn unregister_prefix(&self, prefix: &str) {
+        let mut slots = self.slots.lock().expect("profiler mutex poisoned");
+        slots.retain(|p| {
+            p.name != prefix
+                && !(p.name.starts_with(prefix)
+                    && p.name.as_bytes().get(prefix.len()) == Some(&b'/'))
+        });
+    }
+}
+
+/// The background sampling thread. Created by [`Sampler::start`];
+/// stopped (and joined) by [`Sampler::shutdown`] or drop.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Highest accepted sampling rate: past 1 kHz the sampler stops being
+/// "free" for the sampled process, which defeats its purpose.
+pub const MAX_PROFILE_HZ: u32 = 1000;
+
+impl Sampler {
+    /// Starts scraping every profile registered in `profiler` (including
+    /// ones registered later) `hz` times per second.
+    ///
+    /// `hz` outside `1..=`[`MAX_PROFILE_HZ`] is a typed
+    /// [`DodError::InvalidSpec`] — a zero rate silently disabling the
+    /// profiler, or a 1 MHz rate silently melting a core, are both
+    /// configuration mistakes the caller should hear about.
+    pub fn start(profiler: Arc<Profiler>, hz: u32) -> Result<Sampler, DodError> {
+        if hz == 0 || hz > MAX_PROFILE_HZ {
+            return Err(DodError::InvalidSpec {
+                reason: format!("profile_hz must be in 1..={MAX_PROFILE_HZ}, got {hz}"),
+            });
+        }
+        let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("dod-profile-sampler".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    for p in profiler.profiles() {
+                        p.samples[p.current() as usize].inc();
+                    }
+                    std::thread::park_timeout(period);
+                }
+            })
+            .map_err(DodError::Io)?;
+        Ok(Sampler {
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stops the sampling thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_guard_nests_and_restores() {
+        let p = ThreadProfile::new("t".into());
+        assert_eq!(p.current(), Phase::Idle);
+        {
+            let _route = p.enter(Phase::Route);
+            assert_eq!(p.current(), Phase::Route);
+            {
+                let _wal = p.enter(Phase::WalAppend);
+                assert_eq!(p.current(), Phase::WalAppend);
+            }
+            assert_eq!(p.current(), Phase::Route);
+        }
+        assert_eq!(p.current(), Phase::Idle);
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let prof = Profiler::new();
+        let a = prof.register("s1/pump-0");
+        let b = prof.register("s1/pump-0");
+        assert!(Arc::ptr_eq(&a, &b));
+        prof.register("s1/router");
+        let names: Vec<_> = prof
+            .profiles()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        assert_eq!(names, ["s1/pump-0", "s1/router"], "name-sorted");
+    }
+
+    #[test]
+    fn unregister_prefix_drops_exactly_the_family() {
+        let prof = Profiler::new();
+        for name in ["s1/router", "s1/pump-0", "s10/router", "s1", "http-0"] {
+            prof.register(name);
+        }
+        prof.unregister_prefix("s1");
+        let names: Vec<_> = prof
+            .profiles()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        // "s10/router" shares the string prefix but not the family.
+        assert_eq!(names, ["http-0", "s10/router"]);
+    }
+
+    #[test]
+    fn sampler_rejects_bad_rates_with_typed_errors() {
+        let prof = Arc::new(Profiler::new());
+        for hz in [0, MAX_PROFILE_HZ + 1, u32::MAX] {
+            match Sampler::start(Arc::clone(&prof), hz) {
+                Err(DodError::InvalidSpec { reason }) => {
+                    assert!(reason.contains("profile_hz"), "{reason}");
+                }
+                other => panic!("hz={hz} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_accumulates_into_the_published_phase() {
+        let prof = Arc::new(Profiler::new());
+        let t = prof.register("worker");
+        let _busy = t.enter(Phase::Insert);
+        let sampler = Sampler::start(Arc::clone(&prof), MAX_PROFILE_HZ).expect("valid rate");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.samples(Phase::Insert) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.shutdown();
+        assert!(t.samples(Phase::Insert) > 0, "insert phase was sampled");
+        assert_eq!(t.samples(Phase::Query), 0, "unvisited phases stay zero");
+    }
+
+    #[test]
+    fn phases_have_stable_names_and_order() {
+        let names: Vec<_> = PHASES.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "idle",
+                "route",
+                "insert",
+                "expiry",
+                "wal_append",
+                "fsync",
+                "query"
+            ]
+        );
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(*p as usize, i, "repr order matches PHASES order");
+        }
+    }
+}

@@ -15,10 +15,11 @@
 
 use crate::registry::{DurableInfo, SessionEntry, SessionRegistry};
 use crate::streams::AnyDurableSession;
+use dod_core::profile::Profiler;
 use dod_core::telemetry::Counter;
 use dod_core::{DodError, Query};
 use dod_metrics::MetricKind;
-use dod_shard::{DurabilityPolicy, ShardSpec, SyncPolicy};
+use dod_shard::{DurabilityPolicy, PipelineProfile, ShardSpec, SyncPolicy};
 use dod_stream::{Backend, WindowSpec};
 use dod_wire::shapes::{SessionCreateRequest, SyncShape, WindowShape};
 use std::path::Path;
@@ -72,7 +73,7 @@ pub(crate) fn open_session(
     }
     // Exhaustive per-shard backend, exactly like volatile wire sessions:
     // wire sessions promise exact answers.
-    let (session, _stats) = AnyDurableSession::open(
+    let (mut session, _stats) = AnyDurableSession::open(
         kind,
         create.dim as usize,
         query,
@@ -82,6 +83,18 @@ pub(crate) fn open_session(
         dir,
         policy_from(create),
     )?;
+    // Audit cadence comes from the manifest on every open (create and
+    // recovery alike) — it is observability configuration, not logged
+    // window state.
+    if create.sample_rate.is_some() || create.audit_sample.is_some() {
+        let defaults = dod_stream::GraphParams::default();
+        session.set_audit_params(
+            create.sample_rate.unwrap_or(defaults.sample_rate),
+            create
+                .audit_sample
+                .map_or(defaults.audit_sample, |n| n as usize),
+        )?;
+    }
     Ok(session)
 }
 
@@ -155,12 +168,17 @@ pub(crate) fn reclaim_session_dir(dir: &Path, cleanup_errors: &Counter) {
 /// the create handler and bind-time recovery). `ingested` starts at
 /// zero on every open: it counts points accepted over HTTP *by this
 /// process* — the window itself is what recovery restores.
-pub(crate) fn session_entry(session: AnyDurableSession, dir: &Path, queue: usize) -> SessionEntry {
+pub(crate) fn session_entry(
+    session: AnyDurableSession,
+    dir: &Path,
+    queue: usize,
+    profile: PipelineProfile,
+) -> SessionEntry {
     let metric = session.metric_name();
     let shards = session.shard_count();
     let telemetry = session.telemetry();
     SessionEntry {
-        pipeline: session.into_pipeline(queue),
+        pipeline: session.into_pipeline(queue, Some(profile)),
         metric,
         shards,
         ingested: Counter::new(),
@@ -186,6 +204,7 @@ pub(crate) fn recover_sessions(
     queue: usize,
     sessions: &mut SessionRegistry,
     cleanup_errors: &Counter,
+    profiler: &std::sync::Arc<Profiler>,
 ) -> Result<Vec<String>, DodError> {
     let root = data_dir.join("sessions");
     if !root.is_dir() {
@@ -217,7 +236,11 @@ pub(crate) fn recover_sessions(
         let dir = root.join(id);
         let create = read_manifest(&dir)?;
         let session = open_session(&create, &dir)?;
-        let entry = session_entry(session, &dir, queue);
+        let profile = PipelineProfile {
+            profiler: std::sync::Arc::clone(profiler),
+            prefix: id.clone(),
+        };
+        let entry = session_entry(session, &dir, queue, profile);
         if sessions.mount(id, entry).is_err() {
             return Err(DodError::InvalidSpec {
                 reason: format!(

@@ -435,6 +435,153 @@ pub(crate) fn render(state: &State) -> String {
                 }
             }
         }
+        // Index-health barriers: a consistent per-shard cut of the recall
+        // auditor's tallies, the discovery index's structure document,
+        // and the balance picture. Same degradation policy as stats().
+        let healths: Vec<_> = sessions
+            .iter()
+            .filter_map(|(id, entry)| entry.pipeline.health().ok().map(|h| (id.clone(), h)))
+            .collect();
+        header(
+            &mut out,
+            "dod_graph_recall_estimate",
+            "Sampled discovery recall (audited hits / brute-force expected); 1 until the first audit.",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            let _ = writeln!(
+                out,
+                "dod_graph_recall_estimate{{session=\"{id}\"}} {}",
+                dod_wire::render_number(h.stats().recall_estimate())
+            );
+        }
+        header(
+            &mut out,
+            "dod_graph_recall_audits_total",
+            "Sampled discovery-recall audits performed.",
+            "counter",
+        );
+        for (id, h) in &healths {
+            let _ = writeln!(
+                out,
+                "dod_graph_recall_audits_total{{session=\"{id}\"}} {}",
+                h.stats().recall_audits
+            );
+        }
+        header(
+            &mut out,
+            "dod_graph_tombstone_ratio",
+            "Tombstoned fraction of indexed vertices (dead weight awaiting compaction).",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            let _ = writeln!(
+                out,
+                "dod_graph_tombstone_ratio{{session=\"{id}\"}} {}",
+                dod_wire::render_number(h.index().tombstone_ratio())
+            );
+        }
+        for (metric, help, kind, value) in [
+            (
+                "dod_graph_live_nodes",
+                "Live (reportable) vertices in the discovery index.",
+                "gauge",
+                &|h: &dod_stream::IndexHealth| h.live,
+            ),
+            (
+                "dod_graph_tombstones",
+                "Tombstoned vertices awaiting compaction.",
+                "gauge",
+                &|h: &dod_stream::IndexHealth| h.tombstones,
+            ),
+            (
+                "dod_graph_compactions_total",
+                "Compaction passes over the discovery index.",
+                "counter",
+                &|h: &dod_stream::IndexHealth| h.compactions,
+            ),
+            (
+                "dod_graph_bridge_edges_total",
+                "Bridge edges added while compacting tombstones out.",
+                "counter",
+                &|h: &dod_stream::IndexHealth| h.bridge_edges,
+            ),
+            (
+                "dod_graph_prunes_total",
+                "Adjacency prunes (over-full vertices trimmed back).",
+                "counter",
+                &|h: &dod_stream::IndexHealth| h.prunes,
+            ),
+        ]
+            as [(&str, &str, &str, &dyn Fn(&dod_stream::IndexHealth) -> u64); 5]
+        {
+            header(&mut out, metric, help, kind);
+            for (id, h) in &healths {
+                let _ = writeln!(out, "{metric}{{session=\"{id}\"}} {}", value(&h.index()));
+            }
+        }
+        header(
+            &mut out,
+            "dod_graph_degree_nodes",
+            "Indexed vertices with degree <= le (cumulative; bucket bounds fixed at compile time).",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            let hist = h.index().degree_hist;
+            let mut cumulative = 0u64;
+            for (i, count) in hist.iter().enumerate() {
+                cumulative += count;
+                let le = match dod_stream::DEGREE_BUCKET_BOUNDS.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "dod_graph_degree_nodes{{session=\"{id}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+        }
+        header(
+            &mut out,
+            "dod_shard_balance_owned_skew",
+            "Owned-resident imbalance, max/mean across shards (1 = balanced).",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            let _ = writeln!(
+                out,
+                "dod_shard_balance_owned_skew{{session=\"{id}\"}} {}",
+                dod_wire::render_number(h.owned_skew())
+            );
+        }
+        header(
+            &mut out,
+            "dod_shard_balance_slide_skew",
+            "Slide-work imbalance, max/mean of per-shard insert+expiry wall time (1 = balanced).",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            let _ = writeln!(
+                out,
+                "dod_shard_balance_slide_skew{{session=\"{id}\"}} {}",
+                dod_wire::render_number(h.slide_skew())
+            );
+        }
+        header(
+            &mut out,
+            "dod_shard_balance_ghost_rate",
+            "Ghost fraction of the shard's residents (replication bought for exactness).",
+            "gauge",
+        );
+        for (id, h) in &healths {
+            for (shard, rate) in h.ghost_rates().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "dod_shard_balance_ghost_rate{{session=\"{id}\",shard=\"{shard}\"}} {}",
+                    dod_wire::render_number(*rate)
+                );
+            }
+        }
         header(
             &mut out,
             "dod_session_durable",
@@ -540,6 +687,35 @@ pub(crate) fn render(state: &State) -> String {
             }
         }
     }
+    // The thread-phase profile: every registered thread (HTTP workers
+    // plus each session's router and pumps) × every phase, idle
+    // included — rate() over these gives a poor-man's flame graph of
+    // where the process spends its time. Cardinality is bounded by the
+    // worker count and 3 threads per session under max_sessions.
+    header(
+        &mut out,
+        "dod_profile_samples_total",
+        "Sampling-profiler observations of the thread in the phase (see dod_profile_hz).",
+        "counter",
+    );
+    for p in state.profiler.profiles() {
+        for phase in dod_core::profile::PHASES {
+            let _ = writeln!(
+                out,
+                "dod_profile_samples_total{{thread=\"{}\",phase=\"{}\"}} {}",
+                p.name(),
+                phase.name(),
+                p.samples(phase)
+            );
+        }
+    }
+    header(
+        &mut out,
+        "dod_profile_hz",
+        "Configured sampling rate of the thread-phase profiler.",
+        "gauge",
+    );
+    let _ = writeln!(out, "dod_profile_hz {}", state.profile_hz);
     // Always emitted (even with zero live sessions): the error that
     // matters most is the one that happened while *deleting* the last
     // session.

@@ -190,32 +190,14 @@ impl SessionRegistry {
         self.entries.len()
     }
 
-    /// Opens a session under a fresh `s{n}` id. Refused (never evicted:
-    /// a window is irreplaceable stream state) at capacity; the entry is
-    /// handed back (boxed, to keep the `Err` small) so the caller can
-    /// drop it — and join its pipeline threads — *outside* the registry
-    /// lock.
-    pub fn open(
-        &mut self,
-        entry: SessionEntry,
-    ) -> Result<(String, Arc<SessionEntry>), Box<SessionEntry>> {
-        if self.entries.len() >= self.capacity {
-            return Err(Box::new(entry));
-        }
-        let id = format!("s{}", self.next_id);
-        self.next_id += 1;
-        let entry = Arc::new(entry);
-        self.entries.insert(id.clone(), Arc::clone(&entry));
-        Ok((id, entry))
-    }
-
-    /// Reserves the next `s{n}` id without inserting anything — the
-    /// durable-create path needs the id *before* the entry exists (the
-    /// session's directory is named after it), and must not hold the
-    /// registry lock through the disk work. At capacity the reservation
-    /// is refused (the later [`mount`](Self::mount) re-checks anyway, in
-    /// case sessions were created in between). Skipped ids are fine: ids
-    /// are opaque, only uniqueness matters.
+    /// Reserves the next `s{n}` id without inserting anything — both
+    /// create paths need the id *before* the entry exists (a durable
+    /// session's directory and every session's profiler threads are
+    /// named after it), and must not hold the registry lock through the
+    /// disk or thread-spawn work. At capacity the reservation is refused
+    /// (the later [`mount`](Self::mount) re-checks anyway, in case
+    /// sessions were created in between). Skipped ids are fine: ids are
+    /// opaque, only uniqueness matters.
     pub fn reserve(&mut self) -> Option<String> {
         if self.entries.len() >= self.capacity {
             return None;
@@ -227,7 +209,7 @@ impl SessionRegistry {
 
     /// Mounts a session under a caller-chosen id (the builder's
     /// `"default"` alias target, a reserved durable id, or an id
-    /// recovered from disk). Same capacity rule as [`open`](Self::open).
+    /// recovered from disk). Same capacity rule as [`reserve`](Self::reserve).
     /// A recovered `s{n}` id pushes `next_id` past `n`, so fresh opens
     /// can never collide with sessions that survived a restart.
     pub fn mount(

@@ -15,6 +15,7 @@ use crate::http::Request;
 use crate::registry::SessionEntry;
 use crate::streams::AnyStreamDetector;
 use crate::{State, DEFAULT_RESOURCE};
+use dod_core::profile::{Phase, ThreadProfile};
 use dod_core::telemetry::Counter;
 use dod_core::trace::TraceContext;
 use dod_core::{DodError, IndexSpec, OutlierReport, Query};
@@ -57,6 +58,8 @@ pub(crate) enum Route {
     Metrics,
     /// `GET /v1/debug/traces`
     DebugTraces,
+    /// `GET /v1/debug/health`
+    DebugHealth,
     /// Requests rejected before routing (framing failures, timeouts,
     /// oversized bodies) — a synthetic label so `/metrics` error rates
     /// include requests that never reached a handler.
@@ -66,7 +69,7 @@ pub(crate) enum Route {
 }
 
 impl Route {
-    pub(crate) const ALL: [Route; 15] = [
+    pub(crate) const ALL: [Route; 16] = [
         Route::Query,
         Route::Ingest,
         Route::Report,
@@ -80,6 +83,7 @@ impl Route {
         Route::Healthz,
         Route::Metrics,
         Route::DebugTraces,
+        Route::DebugHealth,
         Route::Parse,
         Route::Other,
     ];
@@ -103,6 +107,7 @@ impl Route {
             Route::Healthz => "/healthz",
             Route::Metrics => "/metrics",
             Route::DebugTraces => "/v1/debug/traces",
+            Route::DebugHealth => "/v1/debug/health",
             Route::Parse => "<parse>",
             Route::Other => "<other>",
         }
@@ -130,6 +135,7 @@ pub const API_ROUTES: &[(&str, &str)] = &[
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/v1/debug/traces"),
+    ("GET", "/v1/debug/health"),
 ];
 
 /// A parsed request path: which resource, with path parameters borrowed
@@ -149,6 +155,7 @@ pub(crate) enum Resource<'a> {
     Healthz,
     Metrics,
     DebugTraces,
+    DebugHealth,
     Unknown,
 }
 
@@ -172,6 +179,7 @@ impl<'a> Resource<'a> {
             "/healthz" => return Resource::Healthz,
             "/metrics" => return Resource::Metrics,
             "/v1/debug/traces" => return Resource::DebugTraces,
+            "/v1/debug/health" => return Resource::DebugHealth,
             _ => {}
         }
         if let Some(rest) = path.strip_prefix("/v1/engines/") {
@@ -208,6 +216,7 @@ impl<'a> Resource<'a> {
             Resource::Healthz => Route::Healthz,
             Resource::Metrics => Route::Metrics,
             Resource::DebugTraces => Route::DebugTraces,
+            Resource::DebugHealth => Route::DebugHealth,
             Resource::Unknown => Route::Other,
         }
     }
@@ -221,7 +230,7 @@ pub(crate) struct Response {
 }
 
 impl Response {
-    fn json(status: u16, body: String) -> Self {
+    pub(crate) fn json(status: u16, body: String) -> Self {
         Response {
             status,
             content_type: "application/json",
@@ -499,7 +508,7 @@ fn parse_body(body: &[u8]) -> Result<JsonValue, Response> {
     parse_json(text).map_err(|e| Response::json(400, error_body("bad_json", &e)))
 }
 
-fn bad_request(message: &str) -> Response {
+pub(crate) fn bad_request(message: &str) -> Response {
     Response::json(400, error_body("bad_request", message))
 }
 
@@ -533,10 +542,26 @@ fn not_found(message: &str) -> Response {
 /// construction: every failure path is a 4xx/5xx response, so a
 /// malformed request can never take the worker (or the connection pool)
 /// down.
-pub(crate) fn dispatch(state: &State, req: &Request, ctx: &mut TraceContext) -> (Route, Response) {
+pub(crate) fn dispatch(
+    state: &State,
+    req: &Request,
+    ctx: &mut TraceContext,
+    profile: &std::sync::Arc<ThreadProfile>,
+) -> (Route, Response) {
     let resource = Resource::parse(&req.path);
     let route = resource.route();
     let method = req.method.as_str();
+    // Observability scrapes must not perturb the profile they report:
+    // if serving `/v1/debug/health` itself counted as a `query` phase,
+    // two back-to-back scrapes of an otherwise idle server could differ
+    // only because the first one was sampled — breaking the endpoint's
+    // byte-stability contract. Scrape routes leave the worker in `idle`.
+    let _phase = match resource {
+        Resource::Healthz | Resource::Metrics | Resource::DebugTraces | Resource::DebugHealth => {
+            None
+        }
+        _ => Some(profile.enter(Phase::Query)),
+    };
     let resp = match resource {
         // Legacy aliases: same handlers as the named routes, but a
         // missing default resource answers the pre-redesign 503 (the
@@ -608,16 +633,20 @@ pub(crate) fn dispatch(state: &State, req: &Request, ctx: &mut TraceContext) -> 
             "GET" => handle_debug_traces(state, req),
             _ => method_not_allowed("GET"),
         },
+        Resource::DebugHealth => match method {
+            "GET" => crate::health::handle_debug_health(state, req),
+            _ => method_not_allowed("GET"),
+        },
         Resource::Unknown => not_found(&format!("no route {}", req.path)),
     };
     (route, resp)
 }
 
-fn no_engine(name: &str) -> Response {
+pub(crate) fn no_engine(name: &str) -> Response {
     not_found(&format!("no engine named {name:?}"))
 }
 
-fn no_session(id: &str) -> Response {
+pub(crate) fn no_session(id: &str) -> Response {
     not_found(&format!("no session {id:?}"))
 }
 
@@ -935,36 +964,65 @@ fn handle_session_create(state: &State, req: &Request) -> Response {
         return handle_durable_session_create(state, &create);
     }
     // Exhaustive per-shard backend: wire sessions promise exact answers.
-    let detector = match AnyStreamDetector::open(
+    let detector = AnyStreamDetector::open(
         kind,
         create.dim as usize,
         query,
         window,
         Backend::Exhaustive,
         shard_spec,
-    ) {
+    )
+    .and_then(|mut det| {
+        // Audit cadence knobs apply before any point arrives; a zero
+        // sample_rate is a typed 400, never a silent clamp.
+        if create.sample_rate.is_some() || create.audit_sample.is_some() {
+            let defaults = dod_stream::GraphParams::default();
+            det.set_audit_params(
+                create.sample_rate.unwrap_or(defaults.sample_rate),
+                create
+                    .audit_sample
+                    .map_or(defaults.audit_sample, |n| n as usize),
+            )?;
+        }
+        Ok(det)
+    });
+    let detector = match detector {
         Ok(det) => det,
         Err(e) => return dod_error_response(&e),
+    };
+    // Only a fully validated spec may consume a slot. The id is reserved
+    // *before* the pipeline spins up because its profiler threads are
+    // named after it (`{id}/router`, `{id}/pump-{n}`).
+    let Some(id) = state
+        .sessions
+        .write()
+        .expect("session registry lock")
+        .reserve()
+    else {
+        return session_capacity_response(state);
     };
     let metric = detector.metric_name();
     let shards = detector.shard_count();
     let entry = SessionEntry {
-        pipeline: detector.into_pipeline(state.pipeline_queue),
+        pipeline: detector.into_pipeline(state.pipeline_queue, Some(state.pipeline_profile(&id))),
         metric,
         shards,
         ingested: Counter::new(),
         durable: None,
     };
-    let opened = state
+    let mounted = state
         .sessions
         .write()
         .expect("session registry lock")
-        .open(entry);
-    match opened {
-        Ok((id, entry)) => Response::json(201, session_summary(&id, &entry).render()),
+        .mount(&id, entry);
+    match mounted {
+        Ok(entry) => Response::json(201, session_summary(&id, &entry).render()),
         Err(refused_entry) => {
-            // The refused pipeline's threads join here, outside the lock.
+            // The refused pipeline's threads join here, outside the lock,
+            // and the profiles they registered under the reserved id go
+            // with them.
             drop(refused_entry);
+            state.profiler.unregister_prefix(&id);
             session_capacity_response(state)
         }
     }
@@ -1013,7 +1071,12 @@ fn handle_durable_session_create(state: &State, create: &SessionCreateRequest) -
             return dod_error_response(&e);
         }
     };
-    let entry = crate::durable::session_entry(session, &dir, state.pipeline_queue);
+    let entry = crate::durable::session_entry(
+        session,
+        &dir,
+        state.pipeline_queue,
+        state.pipeline_profile(&id),
+    );
     let mounted = state
         .sessions
         .write()
@@ -1027,6 +1090,7 @@ fn handle_durable_session_create(state: &State, create: &SessionCreateRequest) -
             // close), then the freshly-made files are reclaimed.
             drop(refused);
             crate::durable::reclaim_session_dir(&dir, &state.cleanup_errors);
+            state.profiler.unregister_prefix(&id);
             session_capacity_response(state)
         }
     }
@@ -1059,6 +1123,10 @@ fn handle_session_delete(state: &State, id: &str) -> Response {
             if let Some(dir) = dir {
                 crate::durable::reclaim_session_dir(&dir, &state.cleanup_errors);
             }
+            // Retire the session's thread-profile family with it: a
+            // server creating and deleting sessions all day must not
+            // accumulate dead `thread` labels in `/metrics`.
+            state.profiler.unregister_prefix(id);
             resp
         }
         None => no_session(id),
@@ -1124,7 +1192,7 @@ fn handle_session_ingest(
 /// Decodes `k=v&k2=v2` pairs with minimal percent-decoding (`%XX` and
 /// `+` → space). Bad escapes pass through literally — a debug endpoint
 /// should show what the client sent, not reject it.
-fn query_params(query: &str) -> Vec<(String, String)> {
+pub(crate) fn query_params(query: &str) -> Vec<(String, String)> {
     fn pct_decode(s: &str) -> String {
         let bytes = s.as_bytes();
         let mut out = Vec::with_capacity(bytes.len());
@@ -1368,6 +1436,7 @@ mod tests {
             ("/healthz", Healthz),
             ("/metrics", Metrics),
             ("/v1/debug/traces", DebugTraces),
+            ("/v1/debug/health", DebugHealth),
             // Malformed or hostile paths all fall to Unknown (→ 404).
             ("/", Unknown),
             ("/v1/engines/", Unknown),

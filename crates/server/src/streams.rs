@@ -12,8 +12,8 @@
 use dod_core::{DodError, Query};
 use dod_metrics::{Angular, MetricKind, L1, L2, L4};
 use dod_shard::{
-    CommitAck, DurabilityPolicy, DurableSession, GhostRouteStats, IngestPipeline, RecoveryStats,
-    ShardSpec, ShardedStreamDetector, WalTelemetry,
+    CommitAck, DurabilityPolicy, DurableSession, GhostRouteStats, HealthReport, IngestPipeline,
+    PipelineProfile, RecoveryStats, ShardSpec, ShardedStreamDetector, WalTelemetry,
 };
 use dod_stream::{Backend, StreamStats, VectorSpace, WindowSpec};
 use std::path::Path;
@@ -145,13 +145,48 @@ impl AnyStreamDetector {
         }
     }
 
-    pub(crate) fn into_pipeline(self, queue: usize) -> AnyPipeline {
+    /// Reconfigures the sampled recall auditor on every shard (see
+    /// [`ShardedStreamDetector::set_audit_params`]); wire knobs are
+    /// validated here with typed errors, never clamped.
+    pub(crate) fn set_audit_params(
+        &mut self,
+        sample_rate: u64,
+        audit_sample: usize,
+    ) -> Result<(), DodError> {
+        match self {
+            AnyStreamDetector::L1(det) => det.set_audit_params(sample_rate, audit_sample),
+            AnyStreamDetector::L2(det) => det.set_audit_params(sample_rate, audit_sample),
+            AnyStreamDetector::L4(det) => det.set_audit_params(sample_rate, audit_sample),
+            AnyStreamDetector::Angular(det) => det.set_audit_params(sample_rate, audit_sample),
+        }
+    }
+
+    /// Moves the detector onto its pipeline threads. With a profile, the
+    /// router and pump threads publish their phases under
+    /// `{prefix}/router` and `{prefix}/pump-{i}` for the sampler.
+    pub(crate) fn into_pipeline(
+        self,
+        queue: usize,
+        profile: Option<PipelineProfile>,
+    ) -> AnyPipeline {
         let dim = self.dim();
         let inner = match self {
-            AnyStreamDetector::L1(det) => InnerPipeline::L1(det.into_pipeline(queue)),
-            AnyStreamDetector::L2(det) => InnerPipeline::L2(det.into_pipeline(queue)),
-            AnyStreamDetector::L4(det) => InnerPipeline::L4(det.into_pipeline(queue)),
-            AnyStreamDetector::Angular(det) => InnerPipeline::Angular(det.into_pipeline(queue)),
+            AnyStreamDetector::L1(det) => InnerPipeline::L1(match profile {
+                Some(p) => det.into_pipeline_profiled(queue, p),
+                None => det.into_pipeline(queue),
+            }),
+            AnyStreamDetector::L2(det) => InnerPipeline::L2(match profile {
+                Some(p) => det.into_pipeline_profiled(queue, p),
+                None => det.into_pipeline(queue),
+            }),
+            AnyStreamDetector::L4(det) => InnerPipeline::L4(match profile {
+                Some(p) => det.into_pipeline_profiled(queue, p),
+                None => det.into_pipeline(queue),
+            }),
+            AnyStreamDetector::Angular(det) => InnerPipeline::Angular(match profile {
+                Some(p) => det.into_pipeline_profiled(queue, p),
+                None => det.into_pipeline(queue),
+            }),
         };
         AnyPipeline { dim, inner }
     }
@@ -279,9 +314,30 @@ impl AnyDurableSession {
         }
     }
 
+    /// Reconfigures the sampled recall auditor on every shard. Applied
+    /// on every open (create *and* recovery), since audit cadence lives
+    /// in the manifest, not the WAL.
+    pub(crate) fn set_audit_params(
+        &mut self,
+        sample_rate: u64,
+        audit_sample: usize,
+    ) -> Result<(), DodError> {
+        match self {
+            AnyDurableSession::L1(s) => s.set_audit_params(sample_rate, audit_sample),
+            AnyDurableSession::L2(s) => s.set_audit_params(sample_rate, audit_sample),
+            AnyDurableSession::L4(s) => s.set_audit_params(sample_rate, audit_sample),
+            AnyDurableSession::Angular(s) => s.set_audit_params(sample_rate, audit_sample),
+        }
+    }
+
     /// Moves the session onto its pipeline threads; the WAL rides on the
-    /// router thread (append-before-ack at batch boundaries).
-    pub(crate) fn into_pipeline(self, queue: usize) -> AnyPipeline {
+    /// router thread (append-before-ack at batch boundaries). With a
+    /// profile, every thread publishes its phase for the sampler.
+    pub(crate) fn into_pipeline(
+        self,
+        queue: usize,
+        profile: Option<PipelineProfile>,
+    ) -> AnyPipeline {
         let dim = match &self {
             AnyDurableSession::L1(s) => s.detector().space().dim(),
             AnyDurableSession::L2(s) => s.detector().space().dim(),
@@ -289,10 +345,22 @@ impl AnyDurableSession {
             AnyDurableSession::Angular(s) => s.detector().space().dim(),
         };
         let inner = match self {
-            AnyDurableSession::L1(s) => InnerPipeline::L1(s.into_pipeline(queue)),
-            AnyDurableSession::L2(s) => InnerPipeline::L2(s.into_pipeline(queue)),
-            AnyDurableSession::L4(s) => InnerPipeline::L4(s.into_pipeline(queue)),
-            AnyDurableSession::Angular(s) => InnerPipeline::Angular(s.into_pipeline(queue)),
+            AnyDurableSession::L1(s) => InnerPipeline::L1(match profile {
+                Some(p) => s.into_pipeline_profiled(queue, p),
+                None => s.into_pipeline(queue),
+            }),
+            AnyDurableSession::L2(s) => InnerPipeline::L2(match profile {
+                Some(p) => s.into_pipeline_profiled(queue, p),
+                None => s.into_pipeline(queue),
+            }),
+            AnyDurableSession::L4(s) => InnerPipeline::L4(match profile {
+                Some(p) => s.into_pipeline_profiled(queue, p),
+                None => s.into_pipeline(queue),
+            }),
+            AnyDurableSession::Angular(s) => InnerPipeline::Angular(match profile {
+                Some(p) => s.into_pipeline_profiled(queue, p),
+                None => s.into_pipeline(queue),
+            }),
         };
         AnyPipeline { dim, inner }
     }
@@ -359,6 +427,19 @@ impl AnyPipeline {
             InnerPipeline::L2(p) => p.stats(),
             InnerPipeline::L4(p) => p.stats(),
             InnerPipeline::Angular(p) => p.stats(),
+        }
+    }
+
+    /// The topology's health document — per-shard occupancy, counters
+    /// and index structure plus ghost routing — collected at a read-only
+    /// barrier (never advances shard clocks; see
+    /// [`IngestPipeline::health`]).
+    pub fn health(&self) -> Result<HealthReport, DodError> {
+        match &self.inner {
+            InnerPipeline::L1(p) => p.health(),
+            InnerPipeline::L2(p) => p.health(),
+            InnerPipeline::L4(p) => p.health(),
+            InnerPipeline::Angular(p) => p.health(),
         }
     }
 

@@ -1,5 +1,6 @@
 //! [`ShardedStreamDetector`] — the synchronous sharded front door.
 
+use crate::health::HealthReport;
 use crate::router::{Ingestion, Router, ShardOp};
 use crate::shard::{Shard, ShardAnswer};
 use crate::spec::ShardSpec;
@@ -70,6 +71,21 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
             backend,
             buckets,
         })
+    }
+
+    /// Reconfigures every shard's sampled recall auditor: audit
+    /// `audit_sample` residents every `sample_rate` local slides. A zero
+    /// `sample_rate` is a typed [`DodError::InvalidSpec`] (disable with
+    /// `audit_sample = 0` instead); no knob is silently clamped.
+    pub fn set_audit_params(
+        &mut self,
+        sample_rate: u64,
+        audit_sample: usize,
+    ) -> Result<(), DodError> {
+        for shard in &mut self.shards {
+            shard.set_audit_params(sample_rate, audit_sample)?;
+        }
+        Ok(())
     }
 
     /// Ingests a point at the next unit-spaced tick (`0, 1, 2, …`).
@@ -303,6 +319,17 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
     /// per-owner rate `dod_server` exports as `dod_shard_ghost_rate`).
     pub fn ghost_route_stats(&self) -> crate::GhostRouteStats {
         self.router.ghost_route_stats()
+    }
+
+    /// The topology's health document: every shard's occupancy, lifetime
+    /// counters, and index-structure snapshot, plus the router's ghost
+    /// accounting — the input to the balance gauges
+    /// ([`HealthReport::owned_skew`] etc.) that `dod_server` exports.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            shards: self.shards.iter().map(|s| s.health()).collect(),
+            routes: self.router.ghost_route_stats(),
+        }
     }
 
     /// Summed lifetime counters across shards. `inserts` counts owned +

@@ -23,8 +23,10 @@
 
 use crate::detector::{merge_answers, ShardedStreamDetector};
 use crate::durable::{CommitAck, DurabilityHook};
+use crate::health::{HealthReport, ShardHealth};
 use crate::router::{GhostRouteStats, Router, ShardOp};
 use crate::shard::{Shard, ShardAnswer};
+use dod_core::profile::{enter_opt, Phase, Profiler, ThreadProfile};
 use dod_core::{DodError, OutlierReport};
 use dod_stream::{Backend, Space, StreamStats};
 use std::io;
@@ -52,6 +54,10 @@ enum RouterCmd<P> {
     /// Collect the router's routing telemetry (per-shard owned counts +
     /// per-shard-pair ghost-replication counters).
     GhostStats(Sender<GhostRouteStats>),
+    /// Collect the full health document: per-shard occupancy, counters
+    /// and index structure, plus the router's ghost accounting, all
+    /// under one barrier.
+    Health(Sender<HealthReport>),
     /// Commit barrier: replies once every op enqueued before it has
     /// passed through the durability hook's WAL commit (append + sync
     /// per policy). The ack-before-disk gap closes here — a durable
@@ -71,6 +77,7 @@ enum PumpCmd<P> {
     /// index and its answer.
     Collect(Option<f64>, Sender<(usize, ShardAnswer)>),
     Stats(Sender<StreamStats>),
+    Health(Sender<(usize, ShardHealth)>),
 }
 
 fn closed() -> DodError {
@@ -101,6 +108,27 @@ impl PipelineGauges {
     /// (pivot distances, ghost-replication decisions), in nanoseconds.
     pub fn route_nanos(&self) -> u64 {
         self.route_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a pipeline's threads publish their phases: the shared
+/// [`Profiler`] the server's sampler scrapes, plus the label prefix
+/// (typically the session id) that namespaces this pipeline's threads —
+/// the router registers as `{prefix}/router`, shard pumps as
+/// `{prefix}/pump-{idx}`. Registration is idempotent by name, so a
+/// pipeline torn down and rebuilt (`finish` → `into_pipeline`) keeps
+/// accumulating into the same counters.
+#[derive(Clone)]
+pub struct PipelineProfile {
+    /// The registry the sampling thread scrapes.
+    pub profiler: Arc<Profiler>,
+    /// Label prefix for this pipeline's threads.
+    pub prefix: String,
+}
+
+impl PipelineProfile {
+    fn register(&self, role: &str) -> Arc<ThreadProfile> {
+        self.profiler.register(&format!("{}/{role}", self.prefix))
     }
 }
 
@@ -192,7 +220,18 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
     /// The detector may already hold window state — the threads simply
     /// continue from it.
     pub fn into_pipeline(self, queue: usize) -> IngestPipeline<S> {
-        self.spawn_pipeline(queue, None)
+        self.spawn_pipeline(queue, None, None)
+    }
+
+    /// [`into_pipeline`](Self::into_pipeline) with every thread
+    /// publishing its current phase into `profile` for the sampling
+    /// profiler to observe.
+    pub fn into_pipeline_profiled(
+        self,
+        queue: usize,
+        profile: PipelineProfile,
+    ) -> IngestPipeline<S> {
+        self.spawn_pipeline(queue, None, Some(profile))
     }
 
     /// The durable variant: the WAL hook rides on the router thread and
@@ -201,14 +240,16 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
         self,
         queue: usize,
         durable: Box<dyn DurabilityHook<S::Point>>,
+        profile: Option<PipelineProfile>,
     ) -> IngestPipeline<S> {
-        self.spawn_pipeline(queue, Some(durable))
+        self.spawn_pipeline(queue, Some(durable), profile)
     }
 
     fn spawn_pipeline(
         self,
         queue: usize,
         durable: Option<Box<dyn DurabilityHook<S::Point>>>,
+        profile: Option<PipelineProfile>,
     ) -> IngestPipeline<S> {
         let queue = queue.max(1);
         let (router, shards, backend) = self.into_parts();
@@ -218,17 +259,29 @@ impl<S: Space + Clone + 'static> ShardedStreamDetector<S> {
         for (idx, mut shard) in shards.into_iter().enumerate() {
             let (ptx, prx) = sync_channel::<PumpCmd<S::Point>>(queue);
             pump_txs.push(ptx);
+            let pump_profile = profile.as_ref().map(|p| p.register(&format!("pump-{idx}")));
             pump_threads.push(std::thread::spawn(move || {
-                pump_loop(idx, &mut shard, prx);
+                pump_loop(idx, &mut shard, prx, &pump_profile);
                 shard
             }));
         }
         let gauges = Arc::new(PipelineGauges::default());
         let router_gauges = Arc::clone(&gauges);
+        let router_profile = profile.as_ref().map(|p| p.register("router"));
         let router_thread = std::thread::spawn(move || {
             let mut router = router;
             let mut durable = durable;
-            router_loop(&mut router, rx, pump_txs, &router_gauges, &mut durable);
+            if let (Some(d), Some(p)) = (durable.as_mut(), router_profile.as_ref()) {
+                d.attach_profile(Arc::clone(p));
+            }
+            router_loop(
+                &mut router,
+                rx,
+                pump_txs,
+                &router_gauges,
+                &mut durable,
+                &router_profile,
+            );
             router
         });
         IngestPipeline {
@@ -329,6 +382,18 @@ impl<S: Space + Clone + 'static> IngestPipeline<S> {
         reply_rx.recv().map_err(|_| closed())
     }
 
+    /// The full health document — per-shard occupancy, lifetime
+    /// counters and index structure, plus the router's ghost accounting
+    /// — collected under one barrier, so every number describes the
+    /// same slide boundary (snapshot-consistent with every insert
+    /// enqueued before the call). The same shape as
+    /// [`ShardedStreamDetector::health`].
+    pub fn health(&self) -> Result<HealthReport, DodError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        send_counted(&self.tx, &self.gauges, RouterCmd::Health(reply_tx))?;
+        reply_rx.recv().map_err(|_| closed())
+    }
+
     /// Commit barrier: blocks until every operation enqueued before this
     /// call has passed through the WAL commit on the router thread —
     /// appended and synced per the session's [`dod_wal::SyncPolicy`].
@@ -402,6 +467,7 @@ fn router_loop<S: Space>(
     pump_txs: Vec<SyncSender<PumpCmd<S::Point>>>,
     gauges: &PipelineGauges,
     durable: &mut Option<Box<dyn DurabilityHook<S::Point>>>,
+    profile: &Option<Arc<ThreadProfile>>,
 ) {
     type Hook<P> = Option<Box<dyn DurabilityHook<P>>>;
     let mut batches: Vec<Vec<ShardOp<S::Point>>> =
@@ -426,6 +492,7 @@ fn router_loop<S: Space>(
                      p: S::Point,
                      t: f64| {
             let keep = durable.as_ref().map(|_| p.clone());
+            let _phase = enter_opt(profile, Phase::Route);
             let t0 = std::time::Instant::now();
             let ing = router.ingest(p, t);
             gauges
@@ -472,6 +539,7 @@ fn router_loop<S: Space>(
         // make this batch's effects observable. Control barriers (report,
         // stats) flush first, so everything they describe is durable.
         if let Some(d) = durable.as_mut() {
+            let _phase = enter_opt(profile, Phase::WalAppend);
             d.commit(router.now(), router.front_seq());
         }
         for (s, batch) in batches.iter_mut().enumerate() {
@@ -560,6 +628,27 @@ fn router_loop<S: Space>(
                 // above keeps it consistent with every preceding insert.
                 let _ = reply.send(router.ghost_route_stats());
             }
+            Some(RouterCmd::Health(reply)) => {
+                let (ans_tx, ans_rx) = std::sync::mpsc::channel();
+                let mut sent = 0;
+                for ptx in &pump_txs {
+                    if ptx.send(PumpCmd::Health(ans_tx.clone())).is_ok() {
+                        sent += 1;
+                    }
+                }
+                drop(ans_tx);
+                let mut shards: Vec<(usize, ShardHealth)> = ans_rx.iter().collect();
+                // Like reports and stats: a dead pump would make the
+                // document silently partial, so the caller errors instead.
+                if sent < pump_txs.len() || shards.len() < sent {
+                    continue;
+                }
+                shards.sort_by_key(|&(idx, _)| idx);
+                let _ = reply.send(HealthReport {
+                    shards: shards.into_iter().map(|(_, h)| h).collect(),
+                    routes: router.ghost_route_stats(),
+                });
+            }
             Some(RouterCmd::Commit(reply)) => {
                 // The flush above already ran the WAL commit for every
                 // op enqueued before this barrier; only the verdict is
@@ -589,22 +678,30 @@ fn pump_loop<S: Space + 'static>(
     idx: usize,
     shard: &mut Shard<S>,
     rx: Receiver<PumpCmd<S::Point>>,
+    profile: &Option<Arc<ThreadProfile>>,
 ) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             PumpCmd::Apply(ops) => {
+                let _phase = enter_opt(profile, Phase::Insert);
                 for op in ops {
                     shard.apply(op);
                 }
             }
             PumpCmd::Collect(now, reply) => {
                 if let Some(now) = now {
+                    let _phase = enter_opt(profile, Phase::Expiry);
                     shard.advance(now);
                 }
                 let _ = reply.send((idx, shard.collect()));
             }
             PumpCmd::Stats(reply) => {
                 let _ = reply.send(shard.stats());
+            }
+            // No phase here: health scrapes must not perturb the
+            // profile they report.
+            PumpCmd::Health(reply) => {
+                let _ = reply.send((idx, shard.health()));
             }
         }
     }

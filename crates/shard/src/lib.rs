@@ -110,6 +110,7 @@
 
 mod detector;
 mod durable;
+mod health;
 mod ingest;
 mod router;
 mod shard;
@@ -117,7 +118,8 @@ mod spec;
 
 pub use detector::{ShardSlideReport, ShardedStreamDetector};
 pub use durable::{CommitAck, DurabilityPolicy, DurableSession, RecoveryStats};
-pub use ingest::{IngestHandle, IngestPipeline, PipelineGauges};
+pub use health::{HealthReport, ShardHealth};
+pub use ingest::{IngestHandle, IngestPipeline, PipelineGauges, PipelineProfile};
 pub use router::GhostRouteStats;
 pub use spec::ShardSpec;
 // Durable sessions are configured in the WAL's vocabulary; re-exported so

@@ -2,8 +2,9 @@
 //! (which local seq is which global point, and which residents are
 //! ghosts).
 
+use crate::health::ShardHealth;
 use crate::router::ShardOp;
-use dod_core::OutlierReport;
+use dod_core::{DodError, OutlierReport};
 use dod_stream::{Backend, SlideReport, Space, StreamDetector, StreamParams, StreamStats};
 use std::collections::VecDeque;
 
@@ -32,6 +33,16 @@ impl<S: Space + 'static> Shard<S> {
             meta: VecDeque::new(),
             meta_front: 0,
         }
+    }
+
+    /// Reconfigures this shard's sampled recall auditor (see
+    /// [`StreamDetector::set_audit_params`]).
+    pub fn set_audit_params(
+        &mut self,
+        sample_rate: u64,
+        audit_sample: usize,
+    ) -> Result<(), DodError> {
+        self.det.set_audit_params(sample_rate, audit_sample)
     }
 
     /// Applies one routed op.
@@ -117,6 +128,18 @@ impl<S: Space + 'static> Shard<S> {
 
     pub fn stats(&self) -> StreamStats {
         self.det.stats()
+    }
+
+    /// The shard's health snapshot: occupancy, lifetime counters, and
+    /// the discovery index's structure document.
+    pub fn health(&self) -> ShardHealth {
+        let (owned, ghosts) = self.occupancy();
+        ShardHealth {
+            owned,
+            ghosts,
+            stats: self.det.stats(),
+            index: self.det.index_health(),
+        }
     }
 
     pub fn size_bytes(&self) -> usize {

@@ -1,0 +1,146 @@
+//! The pipeline's health barrier and the thread-phase profiler: the
+//! document must be snapshot-consistent with every preceding insert,
+//! agree with the synchronous detector's aggregation, and the profiled
+//! pipeline must publish phases the sampler can observe.
+
+use dod_core::profile::{Phase, Profiler, Sampler, PHASES};
+use dod_core::Query;
+use dod_datasets::StreamScenario;
+use dod_metrics::L2;
+use dod_shard::{PipelineProfile, ShardSpec, ShardedStreamDetector};
+use dod_stream::{Backend, GraphParams, VectorSpace, WindowSpec};
+use std::sync::Arc;
+
+const DIM: usize = 2;
+
+fn points(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let scenario = StreamScenario {
+        clusters: 3,
+        drift: 0.05,
+        outlier_rate: 0.08,
+        burst_every: 25,
+        burst_len: 4,
+        burst_rate: 0.5,
+        churn_every: 40,
+        ..StreamScenario::new(DIM)
+    };
+    scenario.generate(n, seed)
+}
+
+fn open(shards: usize, backend: Backend) -> ShardedStreamDetector<VectorSpace<L2>> {
+    ShardedStreamDetector::open(
+        VectorSpace::new(L2, DIM),
+        Query::new(0.35, 3).expect("valid query"),
+        WindowSpec::Count(128),
+        backend,
+        ShardSpec::new(shards),
+    )
+    .expect("valid spec")
+}
+
+/// The barrier-collected pipeline document equals the synchronous
+/// detector's over the same stream state, and its numbers cover the
+/// whole window.
+#[test]
+fn pipeline_health_matches_synchronous_and_covers_the_window() {
+    // Audit every slide so a 300-point stream accumulates real samples.
+    let gp = GraphParams {
+        sample_rate: 1,
+        audit_sample: 4,
+        ..GraphParams::default()
+    };
+    let mut det = open(4, Backend::Graph(gp));
+    let stream = points(300, 17);
+    for p in &stream {
+        det.insert(p.clone());
+    }
+    // Health is a read-only scrape: it never advances shard clocks, so
+    // bring every shard to the slide boundary the way a query would.
+    let _ = det.outliers();
+    let sync_health = det.health();
+
+    let pipeline = det.into_pipeline(64);
+    let health = pipeline.health().expect("live pipeline");
+    assert_eq!(health.shards.len(), 4);
+    // Same per-shard occupancy and counters as the synchronous view —
+    // the pipeline changed the threading, not the state.
+    for (a, b) in health.shards.iter().zip(sync_health.shards.iter()) {
+        assert_eq!((a.owned, a.ghosts), (b.owned, b.ghosts));
+        assert_eq!(a.stats.inserts, b.stats.inserts);
+        assert_eq!(a.index.live, b.index.live);
+    }
+    assert_eq!(health.routes, sync_health.routes);
+
+    // The window is fully accounted for: owned residents across shards
+    // sum to the global window, and rates/skews are well-formed.
+    let owned: usize = health.shards.iter().map(|s| s.owned).sum();
+    assert_eq!(owned, 128);
+    assert!(health.owned_skew() >= 1.0);
+    assert!(health.slide_skew() >= 1.0);
+    for rate in health.ghost_rates() {
+        assert!((0.0..=1.0).contains(&rate), "ghost rate {rate}");
+    }
+    // Graph backend everywhere: the absorbed index document is inexact
+    // and audited (audit_sample > 0 ran on every shard slide).
+    let idx = health.index();
+    assert!(!idx.exact);
+    assert!(health.stats().recall_audits > 0, "auditors never ran");
+
+    // The barrier sees every insert enqueued before it.
+    pipeline.insert_many(stream[..64].to_vec()).expect("live");
+    let after = pipeline.health().expect("live pipeline");
+    assert_eq!(
+        after.stats().inserts,
+        health.stats().inserts + 64 + (after.stats().ghost_inserts - health.stats().ghost_inserts)
+    );
+    drop(pipeline);
+}
+
+/// A profiled pipeline registers `{prefix}/router` and
+/// `{prefix}/pump-{i}` and publishes non-idle phases the sampler
+/// accumulates.
+#[test]
+fn profiled_pipeline_publishes_phases() {
+    let profiler = Arc::new(Profiler::new());
+    let det = open(2, Backend::Exhaustive);
+    let pipeline = det.into_pipeline_profiled(
+        8,
+        PipelineProfile {
+            profiler: Arc::clone(&profiler),
+            prefix: "s1".into(),
+        },
+    );
+    let names: Vec<String> = profiler
+        .profiles()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    assert_eq!(names, ["s1/pump-0", "s1/pump-1", "s1/router"]);
+
+    let sampler = Sampler::start(Arc::clone(&profiler), 1000).expect("valid rate");
+    let stream = points(4000, 3);
+    for chunk in stream.chunks(256) {
+        pipeline.insert_many(chunk.to_vec()).expect("live");
+        let _ = pipeline.report().expect("live");
+    }
+    sampler.shutdown();
+
+    let non_idle: u64 = profiler
+        .profiles()
+        .iter()
+        .flat_map(|p| {
+            PHASES
+                .iter()
+                .filter(|&&ph| ph != Phase::Idle)
+                .map(|&ph| p.samples(ph))
+                .collect::<Vec<_>>()
+        })
+        .sum();
+    assert!(non_idle > 0, "no worker was ever sampled off idle");
+    // Workers settle back to idle once the queues drain.
+    let det = pipeline.finish().expect("clean finish");
+    for p in profiler.profiles() {
+        assert_eq!(p.current(), Phase::Idle, "{} stuck non-idle", p.name());
+    }
+    drop(det);
+}

@@ -11,7 +11,7 @@
 
 use crate::counts::NeighborState;
 use crate::graph::{GraphIndex, GraphParams};
-use crate::index::{ExhaustiveIndex, StreamIndex};
+use crate::index::{ExhaustiveIndex, IndexHealth, StreamIndex};
 use crate::seqmap::SeqMap;
 use crate::space::Space;
 use crate::window::{WindowSpec, WindowStore, WindowView};
@@ -158,6 +158,16 @@ pub struct StreamStats {
     pub insert_nanos: u64,
     /// Wall time spent expiring due residents, in nanoseconds.
     pub expiry_nanos: u64,
+    /// Sampled discovery-recall audits performed.
+    pub recall_audits: u64,
+    /// Across all audited residents: in-range neighbors the backend's
+    /// discovery actually found, each resident capped at `k` (finding
+    /// more than `k` cannot change a verdict).
+    pub recall_hits: u64,
+    /// Across all audited residents: in-range neighbors a brute-force
+    /// scan found, capped at `k` — the denominator of the recall
+    /// estimate.
+    pub recall_expected: u64,
 }
 
 impl StreamStats {
@@ -174,6 +184,9 @@ impl StreamStats {
             incremental_repairs,
             insert_nanos,
             expiry_nanos,
+            recall_audits,
+            recall_hits,
+            recall_expected,
         } = other;
         self.inserts += inserts;
         self.ghost_inserts += ghost_inserts;
@@ -183,6 +196,22 @@ impl StreamStats {
         self.incremental_repairs += incremental_repairs;
         self.insert_nanos += insert_nanos;
         self.expiry_nanos += expiry_nanos;
+        self.recall_audits += recall_audits;
+        self.recall_hits += recall_hits;
+        self.recall_expected += recall_expected;
+    }
+
+    /// The sampled discovery-recall estimate: hits over expected across
+    /// every audited resident so far. `1.0` before any audit has found a
+    /// non-isolated resident — an empty sample is no evidence of
+    /// degradation. Always in `[0, 1]`: discovery certifies subsets of
+    /// the true neighbor set, so hits never exceed expected.
+    pub fn recall_estimate(&self) -> f64 {
+        if self.recall_expected == 0 {
+            1.0
+        } else {
+            self.recall_hits as f64 / self.recall_expected as f64
+        }
     }
 }
 
@@ -216,6 +245,13 @@ pub struct StreamDetector<S: Space> {
     states: SeqMap<NeighborState>,
     index: Box<dyn StreamIndex<S> + Send>,
     stats: StreamStats,
+    /// Slides between sampled recall audits (≥ 1; see
+    /// [`set_audit_params`](Self::set_audit_params)).
+    audit_every: u64,
+    /// Residents re-discovered per audit (`0` = auditing disabled).
+    audit_sample: usize,
+    /// Slides since the last audit.
+    since_audit: u64,
 }
 
 impl<S: Space> StreamDetector<S> {
@@ -269,11 +305,19 @@ impl<S: Space> StreamDetector<S> {
     where
         S: 'static,
     {
-        let index: Box<dyn StreamIndex<S> + Send> = match backend {
-            Backend::Exhaustive => Box::new(ExhaustiveIndex),
-            Backend::Graph(gp) => Box::new(GraphIndex::new(gp, params.k)),
+        let (index, audit): (Box<dyn StreamIndex<S> + Send>, _) = match backend {
+            Backend::Exhaustive => (Box::new(ExhaustiveIndex), None),
+            Backend::Graph(gp) => {
+                gp.validate()?;
+                let audit = (gp.sample_rate, gp.audit_sample);
+                (Box::new(GraphIndex::new(gp, params.k)), Some(audit))
+            }
         };
-        Self::try_with_index(space, params, index)
+        let mut det = Self::try_with_index(space, params, index)?;
+        if let Some((sample_rate, audit_sample)) = audit {
+            det.set_audit_params(sample_rate, audit_sample)?;
+        }
+        Ok(det)
     }
 
     /// A detector on a custom [`StreamIndex`] implementation, or a
@@ -284,6 +328,7 @@ impl<S: Space> StreamDetector<S> {
         index: Box<dyn StreamIndex<S> + Send>,
     ) -> Result<Self, DodError> {
         params.validate()?;
+        let defaults = GraphParams::default();
         Ok(StreamDetector {
             space,
             params,
@@ -291,7 +336,30 @@ impl<S: Space> StreamDetector<S> {
             states: SeqMap::default(),
             index,
             stats: StreamStats::default(),
+            audit_every: defaults.sample_rate,
+            audit_sample: defaults.audit_sample,
+            since_audit: 0,
         })
+    }
+
+    /// Reconfigures the sampled recall auditor: audit `audit_sample`
+    /// residents every `sample_rate` slides. A zero `sample_rate` is a
+    /// typed [`DodError::InvalidSpec`] (disable with `audit_sample = 0`
+    /// instead); no knob is ever silently clamped.
+    pub fn set_audit_params(
+        &mut self,
+        sample_rate: u64,
+        audit_sample: usize,
+    ) -> Result<(), DodError> {
+        if sample_rate == 0 {
+            return Err(DodError::InvalidSpec {
+                reason: "sample_rate must be >= 1 (set audit_sample = 0 to disable audits)"
+                    .to_string(),
+            });
+        }
+        self.audit_every = sample_rate;
+        self.audit_sample = audit_sample;
+        Ok(())
     }
 
     /// Ingests a point at the next unit-spaced tick (`0, 1, 2, …`).
@@ -368,6 +436,16 @@ impl<S: Space> StreamDetector<S> {
                 );
             }
         }
+        // Sampled recall audit, every `audit_every` slides: part of the
+        // slide's work on purpose, so its cost shows up in the same
+        // insert-time counter the bench harness measures overhead with.
+        if self.audit_sample > 0 {
+            self.since_audit += 1;
+            if self.since_audit >= self.audit_every {
+                self.since_audit = 0;
+                self.run_recall_audit();
+            }
+        }
         // Insert time is the slide minus whatever expire_due just booked,
         // so the two phase counters partition the slide's wall time.
         let expiry_within = self.stats.expiry_nanos - expiry_before;
@@ -377,6 +455,64 @@ impl<S: Space> StreamDetector<S> {
             expired,
             window_len: self.win.len(),
         }
+    }
+
+    /// One sampled discovery-recall audit: pick `audit_sample` residents
+    /// by a deterministic stride (keyed off the audit counter, so
+    /// successive audits rotate through the window without a clock or an
+    /// RNG), brute-force their true in-range neighbor count capped at
+    /// `k`, re-run the backend's discovery read-only, and accumulate
+    /// hits/expected into the lifetime stats. Because discovery returns
+    /// certified subsets, hits ≤ expected always — the estimate is a
+    /// true recall, not a similarity.
+    fn run_recall_audit(&mut self) {
+        let len = self.win.len();
+        let (r, k) = (self.params.r, self.params.k);
+        if len < 2 || k == 0 {
+            return;
+        }
+        let sample = self.audit_sample.min(len);
+        let stride = (len / sample).max(1);
+        let start = (self.stats.recall_audits as usize).wrapping_mul(7919) % len;
+        for i in 0..sample {
+            let pos = (start + i * stride) % len;
+            let (seq, expected) = {
+                let view = WindowView::new(&self.win, &self.space);
+                let mut truth = 0usize;
+                for other in 0..len {
+                    if other != pos && view.dist(pos, other) <= r {
+                        truth += 1;
+                        if truth >= k {
+                            break;
+                        }
+                    }
+                }
+                (view.seq_at(pos), truth)
+            };
+            let discovered = {
+                let view = WindowView::new(&self.win, &self.space);
+                self.index.audit_discover(&view, seq, r)
+            };
+            self.stats.recall_hits += discovered.len().min(expected) as u64;
+            self.stats.recall_expected += expected as u64;
+        }
+        self.stats.recall_audits += 1;
+    }
+
+    /// The backend's structural health document (live/tombstone split,
+    /// maintenance counters, degree histogram). All-zero with
+    /// `exact = true` on the exhaustive backend.
+    pub fn index_health(&self) -> IndexHealth {
+        self.index.health()
+    }
+
+    /// Fault injection for degradation tests: drop all but `keep` links
+    /// per vertex in the backend (no-op on the exhaustive backend).
+    /// Discovery recall falls; outlier verdicts stay exact — the lazy
+    /// repair never trusts the graph.
+    #[doc(hidden)]
+    pub fn inject_edge_loss(&mut self, keep: usize) {
+        self.index.inject_edge_loss(keep);
     }
 
     /// Advances the clock without inserting, expiring due residents

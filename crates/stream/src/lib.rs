@@ -70,6 +70,6 @@ pub mod window;
 
 pub use detector::{Backend, SlideReport, StreamDetector, StreamParams, StreamStats};
 pub use graph::{GraphIndex, GraphParams};
-pub use index::{ExhaustiveIndex, StreamIndex};
+pub use index::{ExhaustiveIndex, IndexHealth, StreamIndex, DEGREE_BUCKETS, DEGREE_BUCKET_BOUNDS};
 pub use space::{Space, StringSpace, VectorSpace};
 pub use window::{WindowSpec, WindowView};

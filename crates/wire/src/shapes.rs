@@ -311,6 +311,13 @@ pub struct SessionCreateRequest {
     /// Snapshot (and log-truncate) after this many logged operations;
     /// `None` keeps the server default.
     pub snapshot_ops: Option<u64>,
+    /// Recall-audit cadence: audit every `sample_rate` per-shard slides.
+    /// `None` keeps the engine default; zero is rejected server-side
+    /// with a typed error, never clamped.
+    pub sample_rate: Option<u64>,
+    /// Residents re-checked per audit; `0` disables auditing. `None`
+    /// keeps the engine default.
+    pub audit_sample: Option<u64>,
 }
 
 impl SessionCreateRequest {
@@ -373,6 +380,8 @@ impl SessionCreateRequest {
             durable,
             sync,
             snapshot_ops: field_u64("snapshot_ops")?,
+            sample_rate: field_u64("sample_rate")?,
+            audit_sample: field_u64("audit_sample")?,
         })
     }
 
@@ -404,6 +413,12 @@ impl SessionCreateRequest {
         }
         if let Some(n) = self.snapshot_ops {
             fields.push(("snapshot_ops".to_string(), JsonValue::from(n)));
+        }
+        if let Some(n) = self.sample_rate {
+            fields.push(("sample_rate".to_string(), JsonValue::from(n)));
+        }
+        if let Some(n) = self.audit_sample {
+            fields.push(("audit_sample".to_string(), JsonValue::from(n)));
         }
         JsonValue::Obj(fields)
     }
@@ -503,6 +518,33 @@ mod tests {
         // A window must be exactly one of count/time.
         let v = parse_json(r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{}}"#).unwrap();
         assert!(SessionCreateRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn session_create_parses_audit_knobs() {
+        let v = parse_json(
+            r#"{"metric":"l2","dim":2,"r":1,"k":2,"window":{"count":32},"sample_rate":64,"audit_sample":4}"#,
+        )
+        .unwrap();
+        let req = SessionCreateRequest::from_json(&v).unwrap();
+        assert_eq!(req.sample_rate, Some(64));
+        assert_eq!(req.audit_sample, Some(4));
+        assert_eq!(SessionCreateRequest::from_json(&req.to_json()), Ok(req));
+        // Absent knobs stay absent (the engine default applies).
+        let v = parse_json(r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8}}"#).unwrap();
+        let req = SessionCreateRequest::from_json(&v).unwrap();
+        assert_eq!((req.sample_rate, req.audit_sample), (None, None));
+        assert!(!req.to_json().render().contains("sample_rate"));
+        // Mistyped knobs are named; zero parses (the engine rejects it
+        // with a typed error — the wire shape carries it verbatim).
+        let err = SessionCreateRequest::from_json(
+            &parse_json(
+                r#"{"metric":"l2","dim":1,"r":1,"k":1,"window":{"count":8},"sample_rate":-2}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("sample_rate"), "{err}");
     }
 
     #[test]

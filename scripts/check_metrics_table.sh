@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# CI gate: the README's Prometheus metrics reference table must list
+# exactly the `dod_*` series rendered by crates/server/src/prom.rs.
+# A series added to one side but not the other fails the build, so the
+# scrape surface and its documentation cannot drift apart silently.
+set -eu
+cd "$(dirname "$0")/.."
+
+prom_rs=crates/server/src/prom.rs
+readme=README.md
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Every series name appears in prom.rs as an exact string literal
+# (`"dod_pool_workers",` in its header() call). Literals carrying label
+# interpolation or sample formatting ("dod_x{{..." / "dod_x {}") never
+# match the closing quote, so this extracts names and nothing else.
+grep -o '"dod_[a-z0-9_]*"' "$prom_rs" \
+    | tr -d '"' \
+    | sort -u >"$tmpdir/code"
+
+# `| `dod_pool_workers` | gauge | ... |` -> `dod_pool_workers`
+sed -n '/<!-- metrics-table:begin -->/,/<!-- metrics-table:end -->/p' "$readme" \
+    | sed -n 's/^| `\(dod_[a-z0-9_]*\)`.*/\1/p' \
+    | sort >"$tmpdir/doc"
+
+if ! [ -s "$tmpdir/code" ]; then
+    echo "check_metrics_table: found no dod_* series in $prom_rs (pattern drift?)" >&2
+    exit 1
+fi
+if ! [ -s "$tmpdir/doc" ]; then
+    echo "check_metrics_table: found no table rows between the metrics-table markers in $readme" >&2
+    exit 1
+fi
+
+if ! diff -u "$tmpdir/code" "$tmpdir/doc" >"$tmpdir/drift"; then
+    echo "check_metrics_table: README metrics table disagrees with $prom_rs:" >&2
+    echo "  (-) only in $prom_rs   (+) only in $readme" >&2
+    grep '^[+-]dod_' "$tmpdir/drift" | sed 's/^/  /' >&2
+    exit 1
+fi
+
+echo "check_metrics_table: OK ($(wc -l <"$tmpdir/code" | tr -d ' ') series match)"
