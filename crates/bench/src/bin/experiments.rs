@@ -26,6 +26,10 @@
 //!                       grid (recall-audit overhead, graph-health
 //!                       trajectory over a churning stream, shard-balance
 //!                       skew), e.g. for BENCH_health.json
+//!   --cost              table experiments only: run the query-cost grid
+//!                       (distance evaluations by phase, hops, pruning
+//!                       power per index spec, counting-hook overhead),
+//!                       e.g. for BENCH_cost.json
 //!
 //! compare diffs two --json artifacts row by row and exits nonzero when
 //! any timing metric regressed by more than --threshold (default 0.25,
@@ -40,7 +44,7 @@ fn usage() -> ! {
         "usage: experiments <tables|table3|table4|table5|table6|table7|table8|\
          fig6_7|fig8_9|fig10|ablation|hnsw|stream|all> [--scale F] [--seed N] \
          [--threads N] [--build-threads N] [--families a,b,c] [--json PATH] \
-         [--shards 1,2,4] [--trace-summary] [--health]\n       \
+         [--shards 1,2,4] [--trace-summary] [--health] [--cost]\n       \
          experiments compare <baseline.json> <candidate.json> [--threshold F]"
     );
     std::process::exit(2);

@@ -27,6 +27,10 @@ const METRICS: &[(&str, Direction)] = &[
     ("slide_us", Direction::LowerIsBetter),
     ("speedup_vs_batch", Direction::HigherIsBetter),
     ("slides_per_sec", Direction::HigherIsBetter),
+    // --cost rows: distance evaluations are deterministic per seed, so a
+    // jump means the filter really got worse, not that CI was slow.
+    ("dist_evals", Direction::LowerIsBetter),
+    ("pruning_power", Direction::HigherIsBetter),
 ];
 
 /// Fields that are neither identity nor gated metrics: run-dependent
@@ -52,6 +56,14 @@ const INFORMATIONAL: &[&str] = &[
     "owned_skew",
     "slide_skew",
     "ghost_rate_max",
+    // --cost observations: the phase split rides along with the gated
+    // total, and the counting-hook micro-benchmark is pure timer noise.
+    "filter_dist_evals",
+    "verify_dist_evals",
+    "hops",
+    "raw_secs",
+    "counted_secs",
+    "counting_overhead",
 ];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

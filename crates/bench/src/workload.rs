@@ -38,6 +38,10 @@ pub struct Config {
     /// repair counters over stream position, the audit-on vs audit-off
     /// overhead comparison, and shard-balance skew.
     pub health: bool,
+    /// Run the table experiments' query-cost grid (`--cost`): distance
+    /// evaluations by phase, graph hops and pruning power per index
+    /// spec, plus the counting-hook overhead micro-benchmark.
+    pub cost: bool,
 }
 
 impl Default for Config {
@@ -55,6 +59,7 @@ impl Default for Config {
             durability: Vec::new(),
             trace_summary: false,
             health: false,
+            cost: false,
         }
     }
 }
@@ -95,6 +100,7 @@ impl Config {
                 "--json" => cfg.json = Some(next("--json")?),
                 "--trace-summary" => cfg.trace_summary = true,
                 "--health" => cfg.health = true,
+                "--cost" => cfg.cost = true,
                 "--shards" => {
                     let list = next("--shards")?;
                     cfg.shards = list
@@ -295,6 +301,13 @@ mod tests {
         assert!(!Config::from_args(&[]).unwrap().health);
         let cfg = Config::from_args(&["--health".to_string()]).unwrap();
         assert!(cfg.health);
+    }
+
+    #[test]
+    fn cost_flag_round_trips() {
+        assert!(!Config::from_args(&[]).unwrap().cost);
+        let cfg = Config::from_args(&["--cost".to_string()]).unwrap();
+        assert!(cfg.cost);
     }
 
     #[test]

@@ -340,6 +340,7 @@ impl<D: Dataset> Engine<D> {
                     .outliers_reported
                     .add(report.outliers.len() as u64);
                 self.metrics.latency.observe_secs(t.elapsed().as_secs_f64());
+                self.metrics.record_report(report);
             }
             Err(_) => self.metrics.query_errors.inc(),
         }
@@ -372,7 +373,8 @@ impl<D: Dataset> Engine<D> {
             for j in (i + 1)..queries.len() {
                 if answers[j].is_none() && queries[j] == queries[i] {
                     // Count the duplicate as an answered query — it is one,
-                    // served at clone cost.
+                    // served at clone cost. Its `cost` counters are NOT
+                    // re-recorded: the clone evaluated zero distances.
                     self.metrics.queries.inc();
                     self.metrics
                         .outliers_reported
@@ -804,6 +806,63 @@ mod tests {
         // Duplicate batch members are served by clone, not re-timed.
         assert_eq!(lat.count, 2);
         assert!(lat.sum_secs > 0.0);
+        // Cost counters accumulate the two *distinct* executions only —
+        // the cloned duplicate evaluated zero distances.
+        assert_eq!(
+            m.filter_dist_evals.get() + m.verify_dist_evals.get(),
+            2 * rep.cost.total_dist_evals(),
+            "clone must not re-book cost"
+        );
+        assert_eq!(m.hops.get(), 2 * rep.cost.hops);
+        assert_eq!(m.candidates.get(), 2 * rep.candidates as u64);
+    }
+
+    #[test]
+    fn concurrent_query_many_cost_counters_sum_exactly() {
+        // Satellite: the relaxed-atomic cost counters must be exact under
+        // parallel batches (mirrors the telemetry "concurrent observations
+        // sum exactly" unit, but through the real query path).
+        let engine = Engine::builder(blobs(300, 13))
+            .index(IndexSpec::Mrpg(MrpgParams::new(6)))
+            .build()
+            .expect("build");
+        // Distinct (r, k) per slot so the dedup path cannot collapse work.
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query::new(1.5 + 0.1 * i as f64, 4 + i).unwrap())
+            .collect();
+        let baseline: Vec<OutlierReport> = queries
+            .iter()
+            .map(|&q| engine.query(q).expect("query"))
+            .collect();
+        let before = (
+            engine.metrics().filter_dist_evals.get(),
+            engine.metrics().verify_dist_evals.get(),
+            engine.metrics().hops.get(),
+        );
+        const ROUNDS: usize = 8;
+        std::thread::scope(|s| {
+            for _ in 0..ROUNDS {
+                let engine = &engine;
+                let queries = &queries;
+                s.spawn(move || {
+                    engine.query_many(queries).expect("batch");
+                });
+            }
+        });
+        let expected: u64 = baseline.iter().map(|r| r.cost.filter_dist_evals).sum();
+        let m = engine.metrics();
+        assert_eq!(
+            m.filter_dist_evals.get() - before.0,
+            ROUNDS as u64 * expected,
+            "filter evals must sum exactly across concurrent batches"
+        );
+        let expected_verify: u64 = baseline.iter().map(|r| r.cost.verify_dist_evals).sum();
+        assert_eq!(
+            m.verify_dist_evals.get() - before.1,
+            ROUNDS as u64 * expected_verify
+        );
+        let expected_hops: u64 = baseline.iter().map(|r| r.cost.hops).sum();
+        assert_eq!(m.hops.get() - before.2, ROUNDS as u64 * expected_hops);
     }
 
     #[test]

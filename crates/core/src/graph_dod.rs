@@ -8,10 +8,10 @@
 use crate::error::DodError;
 use crate::greedy::{greedy_count, BufferPool, TraversalBuffer};
 use crate::parallel::par_map_strided;
-use crate::params::{DodParams, OutlierReport};
+use crate::params::{CostReport, DodParams, OutlierReport};
 use crate::verify::{ExactCounter, VerifyStrategy};
 use dod_graph::ProximityGraph;
-use dod_metrics::Dataset;
+use dod_metrics::{Dataset, DistanceCounter};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -63,13 +63,14 @@ pub(crate) fn detect_on_graph<D: Dataset + ?Sized>(
     // ---- Filtering phase (parallel, strided for load balance) -------
     let t = Instant::now();
     let use_shortcut = g.use_exact_shortcut;
-    let outcomes: Vec<FilterOutcome> = if threads <= 1 {
+    let (outcomes, (filter_dist_evals, hops)): (Vec<FilterOutcome>, (u64, u64)) = if threads <= 1 {
         let mut buf = pool.take(n);
         let out = (0..n)
             .map(|p| filter_one(g, data, p, r, k, use_shortcut, &mut buf))
             .collect();
+        let cost = buf.take_cost();
         pool.put(buf);
-        out
+        (out, cost)
     } else {
         par_filter_strided(g, data, n, r, k, use_shortcut, threads, pool)
     };
@@ -100,11 +101,16 @@ pub(crate) fn detect_on_graph<D: Dataset + ?Sized>(
     // VP-tree engine builds an index, both of which cost real distance
     // evaluations that would be pure waste on an empty workload. Once
     // built it is cached on the engine for every later query.
+    let mut verify_dist_evals = 0;
     if !candidates.is_empty() {
         let counter = counter.get_or_init(|| ExactCounter::build(verify, data, seed));
+        // Count only the verification itself: `ExactCounter::build` above
+        // is cached engine state, excluded from per-query cost by design.
+        let counted = DistanceCounter::new(data);
         let verdicts: Vec<bool> = par_map_strided(candidates.len(), threads, |ci| {
-            counter.count(data, candidates[ci] as usize, r, k) < k
+            counter.count(&counted, candidates[ci] as usize, r, k) < k
         });
+        verify_dist_evals = counted.calls();
         for (ci, &is_outlier) in verdicts.iter().enumerate() {
             if is_outlier {
                 outliers.push(candidates[ci]);
@@ -123,6 +129,11 @@ pub(crate) fn detect_on_graph<D: Dataset + ?Sized>(
         decided_in_filter,
         filter_secs,
         verify_secs,
+        cost: CostReport {
+            filter_dist_evals,
+            verify_dist_evals,
+            hops,
+        },
     })
 }
 
@@ -159,7 +170,8 @@ fn filter_one<D: Dataset + ?Sized>(
 }
 
 /// Strided parallel filtering where every worker owns one pooled traversal
-/// buffer for the duration of the phase.
+/// buffer for the duration of the phase. Returns the outcomes plus the
+/// summed `(dist_evals, hops)` drained from every worker's buffer.
 #[allow(clippy::too_many_arguments)]
 fn par_filter_strided<D: Dataset + ?Sized>(
     g: &ProximityGraph,
@@ -170,7 +182,9 @@ fn par_filter_strided<D: Dataset + ?Sized>(
     use_shortcut: bool,
     threads: usize,
     pool: &BufferPool,
-) -> Vec<FilterOutcome> {
+) -> (Vec<FilterOutcome>, (u64, u64)) {
+    let mut dist_evals = 0u64;
+    let mut hops = 0u64;
     let buckets: Vec<Vec<FilterOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -187,7 +201,10 @@ fn par_filter_strided<D: Dataset + ?Sized>(
         handles
             .into_iter()
             .map(|h| {
-                let (buf, bucket) = h.join().expect("filter worker panicked");
+                let (mut buf, bucket) = h.join().expect("filter worker panicked");
+                let (d, hp) = buf.take_cost();
+                dist_evals += d;
+                hops += hp;
                 pool.put(buf);
                 bucket
             })
@@ -199,7 +216,7 @@ fn par_filter_strided<D: Dataset + ?Sized>(
             out[t + j * threads] = v;
         }
     }
-    out
+    (out, (dist_evals, hops))
 }
 
 #[cfg(test)]
@@ -282,6 +299,9 @@ mod tests {
         assert_eq!(seq.outliers, par.outliers);
         assert_eq!(seq.candidates, par.candidates);
         assert_eq!(seq.false_positives, par.false_positives);
+        // Same walks, same verifications — the cost tally is
+        // thread-count-invariant.
+        assert_eq!(seq.cost, par.cost);
     }
 
     #[test]
@@ -338,5 +358,28 @@ mod tests {
             report.candidates,
             verified_outliers + report.false_positives
         );
+    }
+
+    #[test]
+    fn cost_report_reflects_both_phases() {
+        let data = clustered_with_outliers(400, 9);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(8));
+        let report = detect(g, &data, &DodParams::new(2.0, 6));
+        assert!(report.cost.filter_dist_evals > 0, "filter walked for free?");
+        assert!(report.cost.hops > 0, "walks expand at least their seeds");
+        if report.candidates > 0 {
+            assert!(report.cost.verify_dist_evals > 0);
+        }
+        // The graph filter must beat brute force on a clustered set.
+        let pp = report.cost.pruning_power(data.len());
+        assert!(pp > 0.0 && pp <= 1.0, "pruning power {pp} out of range");
+    }
+
+    #[test]
+    fn k_zero_report_has_zero_cost() {
+        let data = clustered_with_outliers(100, 10);
+        let (g, _) = dod_graph::mrpg::build(&data, &MrpgParams::new(5));
+        let report = detect(g, &data, &DodParams::new(1.0, 0));
+        assert_eq!(report.cost, CostReport::default());
     }
 }

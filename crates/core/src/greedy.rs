@@ -24,6 +24,12 @@ pub struct TraversalBuffer {
     visited: Vec<u32>,
     epoch: u32,
     queue: VecDeque<u32>,
+    /// Distance evaluations since the last [`take_cost`](Self::take_cost)
+    /// — accumulated across traversals, *not* reset by [`begin`](Self::begin),
+    /// so one drain per query phase captures every walk of that phase.
+    dist_evals: u64,
+    /// Vertices expanded (queue pops) since the last `take_cost`.
+    hops: u64,
 }
 
 impl TraversalBuffer {
@@ -33,7 +39,33 @@ impl TraversalBuffer {
             visited: vec![0; n],
             epoch: 0,
             queue: VecDeque::new(),
+            dist_evals: 0,
+            hops: 0,
         }
+    }
+
+    /// Drains the accumulated `(dist_evals, hops)` tally, resetting both
+    /// to zero. Walk implementations sharing this buffer (the streaming
+    /// crate's beam search) should book their own work with
+    /// [`note_dist`](Self::note_dist)/[`note_hop`](Self::note_hop) so one
+    /// drain covers the whole phase.
+    pub fn take_cost(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.dist_evals),
+            std::mem::take(&mut self.hops),
+        )
+    }
+
+    /// Books `n` distance evaluations against this buffer's tally.
+    #[inline]
+    pub fn note_dist(&mut self, n: u64) {
+        self.dist_evals += n;
+    }
+
+    /// Books `n` vertex expansions against this buffer's tally.
+    #[inline]
+    pub fn note_hop(&mut self, n: u64) {
+        self.hops += n;
     }
 
     /// Starts a new traversal: all vertices become unvisited in O(1).
@@ -127,11 +159,13 @@ pub fn greedy_count<D: Dataset + ?Sized>(
     buf.queue.push_back(p as u32);
     let mut count = 0usize;
     while let Some(v) = buf.queue.pop_front() {
+        buf.hops += 1;
         for i in 0..g.adj[v as usize].len() {
             let w = g.adj[v as usize][i];
             if !buf.mark(w) {
                 continue;
             }
+            buf.dist_evals += 1;
             let d = data.dist(p, w as usize);
             if d <= r {
                 count += 1;
@@ -176,11 +210,13 @@ pub fn greedy_collect<D: Dataset + ?Sized>(
     buf.mark(p as u32);
     buf.queue.push_back(p as u32);
     while let Some(v) = buf.queue.pop_front() {
+        buf.hops += 1;
         for i in 0..g.adj[v as usize].len() {
             let w = g.adj[v as usize][i];
             if !buf.mark(w) {
                 continue;
             }
+            buf.dist_evals += 1;
             let d = data.dist(p, w as usize);
             if d <= r {
                 out.push(w);
@@ -353,6 +389,37 @@ mod tests {
         pool.put(b2);
         let b3 = pool.take(5);
         assert_eq!(b3.visited.len(), 5, "mismatched size must not be reused");
+    }
+
+    #[test]
+    fn cost_tally_counts_dists_and_hops_across_walks() {
+        let (data, g) = line_graph(20);
+        let mut buf = TraversalBuffer::new(20);
+        assert_eq!(buf.take_cost(), (0, 0));
+        greedy_count(&g, &data, 10, 3.0, 100, &mut buf);
+        let (d1, h1) = buf.take_cost();
+        // From 10 with r=3 the walk evaluates each ball vertex (7..13)
+        // plus the two boundary rejections (6 and 14), and expands every
+        // in-ball vertex.
+        assert_eq!(d1, 8);
+        assert_eq!(h1, 7);
+        // The tally accumulates across walks and drains to zero.
+        greedy_count(&g, &data, 10, 3.0, 100, &mut buf);
+        greedy_count(&g, &data, 10, 3.0, 100, &mut buf);
+        assert_eq!(buf.take_cost(), (2 * d1, 2 * h1));
+        assert_eq!(buf.take_cost(), (0, 0));
+        // Early termination at k does less work than the full flood.
+        greedy_count(&g, &data, 10, 3.0, 1, &mut buf);
+        let (d_early, _) = buf.take_cost();
+        assert!(d_early < d1, "{d_early} >= {d1}");
+        // collect books the same flood cost as count.
+        let mut out = Vec::new();
+        greedy_collect(&g, &data, 10, 3.0, usize::MAX, &mut buf, &mut out);
+        assert_eq!(buf.take_cost(), (d1, h1));
+        // Manual booking rides the same tally.
+        buf.note_dist(5);
+        buf.note_hop(2);
+        assert_eq!(buf.take_cost(), (5, 2));
     }
 
     #[test]

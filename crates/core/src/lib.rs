@@ -42,6 +42,6 @@ pub mod vptree_dod;
 pub use engine::{Engine, EngineBuilder, IndexSpec};
 pub use error::DodError;
 pub use greedy::{greedy_collect, greedy_count, TraversalBuffer};
-pub use params::{DodParams, OutlierReport, Query};
+pub use params::{CostReport, DodParams, OutlierReport, Query};
 pub use telemetry::EngineMetrics;
 pub use verify::VerifyStrategy;

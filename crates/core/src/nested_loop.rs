@@ -11,7 +11,7 @@
 
 use crate::parallel::par_map_strided;
 use crate::params::{assert_valid, DodParams, OutlierReport};
-use dod_metrics::Dataset;
+use dod_metrics::{Dataset, DistanceCounter};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -31,12 +31,16 @@ pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> O
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(&mut StdRng::seed_from_u64(seed));
 
+    // The baseline counts its own evaluations too: early termination
+    // makes even brute force cheaper than n·(n−1), and the report's
+    // pruning power shows exactly how much.
+    let counted = DistanceCounter::new(data);
     let flags: Vec<bool> = par_map_strided(n, params.threads, |p| {
         let mut count = 0usize;
         let start = p % n; // stagger scan starts across objects
         for idx in 0..n {
             let j = order[(start + idx) % n] as usize;
-            if j != p && data.dist(p, j) <= r {
+            if j != p && counted.dist(p, j) <= r {
                 count += 1;
                 if count >= k {
                     return false; // inlier
@@ -51,7 +55,9 @@ pub fn detect<D: Dataset + ?Sized>(data: &D, params: &DodParams, seed: u64) -> O
         .filter(|(_, &f)| f)
         .map(|(p, _)| p as u32)
         .collect();
-    OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64())
+    let mut report = OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64());
+    report.cost.verify_dist_evals = counted.calls();
+    report
 }
 
 /// Brute-force neighbor count without early termination — test helper.
@@ -130,5 +136,18 @@ mod tests {
         let data = line(&[]);
         let res = detect(&data, &DodParams::new(1.0, 3), 0);
         assert!(res.outliers.is_empty());
+    }
+
+    #[test]
+    fn cost_is_bounded_by_the_pairwise_baseline() {
+        let data = line(&[0.0, 0.2, 0.4, 5.0, 5.1, 30.0, 31.0, 90.0]);
+        let n = 8u64;
+        let res = detect(&data, &DodParams::new(1.5, 2), 0);
+        assert!(res.cost.verify_dist_evals > 0);
+        assert!(res.cost.verify_dist_evals <= n * (n - 1));
+        assert_eq!(res.cost.filter_dist_evals, 0);
+        assert_eq!(res.cost.hops, 0);
+        // Early termination on the dense prefix keeps pruning power > 0.
+        assert!(res.cost.pruning_power(8) >= 0.0);
     }
 }

@@ -109,6 +109,55 @@ impl Query {
     }
 }
 
+/// Per-query cost accounting: how many distance evaluations and graph
+/// hops the answer burned, split by phase — the paper's central
+/// evaluation currency (its "pruning power" metric is exactly
+/// `1 − dist_evals / n(n−1)`).
+///
+/// Counts cover the query itself: filter walks, verification range
+/// counts and — on the streaming side — insert/expiry discovery.
+/// One-time amortized engine state (index construction, the lazily
+/// built verification engine and its TwoNN sampling) is deliberately
+/// *excluded*, so the same query costs the same whether it is the
+/// engine's first or thousandth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostReport {
+    /// Distance evaluations spent in the filtering phase (greedy graph
+    /// walks). Zero for filter-less algorithms.
+    pub filter_dist_evals: u64,
+    /// Distance evaluations spent verifying candidates (the whole
+    /// detection for filter-less algorithms).
+    pub verify_dist_evals: u64,
+    /// Graph vertices expanded (queue pops) across every traversal.
+    /// Zero for graph-less algorithms.
+    pub hops: u64,
+}
+
+impl CostReport {
+    /// All distance evaluations, both phases.
+    pub fn total_dist_evals(&self) -> u64 {
+        self.filter_dist_evals + self.verify_dist_evals
+    }
+
+    /// Live pruning power against the nested-loop baseline `n·(n−1)`
+    /// (the paper's Table 7 metric): 1.0 means no distances at all,
+    /// 0.0 means brute force. Zero when `n < 2` (no baseline exists).
+    pub fn pruning_power(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let baseline = n as f64 * (n as f64 - 1.0);
+        (1.0 - self.total_dist_evals() as f64 / baseline).max(0.0)
+    }
+
+    /// Accumulates another report's counts into this one.
+    pub fn absorb(&mut self, other: &CostReport) {
+        self.filter_dist_evals += other.filter_dist_evals;
+        self.verify_dist_evals += other.verify_dist_evals;
+        self.hops += other.hops;
+    }
+}
+
 /// The unified answer of a DOD query — one result shape for every engine,
 /// batch or streaming.
 ///
@@ -135,6 +184,8 @@ pub struct OutlierReport {
     /// Wall-clock seconds of the verification phase (the whole detection
     /// for filter-less algorithms).
     pub verify_secs: f64,
+    /// Distance evaluations and graph hops the query burned, by phase.
+    pub cost: CostReport,
 }
 
 impl OutlierReport {
@@ -149,6 +200,7 @@ impl OutlierReport {
             decided_in_filter: 0,
             filter_secs: 0.0,
             verify_secs: total_secs,
+            cost: CostReport::default(),
         }
     }
 
@@ -182,6 +234,35 @@ mod tests {
         assert_eq!(r.outliers, vec![1, 3, 5]);
         assert_eq!(r.count(), 3);
         assert_eq!(r.total_secs(), 0.1);
+    }
+
+    #[test]
+    fn cost_report_pruning_power_and_absorb() {
+        let mut c = CostReport {
+            filter_dist_evals: 30,
+            verify_dist_evals: 60,
+            hops: 12,
+        };
+        assert_eq!(c.total_dist_evals(), 90);
+        // n=10 baseline is 90: every pair evaluated → zero pruning power.
+        assert_eq!(c.pruning_power(10), 0.0);
+        // n=100 baseline is 9900.
+        assert!((c.pruning_power(100) - (1.0 - 90.0 / 9900.0)).abs() < 1e-12);
+        // Degenerate datasets have no baseline.
+        assert_eq!(c.pruning_power(0), 0.0);
+        assert_eq!(c.pruning_power(1), 0.0);
+        // More evals than the baseline clamps at zero, never negative.
+        let greedy = CostReport {
+            filter_dist_evals: 1000,
+            verify_dist_evals: 0,
+            hops: 0,
+        };
+        assert_eq!(greedy.pruning_power(10), 0.0);
+        c.absorb(&greedy);
+        assert_eq!(c.filter_dist_evals, 1030);
+        assert_eq!(c.verify_dist_evals, 60);
+        assert_eq!(c.hops, 12);
+        assert_eq!(CostReport::default().total_dist_evals(), 0);
     }
 
     #[test]

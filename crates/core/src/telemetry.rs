@@ -156,12 +156,35 @@ pub struct EngineMetrics {
     pub outliers_reported: Counter,
     /// Latency of successful queries (per query, not per batch).
     pub latency: Histogram,
+    /// Cumulative distance evaluations spent in filtering phases.
+    pub filter_dist_evals: Counter,
+    /// Cumulative distance evaluations spent verifying candidates.
+    pub verify_dist_evals: Counter,
+    /// Cumulative graph hops (traversal queue pops) across all queries.
+    pub hops: Counter,
+    /// Cumulative verification candidates (`|P'|`) across all queries.
+    pub candidates: Counter,
+    /// Cumulative outliers decided during filtering (exact-`K'` shortcut).
+    pub decided_in_filter: Counter,
+    /// Cumulative candidates re-classified as inliers by verification.
+    pub false_positives: Counter,
 }
 
 impl EngineMetrics {
     /// Zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Folds one successful report's cost and filter-effectiveness
+    /// accounting into the cumulative counters.
+    pub fn record_report(&self, report: &crate::OutlierReport) {
+        self.filter_dist_evals.add(report.cost.filter_dist_evals);
+        self.verify_dist_evals.add(report.cost.verify_dist_evals);
+        self.hops.add(report.cost.hops);
+        self.candidates.add(report.candidates as u64);
+        self.decided_in_filter.add(report.decided_in_filter as u64);
+        self.false_positives.add(report.false_positives as u64);
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::parallel::par_map_strided;
 use crate::params::OutlierReport;
-use dod_metrics::Dataset;
+use dod_metrics::{Dataset, DistanceCounter};
 use dod_vptree::VpTree;
 use std::time::Instant;
 
@@ -26,14 +26,18 @@ pub(crate) fn detect_on_tree<D: Dataset + ?Sized>(
     if n == 0 || k == 0 {
         return OutlierReport::from_outliers(Vec::new(), t.elapsed().as_secs_f64());
     }
-    let flags: Vec<bool> = par_map_strided(n, threads, |p| tree.range_count(data, p, r, k) < k);
+    // Filter-less baseline: every evaluation books as verification cost.
+    let counted = DistanceCounter::new(data);
+    let flags: Vec<bool> = par_map_strided(n, threads, |p| tree.range_count(&counted, p, r, k) < k);
     let outliers: Vec<u32> = flags
         .iter()
         .enumerate()
         .filter(|(_, &f)| f)
         .map(|(p, _)| p as u32)
         .collect();
-    OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64())
+    let mut report = OutlierReport::from_outliers(outliers, t.elapsed().as_secs_f64());
+    report.cost.verify_dist_evals = counted.calls();
+    report
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 //! | `GET /metrics` | — | Prometheus text: per-route×status HTTP counters + latency histograms, worker-pool and pipeline gauges, per-engine query telemetry, per-session stream counters, ghost rates and WAL counters |
 //! | `GET /v1/debug/traces` | — | the most recent request traces (`?min_ms=`, `?route=` filters) from an in-memory ring |
 //! | `GET /v1/debug/health` | — | the index-health document: per-session discovery-recall estimates, tombstone ratios, shard-balance skews, and the thread-phase profile (`?engine=`, `?session=` filters) |
+//! | `GET /v1/debug/slow` | — | the N slowest query requests since startup with their cost plans (`?min_ms=`, `?engine=` filters); join on `request_id` against `/v1/debug/traces` |
 //!
 //! # Observability
 //!
@@ -113,6 +114,7 @@ mod prom;
 mod registry;
 pub mod routes;
 mod sink;
+mod slow;
 mod streams;
 
 pub use routes::{dod_error_kind, dod_error_status, encode, error_body, http_error_kind};
@@ -200,6 +202,9 @@ pub(crate) struct State {
     /// The last-N completed request traces, served by
     /// `GET /v1/debug/traces` (also registered in `sinks`).
     pub(crate) trace_ring: Arc<TraceRing>,
+    /// The N slowest engine-query requests with their cost plans, served
+    /// by `GET /v1/debug/slow`.
+    pub(crate) slow_ring: slow::SlowRing,
     /// Every sink a completed trace fans out to: the ring, the optional
     /// access log, and any builder-supplied extras.
     pub(crate) sinks: Vec<Arc<dyn TraceSink>>,
@@ -312,6 +317,7 @@ pub struct ServerBuilder {
     data_dir: Option<PathBuf>,
     access_log: Option<Box<dyn std::io::Write + Send>>,
     trace_capacity: usize,
+    slow_query_capacity: usize,
     extra_sinks: Vec<Arc<dyn TraceSink>>,
     profile_hz: u32,
 }
@@ -335,6 +341,7 @@ impl Default for ServerBuilder {
             data_dir: None,
             access_log: None,
             trace_capacity: 256,
+            slow_query_capacity: 32,
             extra_sinks: Vec::new(),
             // A prime default: samples decorrelate from any periodic
             // pipeline work, and the overhead (one atomic load per thread
@@ -486,6 +493,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Slowest engine-query requests retained for `GET /v1/debug/slow`
+    /// (default 32, clamped to ≥ 1). Unlike the trace ring's last-N
+    /// window, this keeps the N *slowest* since startup, so a
+    /// pathological query survives until something slower displaces it.
+    pub fn slow_query_capacity(mut self, n: usize) -> Self {
+        self.slow_query_capacity = n.max(1);
+        self
+    }
+
     /// Adds a custom sink; every completed trace is delivered to it on
     /// the worker that served the request, after the response is
     /// written. Sinks must be cheap or hand off internally.
@@ -578,6 +594,7 @@ impl ServerBuilder {
             pipeline_queue: self.queue,
             data_dir: self.data_dir,
             trace_ring,
+            slow_ring: slow::SlowRing::new(self.slow_query_capacity),
             sinks,
             pool_stats: pool.stats(),
             cleanup_errors,

@@ -269,6 +269,74 @@ pub(crate) fn render(state: &State) -> String {
                 &entry.engine.metrics().latency.snapshot(),
             );
         }
+        // Query-cost accounting: the paper's evaluation currency
+        // (distance evaluations by phase, graph hops) plus the filter's
+        // effectiveness counters, cumulative over every answered query.
+        for (metric, help, value) in [
+            (
+                "dod_cost_filter_dist_evals_total",
+                "Distance evaluations spent in the graph-filter phase, across all queries.",
+                &|m: &dod_core::EngineMetrics| m.filter_dist_evals.get(),
+            ),
+            (
+                "dod_cost_verify_dist_evals_total",
+                "Distance evaluations spent verifying filter candidates, across all queries.",
+                &|m: &dod_core::EngineMetrics| m.verify_dist_evals.get(),
+            ),
+            (
+                "dod_cost_hops_total",
+                "Proximity-graph vertices expanded by filter traversals, across all queries.",
+                &|m: &dod_core::EngineMetrics| m.hops.get(),
+            ),
+            (
+                "dod_cost_candidates_total",
+                "Points the filter could not decide, handed to exact verification.",
+                &|m: &dod_core::EngineMetrics| m.candidates.get(),
+            ),
+            (
+                "dod_cost_decided_in_filter_total",
+                "Points the filter decided alone (no verification needed).",
+                &|m: &dod_core::EngineMetrics| m.decided_in_filter.get(),
+            ),
+            (
+                "dod_cost_false_positives_total",
+                "Filter candidates that verification overturned (inliers after all).",
+                &|m: &dod_core::EngineMetrics| m.false_positives.get(),
+            ),
+        ]
+            as [(&str, &str, &dyn Fn(&dod_core::EngineMetrics) -> u64); 6]
+        {
+            header(&mut out, metric, help, "counter");
+            for (name, entry) in &engines {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{engine=\"{name}\"}} {}",
+                    value(entry.engine.metrics())
+                );
+            }
+        }
+        header(
+            &mut out,
+            "dod_cost_pruning_power",
+            "Fraction of the nested-loop distance baseline (queries × n·(n−1)) the index avoided; 0 until the first query.",
+            "gauge",
+        );
+        for (name, entry) in &engines {
+            let m = entry.engine.metrics();
+            let n = entry.engine.len() as f64;
+            let baseline = m.queries.get() as f64 * n * (n - 1.0);
+            let spent = (m.filter_dist_evals.get() + m.verify_dist_evals.get()) as f64;
+            let power = if baseline > 0.0 {
+                (1.0 - spent / baseline).max(0.0)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "dod_cost_pruning_power{{engine=\"{name}\"}} {}",
+                dod_wire::render_number(power)
+            );
+        }
     }
 
     if !sessions.is_empty() {
@@ -315,6 +383,68 @@ pub(crate) fn render(state: &State) -> String {
             ),
         ]
             as [(&str, &str, &dyn Fn(&dod_stream::StreamStats) -> u64); 4]
+        {
+            header(&mut out, metric, help, "counter");
+            for (id, s) in &stats {
+                let _ = writeln!(out, "{metric}{{session=\"{id}\"}} {}", value(s));
+            }
+        }
+        // Stream-side cost accounting: backend work split by phase
+        // (insert discovery, expiry sweeps, recall audits, query-time
+        // lazy repair) plus the per-report filter effectiveness.
+        for (metric, help, value) in [
+            (
+                "dod_cost_insert_dist_evals_total",
+                "Distance evaluations spent discovering neighbors of inserted points.",
+                &|s: &dod_stream::StreamStats| s.insert_dist_evals,
+            ),
+            (
+                "dod_cost_insert_hops_total",
+                "Graph vertices expanded while inserting points.",
+                &|s: &dod_stream::StreamStats| s.insert_hops,
+            ),
+            (
+                "dod_cost_expiry_dist_evals_total",
+                "Distance evaluations spent in expiry maintenance.",
+                &|s: &dod_stream::StreamStats| s.expiry_dist_evals,
+            ),
+            (
+                "dod_cost_expiry_hops_total",
+                "Graph vertices expanded during expiry maintenance.",
+                &|s: &dod_stream::StreamStats| s.expiry_hops,
+            ),
+            (
+                "dod_cost_audit_dist_evals_total",
+                "Distance evaluations spent by the sampled recall auditor.",
+                &|s: &dod_stream::StreamStats| s.audit_dist_evals,
+            ),
+            (
+                "dod_cost_audit_hops_total",
+                "Graph vertices expanded by the sampled recall auditor.",
+                &|s: &dod_stream::StreamStats| s.audit_hops,
+            ),
+            (
+                "dod_cost_query_dist_evals_total",
+                "Distance evaluations spent lazily repairing neighbor counts at report time.",
+                &|s: &dod_stream::StreamStats| s.query_dist_evals,
+            ),
+            (
+                "dod_cost_query_candidates_total",
+                "Report-time residents whose counts needed repair before a verdict.",
+                &|s: &dod_stream::StreamStats| s.query_candidates,
+            ),
+            (
+                "dod_cost_query_decided_in_filter_total",
+                "Report-time residents decided from maintained counts alone.",
+                &|s: &dod_stream::StreamStats| s.query_decided_in_filter,
+            ),
+            (
+                "dod_cost_query_false_positives_total",
+                "Report-time outlier candidates that repair reclassified as inliers.",
+                &|s: &dod_stream::StreamStats| s.query_false_positives,
+            ),
+        ]
+            as [(&str, &str, &dyn Fn(&dod_stream::StreamStats) -> u64); 10]
         {
             header(&mut out, metric, help, "counter");
             for (id, s) in &stats {

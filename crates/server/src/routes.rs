@@ -60,6 +60,8 @@ pub(crate) enum Route {
     DebugTraces,
     /// `GET /v1/debug/health`
     DebugHealth,
+    /// `GET /v1/debug/slow`
+    DebugSlow,
     /// Requests rejected before routing (framing failures, timeouts,
     /// oversized bodies) — a synthetic label so `/metrics` error rates
     /// include requests that never reached a handler.
@@ -69,7 +71,7 @@ pub(crate) enum Route {
 }
 
 impl Route {
-    pub(crate) const ALL: [Route; 16] = [
+    pub(crate) const ALL: [Route; 17] = [
         Route::Query,
         Route::Ingest,
         Route::Report,
@@ -84,6 +86,7 @@ impl Route {
         Route::Metrics,
         Route::DebugTraces,
         Route::DebugHealth,
+        Route::DebugSlow,
         Route::Parse,
         Route::Other,
     ];
@@ -108,6 +111,7 @@ impl Route {
             Route::Metrics => "/metrics",
             Route::DebugTraces => "/v1/debug/traces",
             Route::DebugHealth => "/v1/debug/health",
+            Route::DebugSlow => "/v1/debug/slow",
             Route::Parse => "<parse>",
             Route::Other => "<other>",
         }
@@ -136,6 +140,7 @@ pub const API_ROUTES: &[(&str, &str)] = &[
     ("GET", "/metrics"),
     ("GET", "/v1/debug/traces"),
     ("GET", "/v1/debug/health"),
+    ("GET", "/v1/debug/slow"),
 ];
 
 /// A parsed request path: which resource, with path parameters borrowed
@@ -156,6 +161,7 @@ pub(crate) enum Resource<'a> {
     Metrics,
     DebugTraces,
     DebugHealth,
+    DebugSlow,
     Unknown,
 }
 
@@ -180,6 +186,7 @@ impl<'a> Resource<'a> {
             "/metrics" => return Resource::Metrics,
             "/v1/debug/traces" => return Resource::DebugTraces,
             "/v1/debug/health" => return Resource::DebugHealth,
+            "/v1/debug/slow" => return Resource::DebugSlow,
             _ => {}
         }
         if let Some(rest) = path.strip_prefix("/v1/engines/") {
@@ -217,12 +224,14 @@ impl<'a> Resource<'a> {
             Resource::Metrics => Route::Metrics,
             Resource::DebugTraces => Route::DebugTraces,
             Resource::DebugHealth => Route::DebugHealth,
+            Resource::DebugSlow => Route::DebugSlow,
             Resource::Unknown => Route::Other,
         }
     }
 }
 
 /// A computed response, ready for the framing layer.
+#[derive(Debug)]
 pub(crate) struct Response {
     pub status: u16,
     pub content_type: &'static str,
@@ -371,6 +380,46 @@ pub mod encode {
         .render()
     }
 
+    /// One [`CostReport`](dod_core::CostReport) as its wire object, with
+    /// the derived totals precomputed: pruning power is measured against
+    /// the query's own nested-loop baseline `n·(n−1)`, so the caller
+    /// supplies the dataset size `n`. Deterministic — counts, not
+    /// timings — so explained responses stay byte-stable per dataset
+    /// and query.
+    pub fn query_cost_json(cost: &dod_core::CostReport, n: usize) -> JsonValue {
+        dod_wire::shapes::QueryCostShape {
+            filter_dist_evals: cost.filter_dist_evals,
+            verify_dist_evals: cost.verify_dist_evals,
+            total_dist_evals: cost.total_dist_evals(),
+            hops: cost.hops,
+            pruning_power: cost.pruning_power(n),
+        }
+        .to_json()
+    }
+
+    /// The explained query response: [`report_json`] plus a `"cost"`
+    /// plan per result. Served only when the body carries
+    /// `"explain": true` — without it, [`query_response`] answers the
+    /// exact pre-EXPLAIN bytes.
+    pub fn query_response_explained(reports: &[OutlierReport], n: usize) -> String {
+        JsonValue::obj([(
+            "results",
+            JsonValue::Arr(
+                reports
+                    .iter()
+                    .map(|rep| {
+                        let JsonValue::Obj(mut fields) = report_json(rep) else {
+                            unreachable!("report_json renders an object");
+                        };
+                        fields.push(("cost".to_string(), query_cost_json(&rep.cost, n)));
+                        JsonValue::Obj(fields)
+                    })
+                    .collect(),
+            ),
+        )])
+        .render()
+    }
+
     /// The report response body: current outliers as global stream
     /// seqs, ascending (the
     /// [`ShardedStreamDetector::outliers`](dod_shard::ShardedStreamDetector::outliers)
@@ -397,15 +446,38 @@ pub mod encode {
     }
 }
 
-/// Decodes a query body into validated queries. A wire-supplied
-/// `"threads"` is clamped to `max_threads`: the body size limit bounds
-/// bytes and [`MAX_BATCH_ITEMS`] bounds items, this bounds the third
-/// amplification axis (one tiny query demanding millions of OS threads
-/// from `par_map_strided`).
-fn parse_queries(body: &[u8], max_threads: usize) -> Result<Vec<Query>, Response> {
+/// Decodes a query body into validated queries plus the `"explain"`
+/// flag. A wire-supplied `"threads"` is clamped to `max_threads`: the
+/// body size limit bounds bytes and [`MAX_BATCH_ITEMS`] bounds items,
+/// this bounds the third amplification axis (one tiny query demanding
+/// millions of OS threads from `par_map_strided`).
+///
+/// Validation is strict: unknown keys — top-level or per-query — are
+/// named 400s, never silently ignored. A client that typos `"explian"`
+/// must not get its queries answered *without* the plan it asked for.
+fn parse_queries(body: &[u8], max_threads: usize) -> Result<(Vec<Query>, bool), Response> {
     let doc = parse_body(body)?;
     let Some(items) = doc.get("queries").and_then(JsonValue::as_arr) else {
         return Err(bad_request("body must be {\"queries\": [...]}"));
+    };
+    if let JsonValue::Obj(fields) = &doc {
+        for (key, _) in fields {
+            if key != "queries" && key != "explain" {
+                return Err(bad_request(&format!(
+                    "unknown key {key:?} in query body; supported: queries, explain"
+                )));
+            }
+        }
+    }
+    let explain = match doc.get("explain") {
+        None => false,
+        Some(JsonValue::Bool(b)) => *b,
+        Some(v) => {
+            return Err(bad_request(&format!(
+                "\"explain\" must be a boolean, not {}",
+                kind_of(v)
+            )))
+        }
     };
     if items.len() > MAX_BATCH_ITEMS {
         return Err(bad_request(&format!(
@@ -415,6 +487,15 @@ fn parse_queries(body: &[u8], max_threads: usize) -> Result<Vec<Query>, Response
     }
     let mut queries = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
+        if let JsonValue::Obj(fields) = item {
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "r" | "k" | "threads") {
+                    return Err(bad_request(&format!(
+                        "query #{i}: unknown key {key:?}; supported: r, k, threads"
+                    )));
+                }
+            }
+        }
         let r = item.get("r").and_then(JsonValue::as_f64);
         let k = item.get("k").and_then(JsonValue::as_usize);
         let (Some(r), Some(k)) = (r, k) else {
@@ -433,7 +514,7 @@ fn parse_queries(body: &[u8], max_threads: usize) -> Result<Vec<Query>, Response
         }
         queries.push(q);
     }
-    Ok(queries)
+    Ok((queries, explain))
 }
 
 /// Decodes an ingest body into dimension-checked points.
@@ -557,9 +638,11 @@ pub(crate) fn dispatch(
     // only because the first one was sampled — breaking the endpoint's
     // byte-stability contract. Scrape routes leave the worker in `idle`.
     let _phase = match resource {
-        Resource::Healthz | Resource::Metrics | Resource::DebugTraces | Resource::DebugHealth => {
-            None
-        }
+        Resource::Healthz
+        | Resource::Metrics
+        | Resource::DebugTraces
+        | Resource::DebugHealth
+        | Resource::DebugSlow => None,
         _ => Some(profile.enter(Phase::Query)),
     };
     let resp = match resource {
@@ -635,6 +718,10 @@ pub(crate) fn dispatch(
         },
         Resource::DebugHealth => match method {
             "GET" => crate::health::handle_debug_health(state, req),
+            _ => method_not_allowed("GET"),
+        },
+        Resource::DebugSlow => match method {
+            "GET" => handle_debug_slow(state, req),
             _ => method_not_allowed("GET"),
         },
         Resource::Unknown => not_found(&format!("no route {}", req.path)),
@@ -830,12 +917,14 @@ fn handle_engine_query(
     else {
         return missing;
     };
-    let queries = match parse_queries(&req.body, state.max_query_threads) {
-        Ok(q) => q,
+    let (queries, explain) = match parse_queries(&req.body, state.max_query_threads) {
+        Ok(parsed) => parsed,
         Err(resp) => return resp,
     };
     let span = ctx.child("engine").with_field("queries", queries.len());
+    let started = std::time::Instant::now();
     let answered = entry.engine.query_many(&queries);
+    let compute = started.elapsed();
     span.finish(ctx);
     match answered {
         Ok(reports) => {
@@ -844,12 +933,14 @@ fn handle_engine_query(
             // the trace shows the paper's cost split per request.
             let (mut filter_secs, mut verify_secs) = (0.0f64, 0.0f64);
             let (mut candidates, mut decided, mut false_pos) = (0usize, 0usize, 0usize);
+            let mut cost = dod_core::CostReport::default();
             for rep in &reports {
                 filter_secs += rep.filter_secs;
                 verify_secs += rep.verify_secs;
                 candidates += rep.candidates;
                 decided += rep.decided_in_filter;
                 false_pos += rep.false_positives;
+                cost.absorb(&rep.cost);
             }
             ctx.record(
                 "filter",
@@ -867,7 +958,24 @@ fn handle_engine_query(
                     ("false_positives", false_pos.into()),
                 ],
             );
-            Response::json(200, encode::query_response(&reports))
+            let n = entry.engine.len();
+            // Every answered batch competes for the slow log; the ring
+            // keeps only the N slowest, joined to the trace ring by the
+            // request id it records here.
+            state.slow_ring.record(crate::slow::SlowQuery {
+                request_id: ctx.request_id().to_string(),
+                engine: name.to_string(),
+                duration_nanos: compute.as_nanos() as u64,
+                queries: queries.len() as u64,
+                dataset_size: n as u64,
+                cost,
+            });
+            let body = if explain {
+                encode::query_response_explained(&reports, n)
+            } else {
+                encode::query_response(&reports)
+            };
+            Response::json(200, body)
         }
         Err(e) => dod_error_response(&e),
     }
@@ -1304,6 +1412,72 @@ fn handle_debug_traces(state: &State, req: &Request) -> Response {
     )
 }
 
+/// The validated filter of a `GET /v1/debug/slow` request.
+#[derive(Debug, PartialEq, Eq)]
+struct SlowFilter {
+    min_nanos: u64,
+    engine: Option<String>,
+}
+
+/// Parses and strictly validates the slow-log query string, with the
+/// same contract as [`parse_trace_filter`]: unknown keys and malformed
+/// values are named 400s. `engine` accepts any registry-valid name —
+/// entries outlive engine deletion, so membership is checked against
+/// the log, not the registry.
+fn parse_slow_filter(query: &str) -> Result<SlowFilter, String> {
+    let mut filter = SlowFilter {
+        min_nanos: 0,
+        engine: None,
+    };
+    for (k, v) in query_params(query) {
+        match k.as_str() {
+            "min_ms" => match v.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms >= 0.0 => filter.min_nanos = (ms * 1e6) as u64,
+                _ => return Err(format!("min_ms must be a non-negative number, got {v:?}")),
+            },
+            "engine" => {
+                if !valid_name(&v) {
+                    return Err(format!("engine must be a valid resource name, got {v:?}"));
+                }
+                filter.engine = Some(v);
+            }
+            _ => {
+                return Err(format!(
+                    "unknown query parameter {k:?}; supported: min_ms, engine"
+                ))
+            }
+        }
+    }
+    Ok(filter)
+}
+
+/// `GET /v1/debug/slow[?min_ms=..][&engine=..]`: the N slowest query
+/// requests since startup, slowest first, each with its aggregated cost
+/// plan and the request id its trace was published under. Malformed or
+/// unknown parameters answer 400 with the mistake named.
+fn handle_debug_slow(state: &State, req: &Request) -> Response {
+    let filter = match parse_slow_filter(&req.query) {
+        Ok(f) => f,
+        Err(msg) => return bad_request(&msg),
+    };
+    let mut entries = state.slow_ring.snapshot();
+    entries.retain(|e| {
+        e.duration_nanos >= filter.min_nanos
+            && filter.engine.as_deref().is_none_or(|want| want == e.engine)
+    });
+    Response::json(
+        200,
+        JsonValue::obj([
+            (
+                "slow",
+                JsonValue::Arr(entries.iter().map(|e| crate::slow::slow_json(e)).collect()),
+            ),
+            ("capacity", JsonValue::from(state.slow_ring.capacity())),
+        ])
+        .render(),
+    )
+}
+
 fn handle_session_report(state: &State, id: &str, missing: Response) -> Response {
     let Some(entry) = state
         .sessions
@@ -1437,6 +1611,7 @@ mod tests {
             ("/metrics", Metrics),
             ("/v1/debug/traces", DebugTraces),
             ("/v1/debug/health", DebugHealth),
+            ("/v1/debug/slow", DebugSlow),
             // Malformed or hostile paths all fall to Unknown (→ 404).
             ("/", Unknown),
             ("/v1/engines/", Unknown),
@@ -1537,6 +1712,81 @@ mod tests {
         );
         // The first offending pair wins; valid ones before it are fine.
         assert!(parse_trace_filter("min_ms=2&oops=1").is_err());
+    }
+
+    /// The slow-log filter mirrors the traces filter's strictness: every
+    /// rejection is a named 400 (operators curl this endpoint by hand).
+    #[test]
+    fn slow_filters_parse_strictly() {
+        assert_eq!(
+            parse_slow_filter(""),
+            Ok(SlowFilter {
+                min_nanos: 0,
+                engine: None
+            })
+        );
+        assert_eq!(
+            parse_slow_filter("min_ms=2.5&engine=prod"),
+            Ok(SlowFilter {
+                min_nanos: 2_500_000,
+                engine: Some("prod".to_string())
+            })
+        );
+        let err = parse_slow_filter("min_ms=abc").unwrap_err();
+        assert_eq!(err, "min_ms must be a non-negative number, got \"abc\"");
+        for bad in ["min_ms=-1", "min_ms=inf", "min_ms="] {
+            assert!(parse_slow_filter(bad).is_err(), "{bad}");
+        }
+        // An engine value that could never name a resource is a named
+        // 400, not an empty 200.
+        let err = parse_slow_filter("engine=bad%20name").unwrap_err();
+        assert_eq!(
+            err,
+            "engine must be a valid resource name, got \"bad name\""
+        );
+        // Unknown keys are named, with this endpoint's supported set.
+        let err = parse_slow_filter("route=/v1/query").unwrap_err();
+        assert_eq!(
+            err,
+            "unknown query parameter \"route\"; supported: min_ms, engine"
+        );
+    }
+
+    /// The query body is strict end to end: unknown keys at either level
+    /// and a non-boolean `"explain"` are named 400s, and the explain
+    /// flag round-trips. (The silent-ignore behavior this replaces let a
+    /// typoed `"explian"` run the query without its plan.)
+    #[test]
+    fn query_bodies_parse_strictly() {
+        let ok = parse_queries(br#"{"queries": [{"r": 1.0, "k": 2}]}"#, 4).expect("plain body");
+        assert_eq!(ok.0.len(), 1);
+        assert!(!ok.1, "explain defaults off");
+        let ok = parse_queries(br#"{"queries": [{"r": 1.0, "k": 2}], "explain": true}"#, 4)
+            .expect("explained body");
+        assert!(ok.1);
+        let message = |resp: Response| {
+            let doc = parse_json(std::str::from_utf8(&resp.body).expect("utf8")).expect("json");
+            assert_eq!(resp.status, 400);
+            dod_wire::shapes::ErrorEnvelope::from_json(&doc)
+                .expect("envelope")
+                .message
+        };
+        let err = parse_queries(br#"{"queries": [], "explian": true}"#, 4).unwrap_err();
+        assert_eq!(
+            message(err),
+            "unknown key \"explian\" in query body; supported: queries, explain"
+        );
+        let err = parse_queries(br#"{"queries": [], "explain": 1}"#, 4).unwrap_err();
+        assert_eq!(message(err), "\"explain\" must be a boolean, not a number");
+        let err =
+            parse_queries(br#"{"queries": [{"r": 1.0, "k": 2, "radius": 3}]}"#, 4).unwrap_err();
+        assert_eq!(
+            message(err),
+            "query #0: unknown key \"radius\"; supported: r, k, threads"
+        );
+        // A body with no "queries" key keeps its original diagnosis.
+        let err = parse_queries(br#"{"nope": 1}"#, 4).unwrap_err();
+        assert_eq!(message(err), "body must be {\"queries\": [...]}");
     }
 
     #[test]

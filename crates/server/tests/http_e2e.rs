@@ -8,6 +8,7 @@ use dod_metrics::L2;
 use dod_server::{encode, DodServer, ServerHandle};
 use dod_shard::{ShardSpec, ShardedStreamDetector};
 use dod_stream::{Backend, VectorSpace, WindowSpec};
+use dod_wire::JsonValue;
 use proptest::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -145,6 +146,154 @@ fn query_route_is_byte_identical_to_in_process_query_many() {
     // The answer is meaningful, not vacuous: some outliers exist at the
     // tighter radius.
     assert!(http_body.contains("\"outliers\":["), "{http_body}");
+    handle.shutdown();
+}
+
+/// EXPLAIN is additive and opt-in: `"explain": false` answers the exact
+/// legacy bytes (the absent-key case is pinned above), `"explain": true`
+/// appends a deterministic `"cost"` plan to every result.
+#[test]
+fn explain_adds_a_cost_plan_and_off_stays_byte_identical() {
+    let (handle, twin) = engine_server();
+    let addr = handle.addr();
+    let queries = [
+        Query::new(80.0, 30).unwrap(),
+        Query::new(120.0, 10).unwrap(),
+    ];
+    let reports = twin.query_many(&queries).expect("in-process");
+
+    let body = r#"{"queries":[{"r":80,"k":30},{"r":120,"k":10}],"explain":false}"#;
+    let (status, plain) = post(addr, "/v1/query", body);
+    assert_eq!(status, 200, "{plain}");
+    assert_eq!(
+        plain,
+        encode::query_response(&reports),
+        "explain: false answers the pre-EXPLAIN bytes"
+    );
+
+    let body = r#"{"queries":[{"r":80,"k":30},{"r":120,"k":10}],"explain":true}"#;
+    let (status, explained) = post(addr, "/v1/engines/default/query", body);
+    assert_eq!(status, 200, "{explained}");
+    assert_eq!(
+        explained,
+        encode::query_response_explained(&reports, twin.len()),
+        "the explained body is deterministic too"
+    );
+    let doc = dod_wire::parse_json(&explained).expect("json");
+    let results = doc
+        .get("results")
+        .and_then(JsonValue::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), 2);
+    for (res, rep) in results.iter().zip(&reports) {
+        let cost = res.get("cost").expect("each result carries its plan");
+        let evals = |key: &str| {
+            cost.get(key)
+                .and_then(JsonValue::as_usize)
+                .unwrap_or_else(|| panic!("missing {key}: {explained}")) as u64
+        };
+        assert_eq!(evals("filter_dist_evals"), rep.cost.filter_dist_evals);
+        assert_eq!(evals("verify_dist_evals"), rep.cost.verify_dist_evals);
+        assert_eq!(
+            evals("total_dist_evals"),
+            rep.cost.filter_dist_evals + rep.cost.verify_dist_evals
+        );
+        assert_eq!(evals("hops"), rep.cost.hops);
+        assert!(
+            evals("total_dist_evals") > 0,
+            "a real query burns distances"
+        );
+        let power = cost
+            .get("pruning_power")
+            .and_then(JsonValue::as_f64)
+            .expect("pruning_power");
+        assert!((0.0..=1.0).contains(&power), "{power}");
+    }
+    handle.shutdown();
+}
+
+/// Typos anywhere in a query body are named 400s, not silent no-ops: a
+/// client that misspells `"explain"` must not get an answer without the
+/// plan it asked for.
+#[test]
+fn unknown_query_body_keys_answer_400_envelopes() {
+    let (handle, _twin) = engine_server();
+    let addr = handle.addr();
+    for (body, needle) in [
+        (r#"{"queries":[{"r":60,"k":40}],"explian":true}"#, "explian"),
+        (r#"{"queries":[{"r":60,"k":40,"radius":2}]}"#, "radius"),
+        (
+            r#"{"queries":[{"r":60,"k":40}],"explain":"yes"}"#,
+            "explain",
+        ),
+    ] {
+        let (status, resp) = post(addr, "/v1/query", body);
+        assert_eq!(status, 400, "{body} -> {resp}");
+        let doc = dod_wire::parse_json(&resp).expect("json");
+        let env = dod_wire::shapes::ErrorEnvelope::from_json(&doc).expect("envelope");
+        assert_eq!(env.kind, "bad_request");
+        assert!(env.message.contains(needle), "{}", env.message);
+    }
+    // After the rejections, valid queries still answer.
+    let (status, _) = post(addr, "/v1/query", r#"{"queries":[{"r":60,"k":40}]}"#);
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+/// The `/metrics` cost series agree with the in-process twin's reports:
+/// cumulative distance evaluations by phase, hops, filter effectiveness,
+/// and a live pruning-power gauge.
+#[test]
+fn metrics_expose_cost_series_matching_the_twin() {
+    let (handle, twin) = engine_server();
+    let addr = handle.addr();
+    let queries = [
+        Query::new(60.0, 40).unwrap(),
+        Query::new(120.0, 40).unwrap(),
+    ];
+    let reports = twin.query_many(&queries).expect("in-process");
+    let (status, _) = post(
+        addr,
+        "/v1/query",
+        r#"{"queries":[{"r":60,"k":40},{"r":120,"k":40}]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let mut expected = dod_core::CostReport::default();
+    let (mut candidates, mut decided, mut false_pos) = (0usize, 0usize, 0usize);
+    for rep in &reports {
+        expected.absorb(&rep.cost);
+        candidates += rep.candidates;
+        decided += rep.decided_in_filter;
+        false_pos += rep.false_positives;
+    }
+    let series = [
+        (
+            "dod_cost_filter_dist_evals_total",
+            expected.filter_dist_evals,
+        ),
+        (
+            "dod_cost_verify_dist_evals_total",
+            expected.verify_dist_evals,
+        ),
+        ("dod_cost_hops_total", expected.hops),
+        ("dod_cost_candidates_total", candidates as u64),
+        ("dod_cost_decided_in_filter_total", decided as u64),
+        ("dod_cost_false_positives_total", false_pos as u64),
+    ];
+    for (metric, want) in series {
+        let got = metric_value(&text, &format!("{metric}{{engine=\"default\"}}")) as u64;
+        assert_eq!(got, want, "{metric}: {text}");
+    }
+    let power = metric_value(&text, "dod_cost_pruning_power{engine=\"default\"}");
+    let n = twin.len() as f64;
+    let baseline = reports.len() as f64 * n * (n - 1.0);
+    let want = (1.0 - expected.total_dist_evals() as f64 / baseline).max(0.0);
+    assert!(
+        (power - want).abs() < 1e-9,
+        "pruning power {power} != twin's {want}"
+    );
     handle.shutdown();
 }
 

@@ -253,6 +253,142 @@ fn debug_traces_filter_by_route_and_min_ms() {
     handle.shutdown();
 }
 
+/// The slow-query log: bounded, slowest-first, filterable, and joined
+/// to the trace ring through the request id each entry records.
+#[test]
+fn debug_slow_serves_the_bounded_ring_with_request_id_linkage() {
+    let handle = builder()
+        .slow_query_capacity(2)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .start();
+    let addr = handle.addr();
+
+    // Empty before any query — and the capacity knob is echoed.
+    let (status, _, body) = get(addr, "/v1/debug/slow");
+    assert_eq!(status, 200, "{body}");
+    let doc = dod_wire::parse_json(&body).expect("json");
+    assert_eq!(
+        doc.get("slow").and_then(JsonValue::as_arr).map(<[_]>::len),
+        Some(0)
+    );
+    assert_eq!(doc.get("capacity").and_then(JsonValue::as_usize), Some(2));
+
+    for id in ["slow-a", "slow-b", "slow-c"] {
+        let (status, _, _) = post(
+            addr,
+            "/v1/query",
+            r#"{"queries":[{"r":100.0,"k":40}]}"#,
+            &format!("x-request-id: {id}\r\n"),
+        );
+        assert_eq!(status, 200);
+    }
+
+    let (status, _, body) = get(addr, "/v1/debug/slow");
+    assert_eq!(status, 200);
+    let doc = dod_wire::parse_json(&body).expect("json");
+    let slow = doc.get("slow").and_then(JsonValue::as_arr).expect("slow");
+    assert_eq!(slow.len(), 2, "capacity bounds the log: {body}");
+    let duration = |e: &JsonValue| {
+        e.get("duration_ns")
+            .and_then(JsonValue::as_usize)
+            .expect("duration_ns")
+    };
+    assert!(
+        duration(&slow[0]) >= duration(&slow[1]),
+        "slowest first: {body}"
+    );
+    let (_, _, traces_body) = get(addr, "/v1/debug/traces");
+    let traces_doc = dod_wire::parse_json(&traces_body).expect("traces json");
+    let traces = traces_doc
+        .get("traces")
+        .and_then(JsonValue::as_arr)
+        .expect("traces");
+    for e in slow {
+        assert_eq!(e.get("engine").and_then(JsonValue::as_str), Some("default"));
+        assert_eq!(e.get("queries").and_then(JsonValue::as_usize), Some(1));
+        let cost = e.get("cost").expect("cost plan");
+        assert!(
+            cost.get("total_dist_evals")
+                .and_then(JsonValue::as_usize)
+                .expect("total_dist_evals")
+                > 0,
+            "{body}"
+        );
+        let power = cost
+            .get("pruning_power")
+            .and_then(JsonValue::as_f64)
+            .expect("pruning_power");
+        assert!((0.0..=1.0).contains(&power), "{power}");
+        // The entry's request id resolves in the trace ring: the two
+        // debug endpoints join on it.
+        let id = e
+            .get("request_id")
+            .and_then(JsonValue::as_str)
+            .expect("request_id");
+        assert!(id.starts_with("slow-"), "{id}");
+        assert!(
+            traces
+                .iter()
+                .any(|t| t.get("request_id").and_then(JsonValue::as_str) == Some(id)),
+            "{id} not found in the trace ring: {traces_body}"
+        );
+    }
+
+    // Filters mirror the traces ring: an absurd floor empties the view,
+    // an unknown engine matches nothing, and mistakes are named 400s.
+    for (query, expect_empty) in [("?min_ms=3600000", true), ("?engine=absent", true)] {
+        let (status, _, body) = get(addr, &format!("/v1/debug/slow{query}"));
+        assert_eq!(status, 200, "{query}: {body}");
+        let doc = dod_wire::parse_json(&body).expect("json");
+        let len = doc.get("slow").and_then(JsonValue::as_arr).map(<[_]>::len);
+        assert_eq!(len == Some(0), expect_empty, "{query}: {body}");
+    }
+    for q in ["?min_ms=soon", "?route=/v1/query", "?engine=bad%20name"] {
+        let (status, _, body) = get(addr, &format!("/v1/debug/slow{q}"));
+        assert_eq!(status, 400, "{q}: {body}");
+        let doc = dod_wire::parse_json(&body).expect("json");
+        let env = dod_wire::shapes::ErrorEnvelope::from_json(&doc).expect("envelope");
+        assert_eq!(env.kind, "bad_request", "{q}");
+    }
+    handle.shutdown();
+}
+
+/// The per-session cost series: an exhaustive-backend session books one
+/// window scan per insert, visible as `dod_cost_insert_dist_evals_total`.
+#[test]
+fn metrics_expose_stream_cost_series() {
+    let handle = builder().bind("127.0.0.1:0").expect("bind").start();
+    let addr = handle.addr();
+    let (status, _, _) = post(
+        addr,
+        "/v1/ingest",
+        r#"{"points":[[0.5],[0.6],[0.7],[0.8],[50.0]]}"#,
+        "",
+    );
+    assert_eq!(status, 200);
+    let (status, _, report) = get(addr, "/v1/report");
+    assert_eq!(status, 200, "{report}");
+    let (_, _, metrics) = get(addr, "/metrics");
+    let series_value = |name: &str| {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{name}{{session=\"default\"}}")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("missing {name}: {metrics}"))
+    };
+    assert!(
+        series_value("dod_cost_insert_dist_evals_total") > 0.0,
+        "exhaustive discovery scans the window: {metrics}"
+    );
+    // An exact backend never walks a graph and needs no repair.
+    assert_eq!(series_value("dod_cost_insert_hops_total"), 0.0);
+    assert_eq!(series_value("dod_cost_query_dist_evals_total"), 0.0);
+    assert!(series_value("dod_cost_query_decided_in_filter_total") >= 0.0);
+    handle.shutdown();
+}
+
 #[test]
 fn the_access_log_records_every_request_parsably() {
     let path = std::env::temp_dir().join(format!(

@@ -389,6 +389,7 @@ pub(crate) fn merge_answers(answers: Vec<ShardAnswer>, front: u64) -> OutlierRep
         merged.decided_in_filter += a.report.decided_in_filter;
         merged.filter_secs += a.report.filter_secs;
         merged.verify_secs += a.report.verify_secs;
+        merged.cost.absorb(&a.report.cost);
     }
     outliers.sort_unstable();
     merged.outliers = outliers.into_iter().map(|s| (s - front) as u32).collect();

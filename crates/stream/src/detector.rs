@@ -16,7 +16,7 @@ use crate::seqmap::SeqMap;
 use crate::space::Space;
 use crate::window::{WindowSpec, WindowStore, WindowView};
 use dod_core::verify::ExactCounter;
-use dod_core::{DodError, OutlierReport, Query, VerifyStrategy};
+use dod_core::{CostReport, DodError, OutlierReport, Query, VerifyStrategy};
 use dod_metrics::Dataset;
 use std::time::Instant;
 
@@ -98,6 +98,11 @@ pub struct SlideReport {
     pub expired: Vec<u64>,
     /// Window size after the slide.
     pub window_len: usize,
+    /// What this slide cost: distance evaluations and graph hops spent
+    /// on neighbor discovery, expiry maintenance and any sampled recall
+    /// audit that fired. Slide-time work is all discovery (filter-side);
+    /// verification cost appears on query reports, not slides.
+    pub cost: CostReport,
 }
 
 impl SlideReport {
@@ -168,6 +173,30 @@ pub struct StreamStats {
     /// scan found, capped at `k` — the denominator of the recall
     /// estimate.
     pub recall_expected: u64,
+    /// Distance evaluations spent in insertion-time neighbor discovery.
+    pub insert_dist_evals: u64,
+    /// Graph hops spent in insertion-time neighbor discovery.
+    pub insert_hops: u64,
+    /// Distance evaluations spent on expiry maintenance (compaction,
+    /// re-pruning). Zero on structureless backends.
+    pub expiry_dist_evals: u64,
+    /// Graph hops spent on expiry maintenance.
+    pub expiry_hops: u64,
+    /// Distance evaluations spent by sampled recall audits (brute-force
+    /// truth scans plus read-only re-discovery).
+    pub audit_dist_evals: u64,
+    /// Graph hops spent by sampled recall audits.
+    pub audit_hops: u64,
+    /// Distance evaluations spent by query-time exact repairs.
+    pub query_dist_evals: u64,
+    /// Query-time candidates: residents whose verdict needed an exact
+    /// repair before it was trusted.
+    pub query_candidates: u64,
+    /// Query-time candidates whose repair came back inlier.
+    pub query_false_positives: u64,
+    /// Query-time outliers decided from already-exact maintained
+    /// knowledge (no repair).
+    pub query_decided_in_filter: u64,
 }
 
 impl StreamStats {
@@ -187,6 +216,16 @@ impl StreamStats {
             recall_audits,
             recall_hits,
             recall_expected,
+            insert_dist_evals,
+            insert_hops,
+            expiry_dist_evals,
+            expiry_hops,
+            audit_dist_evals,
+            audit_hops,
+            query_dist_evals,
+            query_candidates,
+            query_false_positives,
+            query_decided_in_filter,
         } = other;
         self.inserts += inserts;
         self.ghost_inserts += ghost_inserts;
@@ -199,6 +238,16 @@ impl StreamStats {
         self.recall_audits += recall_audits;
         self.recall_hits += recall_hits;
         self.recall_expected += recall_expected;
+        self.insert_dist_evals += insert_dist_evals;
+        self.insert_hops += insert_hops;
+        self.expiry_dist_evals += expiry_dist_evals;
+        self.expiry_hops += expiry_hops;
+        self.audit_dist_evals += audit_dist_evals;
+        self.audit_hops += audit_hops;
+        self.query_dist_evals += query_dist_evals;
+        self.query_candidates += query_candidates;
+        self.query_false_positives += query_false_positives;
+        self.query_decided_in_filter += query_decided_in_filter;
     }
 
     /// The sampled discovery-recall estimate: hits over expected across
@@ -306,7 +355,7 @@ impl<S: Space> StreamDetector<S> {
         S: 'static,
     {
         let (index, audit): (Box<dyn StreamIndex<S> + Send>, _) = match backend {
-            Backend::Exhaustive => (Box::new(ExhaustiveIndex), None),
+            Backend::Exhaustive => (Box::new(ExhaustiveIndex::default()), None),
             Backend::Graph(gp) => {
                 gp.validate()?;
                 let audit = (gp.sample_rate, gp.audit_sample);
@@ -404,6 +453,7 @@ impl<S: Space> StreamDetector<S> {
     fn ingest(&mut self, point: S::Point, time: f64, ghost: bool) -> SlideReport {
         let t0 = std::time::Instant::now();
         let expiry_before = self.stats.expiry_nanos;
+        let cost_before = self.slide_cost_totals();
         let point = self.space.prepare(point);
         self.win.advance_clock(time);
         let expired = self.expire_due(true);
@@ -417,6 +467,11 @@ impl<S: Space> StreamDetector<S> {
             let view = WindowView::new(&self.win, &self.space);
             self.index.on_insert(&view, seq, self.params.r)
         };
+        // Drain the backend's discovery tally now, before the audit below
+        // can fire — each phase drains its own cost.
+        let (d, h) = self.index.take_cost();
+        self.stats.insert_dist_evals += d;
+        self.stats.insert_hops += h;
         let k = self.params.k;
         if k > 0 {
             for &d in &discovered {
@@ -450,11 +505,28 @@ impl<S: Space> StreamDetector<S> {
         // so the two phase counters partition the slide's wall time.
         let expiry_within = self.stats.expiry_nanos - expiry_before;
         self.stats.insert_nanos += (t0.elapsed().as_nanos() as u64).saturating_sub(expiry_within);
+        let cost_after = self.slide_cost_totals();
         SlideReport {
             seq,
             expired,
             window_len: self.win.len(),
+            cost: CostReport {
+                filter_dist_evals: cost_after.0 - cost_before.0,
+                verify_dist_evals: 0,
+                hops: cost_after.1 - cost_before.1,
+            },
         }
+    }
+
+    /// Lifetime `(dist_evals, hops)` of all slide-time phases (insert,
+    /// expiry, audit); a slide's own cost is the delta across `ingest`.
+    fn slide_cost_totals(&self) -> (u64, u64) {
+        (
+            self.stats.insert_dist_evals
+                + self.stats.expiry_dist_evals
+                + self.stats.audit_dist_evals,
+            self.stats.insert_hops + self.stats.expiry_hops + self.stats.audit_hops,
+        )
     }
 
     /// One sampled discovery-recall audit: pick `audit_sample` residents
@@ -480,7 +552,11 @@ impl<S: Space> StreamDetector<S> {
                 let view = WindowView::new(&self.win, &self.space);
                 let mut truth = 0usize;
                 for other in 0..len {
-                    if other != pos && view.dist(pos, other) <= r {
+                    if other == pos {
+                        continue;
+                    }
+                    self.stats.audit_dist_evals += 1;
+                    if view.dist(pos, other) <= r {
                         truth += 1;
                         if truth >= k {
                             break;
@@ -496,6 +572,10 @@ impl<S: Space> StreamDetector<S> {
             self.stats.recall_hits += discovered.len().min(expected) as u64;
             self.stats.recall_expected += expected as u64;
         }
+        // Read-only re-discovery walked the backend; book it to the audit.
+        let (d, h) = self.index.take_cost();
+        self.stats.audit_dist_evals += d;
+        self.stats.audit_hops += h;
         self.stats.recall_audits += 1;
     }
 
@@ -538,6 +618,12 @@ impl<S: Space> StreamDetector<S> {
             self.stats.expirations += 1;
             expired.push(e.seq);
         }
+        if !expired.is_empty() {
+            // Compaction and re-pruning triggered by expiry book here.
+            let (d, h) = self.index.take_cost();
+            self.stats.expiry_dist_evals += d;
+            self.stats.expiry_hops += h;
+        }
         self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
         expired
     }
@@ -564,6 +650,7 @@ impl<S: Space> StreamDetector<S> {
     /// from already-exact maintained knowledge.
     pub fn report(&mut self) -> OutlierReport {
         let t = Instant::now();
+        let repairs_before = self.stats.query_dist_evals;
         let (seqs, counters) = self.outliers_instrumented();
         let total = t.elapsed().as_secs_f64();
         let front = self.win.front_seq();
@@ -575,6 +662,13 @@ impl<S: Space> StreamDetector<S> {
             decided_in_filter: counters.decided_in_filter,
             filter_secs: (total - verify_secs).max(0.0),
             verify_secs,
+            cost: CostReport {
+                // Query-time filtering answers from maintained counts —
+                // zero distances; repairs are the verification work.
+                filter_dist_evals: 0,
+                verify_dist_evals: self.stats.query_dist_evals - repairs_before,
+                hops: 0,
+            },
         }
     }
 
@@ -626,6 +720,9 @@ impl<S: Space> StreamDetector<S> {
             self.states.remove(&seq);
             self.stats.safe_promotions += 1;
         }
+        self.stats.query_candidates += counters.candidates as u64;
+        self.stats.query_false_positives += counters.false_positives as u64;
+        self.stats.query_decided_in_filter += counters.decided_in_filter as u64;
         out.sort_unstable();
         (out, counters)
     }
@@ -725,7 +822,11 @@ fn repair<S: Space>(
         let mut pred = Vec::new();
         let mut succ = Vec::new();
         for e in win.iter() {
-            if e.seq != seq && space.dist(own, &e.point) <= r {
+            if e.seq == seq {
+                continue;
+            }
+            stats.query_dist_evals += 1;
+            if space.dist(own, &e.point) <= r {
                 if e.seq < seq {
                     pred.push(e.seq);
                 } else {
@@ -738,6 +839,7 @@ fn repair<S: Space>(
     } else {
         let from = st.exact_upto.max(win.front_seq());
         for e in win.iter_from(from) {
+            stats.query_dist_evals += 1;
             if space.dist(own, &e.point) <= r {
                 st.add_succ(e.seq);
             }
@@ -984,6 +1086,54 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn slide_cost_tracks_the_exhaustive_window_scan() {
+        let mut d = det(0.5, 2, 4, Backend::Exhaustive);
+        // First insertion sees an empty window: nothing to scan.
+        let r0 = d.insert(vec![0.0]);
+        assert_eq!(r0.cost, CostReport::default());
+        // Each later insertion scans every other resident exactly once.
+        let r1 = d.insert(vec![0.1]);
+        assert_eq!(r1.cost.filter_dist_evals, 1);
+        d.insert(vec![0.2]);
+        d.insert(vec![0.3]);
+        let r4 = d.insert(vec![0.4]); // window full: expire 1, scan 3
+        assert_eq!(r4.cost.filter_dist_evals, 3);
+        assert_eq!(r4.cost.hops, 0, "structureless backend never hops");
+        assert_eq!(r4.cost.verify_dist_evals, 0, "slides never verify");
+        let s = d.stats();
+        assert_eq!(s.insert_dist_evals, 1 + 2 + 3 + 3);
+        // Exact counts are always trusted: queries repair nothing.
+        let rep = d.report();
+        assert_eq!(rep.cost, CostReport::default());
+        assert_eq!(s.query_dist_evals, 0);
+    }
+
+    #[test]
+    fn graph_backend_books_slide_and_query_cost() {
+        let mut d = det(0.5, 2, 16, Backend::Graph(GraphParams::default()));
+        let mut slide_dists = 0;
+        let mut slide_hops = 0;
+        for i in 0..40 {
+            let s = d.insert(vec![(i % 7) as f32 * 0.3]);
+            slide_dists += s.cost.filter_dist_evals;
+            slide_hops += s.cost.hops;
+        }
+        assert!(slide_dists > 0, "graph discovery evaluated no distances?");
+        assert!(slide_hops > 0, "graph discovery expanded no vertices?");
+        let stats = d.stats();
+        assert_eq!(
+            slide_dists,
+            stats.insert_dist_evals + stats.expiry_dist_evals + stats.audit_dist_evals,
+            "per-slide deltas must sum to the lifetime phase counters"
+        );
+        let rep = d.report();
+        // Inexact backend: whatever repairs ran are booked as verify cost,
+        // and query effectiveness counters mirror the report.
+        assert_eq!(rep.cost.verify_dist_evals, d.stats().query_dist_evals);
+        assert_eq!(d.stats().query_candidates, rep.candidates as u64);
     }
 
     #[test]

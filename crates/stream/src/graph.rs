@@ -126,6 +126,12 @@ pub struct GraphIndex<S: Space> {
     bridge_edges: u64,
     /// Lifetime adjacency prunes.
     prunes: u64,
+    /// Distance evaluations outside the shared walk buffer (beam search,
+    /// pruning) since the last [`StreamIndex::take_cost`] drain.
+    dist_evals: u64,
+    /// Beam-search vertex expansions since the last drain (greedy-walk
+    /// hops live in `buf` and are drained alongside).
+    hops: u64,
 }
 
 impl<S: Space> GraphIndex<S> {
@@ -155,6 +161,8 @@ impl<S: Space> GraphIndex<S> {
             compactions: 0,
             bridge_edges: 0,
             prunes: 0,
+            dist_evals: 0,
+            hops: 0,
         }
     }
 
@@ -188,6 +196,11 @@ impl<S: Space> GraphIndex<S> {
         self.live += 1;
         if self.points.len() > self.buf_cap {
             self.buf_cap = (self.points.len() * 2).max(64);
+            // Salvage the retiring buffer's undrained cost tally before
+            // replacing it.
+            let (d, h) = self.buf.take_cost();
+            self.dist_evals += d;
+            self.hops += h;
             self.buf = TraversalBuffer::new(self.buf_cap);
         }
         slot
@@ -219,6 +232,7 @@ impl<S: Space> GraphIndex<S> {
             if !self.buf.mark(s) {
                 continue;
             }
+            self.dist_evals += 1;
             let d = space.dist(
                 q,
                 self.points[s as usize].as_ref().expect("start allocated"),
@@ -227,6 +241,7 @@ impl<S: Space> GraphIndex<S> {
             found.push((OrdF64(d), s));
         }
         while let Some((Reverse(OrdF64(d)), v)) = candidates.pop() {
+            self.hops += 1;
             if found.len() >= ef && d > found.peek().expect("non-empty").0 .0 {
                 break;
             }
@@ -238,6 +253,7 @@ impl<S: Space> GraphIndex<S> {
                 let Some(p) = self.points[w as usize].as_ref() else {
                     continue;
                 };
+                self.dist_evals += 1;
                 let dw = space.dist(q, p);
                 if found.len() < ef || dw < found.peek().expect("non-empty").0 .0 {
                     candidates.push((Reverse(OrdF64(dw)), w));
@@ -264,12 +280,15 @@ impl<S: Space> GraphIndex<S> {
             .clone()
             .expect("pruned slot allocated");
         let keep = (2 * self.params.m).max(1);
+        let dist_evals = &mut self.dist_evals;
+        let points = &self.points;
         let mut ranked: Vec<(OrdF64, u32)> = self.graph.adj[slot as usize]
             .iter()
             .map(|&w| {
-                let d = self.points[w as usize]
-                    .as_ref()
-                    .map_or(f64::INFINITY, |p| space.dist(&own, p));
+                let d = points[w as usize].as_ref().map_or(f64::INFINITY, |p| {
+                    *dist_evals += 1;
+                    space.dist(&own, p)
+                });
                 (OrdF64(d), w)
             })
             .collect();
@@ -476,6 +495,16 @@ impl<S: Space> StreamIndex<S> for GraphIndex<S> {
             }
         }
     }
+
+    fn take_cost(&mut self) -> (u64, u64) {
+        // Greedy ball walks tally into the shared traversal buffer; beam
+        // search and prunes tally into the index directly.
+        let (d, h) = self.buf.take_cost();
+        (
+            d + std::mem::take(&mut self.dist_evals),
+            h + std::mem::take(&mut self.hops),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +576,20 @@ mod tests {
             found.iter().all(|&s| s >= 20),
             "tombstone reported: {found:?}"
         );
+    }
+
+    #[test]
+    fn cost_tally_accumulates_and_drains() {
+        let space = VectorSpace::new(L2, 1);
+        let mut win = WindowStore::new();
+        let mut idx = GraphIndex::new(GraphParams::default(), 3);
+        let xs: Vec<f32> = (0..40).map(|i| (i % 10) as f32 * 0.3).collect();
+        feed(&mut idx, &mut win, &space, &xs, 0.5);
+        let (d, h) = StreamIndex::<VectorSpace<L2>>::take_cost(&mut idx);
+        assert!(d > 0, "40 insertions evaluated no distances?");
+        assert!(h > 0, "40 insertions expanded no vertices?");
+        // Draining resets the tally.
+        assert_eq!(StreamIndex::<VectorSpace<L2>>::take_cost(&mut idx), (0, 0));
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub trait StreamIndex<S: Space> {
     /// first `keep` links of every vertex (no-op on structureless
     /// backends). Discovery recall should fall; exactness must not.
     fn inject_edge_loss(&mut self, _keep: usize) {}
+
+    /// Drains the backend's `(distance evaluations, graph hops)` tally
+    /// accumulated since the last drain. The engine drains once per
+    /// phase (insert, expiry, audit) to attribute backend work to cost
+    /// counters; backends that do not tally return `(0, 0)`.
+    fn take_cost(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Exact incremental counter: discovers neighbors by scanning the whole
@@ -163,7 +171,11 @@ pub trait StreamIndex<S: Space> {
 /// retention probability 1 — counts are exact at all times, so outlier
 /// queries never verify anything.
 #[derive(Debug, Default)]
-pub struct ExhaustiveIndex;
+pub struct ExhaustiveIndex {
+    /// Distance evaluations since the last [`StreamIndex::take_cost`]
+    /// drain (one full window scan per insertion).
+    dist_evals: u64,
+}
 
 impl<S: Space> StreamIndex<S> for ExhaustiveIndex {
     fn on_insert(&mut self, view: &WindowView<'_, S>, seq: u64, r: f64) -> Vec<u64> {
@@ -172,6 +184,7 @@ impl<S: Space> StreamIndex<S> for ExhaustiveIndex {
             return found;
         }
         let own = (seq - view.seq_at(0)) as usize;
+        self.dist_evals += view.len().saturating_sub(1) as u64;
         for pos in 0..view.len() {
             if pos != own && view.dist(own, pos) <= r {
                 found.push(view.seq_at(pos));
@@ -193,6 +206,10 @@ impl<S: Space> StreamIndex<S> for ExhaustiveIndex {
     fn size_bytes(&self) -> usize {
         0
     }
+
+    fn take_cost(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.dist_evals), 0)
+    }
 }
 
 #[cfg(test)]
@@ -210,10 +227,13 @@ mod tests {
             win.push(vec![x], i as f64);
         }
         let view = WindowView::new(&win, &space);
-        let mut idx = ExhaustiveIndex;
+        let mut idx = ExhaustiveIndex::default();
         // Point 3 (x = 0.6) has in-range neighbors 0 and 1 at r = 1.
         let found = StreamIndex::<VectorSpace<L2>>::on_insert(&mut idx, &view, 3, 1.0);
         assert_eq!(found, vec![0, 1]);
         assert!(StreamIndex::<VectorSpace<L2>>::is_exact(&idx));
+        // One insertion over a 4-point window scans the 3 other residents.
+        assert_eq!(StreamIndex::<VectorSpace<L2>>::take_cost(&mut idx), (3, 0));
+        assert_eq!(StreamIndex::<VectorSpace<L2>>::take_cost(&mut idx), (0, 0));
     }
 }

@@ -159,6 +159,51 @@ impl SessionSummary {
     }
 }
 
+/// The per-query `"cost"` object attached to each result when a
+/// `POST /v1/query` body carries `"explain": true` (and to every entry
+/// of the `GET /v1/debug/slow` ring): distance evaluations split by
+/// phase, graph hops, and the live pruning power against the
+/// nested-loop baseline `n·(n−1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCostShape {
+    /// Distance evaluations spent in the filtering phase.
+    pub filter_dist_evals: u64,
+    /// Distance evaluations spent verifying candidates.
+    pub verify_dist_evals: u64,
+    /// All distance evaluations (the sum, carried explicitly so clients
+    /// never re-derive it).
+    pub total_dist_evals: u64,
+    /// Graph vertices expanded across every traversal.
+    pub hops: u64,
+    /// `1 − total_dist_evals / n(n−1)`, clamped to `[0, 1]`.
+    pub pruning_power: f64,
+}
+
+impl QueryCostShape {
+    /// The cost as a [`JsonValue`] object (field order is the wire
+    /// contract — tests pin the rendered text).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("filter_dist_evals", JsonValue::from(self.filter_dist_evals)),
+            ("verify_dist_evals", JsonValue::from(self.verify_dist_evals)),
+            ("total_dist_evals", JsonValue::from(self.total_dist_evals)),
+            ("hops", JsonValue::from(self.hops)),
+            ("pruning_power", JsonValue::from(self.pruning_power)),
+        ])
+    }
+
+    /// Parses a cost object back out of a response.
+    pub fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(QueryCostShape {
+            filter_dist_evals: v.get("filter_dist_evals")?.as_f64()? as u64,
+            verify_dist_evals: v.get("verify_dist_evals")?.as_f64()? as u64,
+            total_dist_evals: v.get("total_dist_evals")?.as_f64()? as u64,
+            hops: v.get("hops")?.as_f64()? as u64,
+            pruning_power: v.get("pruning_power")?.as_f64()?,
+        })
+    }
+}
+
 /// The `PUT /v1/engines/{name}` request body: the engine's recipe.
 ///
 /// `index` defaults server-side when absent; `load` names a persisted
@@ -476,6 +521,23 @@ mod tests {
         // Listings from before durability parse with durable = false.
         let v = parse_json(r#"{"id":"s1","metric":"l2","dim":3,"shards":2,"ingested":0}"#).unwrap();
         assert!(!SessionSummary::from_json(&v).unwrap().durable);
+    }
+
+    #[test]
+    fn query_cost_round_trips_with_pinned_field_order() {
+        let c = QueryCostShape {
+            filter_dist_evals: 1200,
+            verify_dist_evals: 300,
+            total_dist_evals: 1500,
+            hops: 450,
+            pruning_power: 0.75,
+        };
+        assert_eq!(
+            c.to_json().render(),
+            r#"{"filter_dist_evals":1200,"verify_dist_evals":300,"total_dist_evals":1500,"hops":450,"pruning_power":0.75}"#
+        );
+        assert_eq!(QueryCostShape::from_json(&c.to_json()), Some(c));
+        assert!(QueryCostShape::from_json(&parse_json("{}").unwrap()).is_none());
     }
 
     #[test]
